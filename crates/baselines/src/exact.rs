@@ -1,0 +1,264 @@
+//! Exhaustive (branch-and-bound) optimal fracturing for tiny shapes.
+//!
+//! The benchmarking work the paper builds on used a 12-hour ILP to bound
+//! the optimal shot count. This module provides the laptop-scale
+//! equivalent for *small* instances: depth-first search over a candidate
+//! pool with set-cover branching (every solution must cover the first
+//! failing `Pon` pixel, so branching is restricted to candidates covering
+//! it), incremental intensity maps, and a node budget. When the budget is
+//! not exhausted the returned count is **provably optimal over the
+//! candidate pool** — which makes it the referee for optimality tests of
+//! the heuristics on small shapes.
+
+use crate::candidates::pursuit_candidates;
+use maskfrac_ebeam::violations::{evaluate, fail_bitmaps};
+use maskfrac_ebeam::{Classification, IntensityMap};
+use maskfrac_fracture::{FractureConfig, FractureResult};
+use maskfrac_geom::{Polygon, Rect};
+use std::time::Instant;
+
+/// Result of an exhaustive search.
+#[derive(Debug, Clone)]
+pub struct ExactOutcome {
+    /// The best (fewest-shot) feasible solution found, if any.
+    pub shots: Option<Vec<Rect>>,
+    /// Whether the search finished within budget, making the result
+    /// provably optimal over the candidate pool.
+    pub proven: bool,
+    /// Search nodes visited.
+    pub nodes: usize,
+}
+
+/// The exhaustive-optimal fracturer.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_baselines::exact::ExhaustiveOptimal;
+/// use maskfrac_fracture::FractureConfig;
+/// use maskfrac_geom::{Polygon, Rect};
+///
+/// let target = Polygon::from_rect(Rect::new(0, 0, 30, 30).expect("rect"));
+/// let exact = ExhaustiveOptimal::new(FractureConfig::default());
+/// let outcome = exact.search(&target, 2);
+/// assert!(outcome.proven);
+/// assert_eq!(outcome.shots.expect("feasible").len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExhaustiveOptimal {
+    config: FractureConfig,
+    /// Node budget; exceeded searches return `proven = false`.
+    node_budget: usize,
+}
+
+impl ExhaustiveOptimal {
+    /// Creates the searcher with a default node budget.
+    pub fn new(config: FractureConfig) -> Self {
+        ExhaustiveOptimal {
+            config,
+            node_budget: 2_000_000,
+        }
+    }
+
+    /// Sets the node budget, returning the modified searcher.
+    pub fn with_node_budget(mut self, budget: usize) -> Self {
+        self.node_budget = budget;
+        self
+    }
+
+    /// Searches for the minimum feasible shot count up to `max_shots`.
+    pub fn search(&self, target: &Polygon, max_shots: usize) -> ExactOutcome {
+        let model = self.config.model();
+        let cls = Classification::build(
+            target,
+            self.config.gamma,
+            model.support_radius_px() + 2,
+        );
+        let pool = pursuit_candidates(target, &cls, &self.config);
+        let mut nodes = 0usize;
+
+        for k in 1..=max_shots {
+            let mut map = IntensityMap::new(model.clone(), cls.frame());
+            let mut chosen: Vec<Rect> = Vec::with_capacity(k);
+            let mut found: Option<Vec<Rect>> = None;
+            self.dfs(&cls, &pool, &mut map, &mut chosen, k, &mut nodes, &mut found);
+            if nodes > self.node_budget {
+                return ExactOutcome {
+                    shots: found,
+                    proven: false,
+                    nodes,
+                };
+            }
+            if found.is_some() {
+                return ExactOutcome {
+                    shots: found,
+                    proven: true,
+                    nodes,
+                };
+            }
+        }
+        ExactOutcome {
+            shots: None,
+            proven: nodes <= self.node_budget,
+            nodes,
+        }
+    }
+
+    /// Runs the search and packages it as a [`FractureResult`] (selecting
+    /// `max_shots = 6`). Infeasible/unproven searches return the empty
+    /// shot list with the all-failing summary.
+    pub fn run(&self, target: &Polygon) -> FractureResult {
+        let start = Instant::now();
+        let outcome = self.search(target, 6);
+        let shots = outcome.shots.unwrap_or_default();
+        let summary = maskfrac_fracture::verify_shots(target, &shots, &self.config);
+        FractureResult {
+            approx_shot_count: shots.len(),
+            shots,
+            summary,
+            iterations: outcome.nodes,
+            runtime: start.elapsed(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        cls: &Classification,
+        pool: &[Rect],
+        map: &mut IntensityMap,
+        chosen: &mut Vec<Rect>,
+        k: usize,
+        nodes: &mut usize,
+        found: &mut Option<Vec<Rect>>,
+    ) {
+        if found.is_some() || *nodes > self.node_budget {
+            return;
+        }
+        *nodes += 1;
+        let summary = evaluate(cls, map);
+        if summary.is_feasible() {
+            *found = Some(chosen.clone());
+            return;
+        }
+        if chosen.len() == k {
+            return;
+        }
+        // Set-cover branching: the chosen set must eventually satisfy the
+        // first failing Pon pixel, and only shots containing it (within
+        // the blur reach) can.
+        let (on_fail, _) = fail_bitmaps(cls, map);
+        let witness = on_fail.iter_set().next();
+        let Some((wx, wy)) = witness else {
+            // Only Poff failures remain: adding shots cannot fix them.
+            return;
+        };
+        let (cx, cy) = cls.frame().pixel_center(wx, wy);
+        let reach = map.model().sigma(); // a shot further away cannot lift it to rho
+        for r in pool {
+            if r.distance_to_point_f64(cx, cy) > reach {
+                continue;
+            }
+            // Symmetry breaking: enforce non-decreasing candidate order.
+            if let Some(last) = chosen.last() {
+                if rect_key(r) < rect_key(last) {
+                    continue;
+                }
+            }
+            chosen.push(*r);
+            map.add_shot(r);
+            self.dfs(cls, pool, map, chosen, k, nodes, found);
+            map.remove_shot(r);
+            chosen.pop();
+            if found.is_some() || *nodes > self.node_budget {
+                return;
+            }
+        }
+    }
+}
+
+fn rect_key(r: &Rect) -> (i64, i64, i64, i64) {
+    (r.x0(), r.y0(), r.x1(), r.y1())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::Point;
+
+    #[test]
+    fn square_optimal_is_one() {
+        let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).unwrap());
+        let outcome = ExhaustiveOptimal::new(FractureConfig::default()).search(&target, 3);
+        assert!(outcome.proven);
+        assert_eq!(outcome.shots.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn l_shape_optimal_is_two() {
+        let target = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(60, 0),
+            Point::new(60, 25),
+            Point::new(25, 25),
+            Point::new(25, 60),
+            Point::new(0, 60),
+        ])
+        .unwrap();
+        let outcome = ExhaustiveOptimal::new(FractureConfig::default()).search(&target, 3);
+        assert!(outcome.proven);
+        let shots = outcome.shots.unwrap();
+        assert_eq!(shots.len(), 2, "{shots:?}");
+    }
+
+    #[test]
+    fn infeasible_within_budget_reports_none() {
+        // A plus sign needs at least 2 shots; capping at 1 must fail
+        // provenly.
+        let target = Polygon::new(vec![
+            Point::new(25, 0),
+            Point::new(50, 0),
+            Point::new(50, 25),
+            Point::new(75, 25),
+            Point::new(75, 50),
+            Point::new(50, 50),
+            Point::new(50, 75),
+            Point::new(25, 75),
+            Point::new(25, 50),
+            Point::new(0, 50),
+            Point::new(0, 25),
+            Point::new(25, 25),
+        ])
+        .unwrap();
+        let outcome = ExhaustiveOptimal::new(FractureConfig::default()).search(&target, 1);
+        assert!(outcome.shots.is_none());
+        assert!(outcome.proven);
+    }
+
+    #[test]
+    fn heuristic_matches_exact_on_tiny_shapes() {
+        // The paper's method should find the optimum on trivial instances.
+        let cfg = FractureConfig::default();
+        let exact = ExhaustiveOptimal::new(cfg.clone());
+        let heuristic = maskfrac_fracture::ModelBasedFracturer::new(cfg);
+        for (name, target) in [
+            (
+                "square",
+                Polygon::from_rect(Rect::new(0, 0, 35, 35).unwrap()),
+            ),
+            (
+                "bar",
+                Polygon::from_rect(Rect::new(0, 0, 90, 20).unwrap()),
+            ),
+        ] {
+            let best = exact.search(&target, 3);
+            let ours = heuristic.fracture(&target);
+            assert!(ours.summary.is_feasible(), "{name}");
+            assert_eq!(
+                ours.shot_count(),
+                best.shots.expect("feasible").len(),
+                "{name}: heuristic must match the proven optimum"
+            );
+        }
+    }
+}

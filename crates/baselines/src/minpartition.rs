@@ -1,0 +1,486 @@
+//! Minimum rectangle partitioning of hole-free rectilinear polygons
+//! (Imai & Asano / Lipski-style, the paper's reference \[5\] for optimal
+//! conventional fracturing).
+//!
+//! The classical result: a hole-free rectilinear polygon with `v` concave
+//! (reflex) vertices partitions into at minimum `v − l + 1` rectangles,
+//! where `l` is the maximum number of pairwise non-crossing *chords*
+//! (axis-parallel segments joining two concave vertices through the
+//! interior). Horizontal chords only cross vertical ones, so the maximum
+//! independent chord set follows from maximum bipartite matching via
+//! König's theorem. The construction:
+//!
+//! 1. find concave vertices and all valid chords;
+//! 2. pick a maximum independent chord set (Hopcroft–Karp + König);
+//! 3. cut along the chosen chords; every still-unresolved concave vertex
+//!    shoots an axis ray to the nearest boundary or earlier cut;
+//! 4. read the faces off a wall-augmented pixel grid and emit them as
+//!    rectangles.
+
+use maskfrac_geom::{Bitmap, Frame, Point, Polygon, Rect};
+use maskfrac_graph::matching::{maximum_matching, Bipartite};
+use std::collections::HashSet;
+
+/// An axis-parallel chord between two concave vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Chord {
+    /// Endpoints with `a < b` along the varying axis.
+    a: Point,
+    b: Point,
+    horizontal: bool,
+}
+
+/// Partitions a hole-free rectilinear polygon into the minimum number of
+/// axis-parallel rectangles.
+///
+/// Returns `None` when the polygon is not rectilinear. The result is an
+/// exact partition (verified cheaply by construction: every face of the
+/// cut arrangement is checked to be a rectangle).
+///
+/// # Panics
+///
+/// Panics if the cut arrangement produces a non-rectangular face — which
+/// would indicate an invalid (self-touching) input polygon.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_baselines::minpartition::partition_min;
+/// use maskfrac_geom::{Point, Polygon};
+///
+/// // A plus sign: 4 concave vertices, 2 independent chords -> 3 rects.
+/// let plus = Polygon::new(vec![
+///     Point::new(10, 0), Point::new(20, 0), Point::new(20, 10),
+///     Point::new(30, 10), Point::new(30, 20), Point::new(20, 20),
+///     Point::new(20, 30), Point::new(10, 30), Point::new(10, 20),
+///     Point::new(0, 20), Point::new(0, 10), Point::new(10, 10),
+/// ]).expect("ring");
+/// let rects = partition_min(&plus).expect("rectilinear");
+/// assert_eq!(rects.len(), 3);
+/// ```
+pub fn partition_min(polygon: &Polygon) -> Option<Vec<Rect>> {
+    if !polygon.is_rectilinear() {
+        return None;
+    }
+    let concave = concave_vertices(polygon);
+    let chords = find_chords(polygon, &concave);
+    let selected = independent_chords(&chords);
+
+    // Build the wall grid: polygon boundary + cuts.
+    let bbox = polygon.bbox();
+    let frame = Frame::covering(bbox, 1);
+    let inside = Bitmap::rasterize(polygon, frame);
+    let mut walls = WallGrid::new(frame);
+    // Cuts from selected chords.
+    let mut resolved: HashSet<Point> = HashSet::new();
+    for c in &selected {
+        walls.add_segment(c.a, c.b);
+        resolved.insert(c.a);
+        resolved.insert(c.b);
+    }
+    // Rays from unresolved concave vertices.
+    for &v in &concave {
+        if resolved.contains(&v) {
+            continue;
+        }
+        walls.shoot_ray(v, &inside);
+    }
+
+    // Faces: connected components of inside pixels under wall-blocked
+    // adjacency.
+    let faces = walls.faces(&inside);
+    let mut rects = Vec::with_capacity(faces.len());
+    for face in faces {
+        let count = face.pixels.len() as i64;
+        let bbox = face.bbox;
+        assert_eq!(
+            bbox.area(),
+            count,
+            "cut arrangement produced a non-rectangular face"
+        );
+        let origin = frame.origin();
+        rects.push(
+            Rect::new(
+                origin.x + bbox.x0(),
+                origin.y + bbox.y0(),
+                origin.x + bbox.x1(),
+                origin.y + bbox.y1(),
+            )
+            .expect("face bbox ordered"),
+        );
+    }
+    Some(rects)
+}
+
+/// The theoretical minimum rectangle count `v − l + 1`.
+///
+/// Exposed so tests can check the construction against the formula.
+pub fn minimum_rect_count(polygon: &Polygon) -> Option<usize> {
+    if !polygon.is_rectilinear() {
+        return None;
+    }
+    let concave = concave_vertices(polygon);
+    let chords = find_chords(polygon, &concave);
+    let l = independent_chords(&chords).len();
+    Some(concave.len() - l + 1)
+}
+
+/// Concave (reflex) vertices of a CCW rectilinear ring.
+fn concave_vertices(polygon: &Polygon) -> Vec<Point> {
+    let verts = polygon.vertices();
+    let n = verts.len();
+    (0..n)
+        .filter(|&i| {
+            let prev = verts[(i + n - 1) % n];
+            let cur = verts[i];
+            let next = verts[(i + 1) % n];
+            (cur - prev).cross(next - cur) < 0
+        })
+        .map(|i| verts[i])
+        .collect()
+}
+
+/// All valid chords between concave vertices: co-grid pairs whose open
+/// segment runs through the interior and contains no other vertex.
+fn find_chords(polygon: &Polygon, concave: &[Point]) -> Vec<Chord> {
+    let vertex_set: HashSet<Point> = polygon.vertices().iter().copied().collect();
+    let mut chords = Vec::new();
+    for (i, &p) in concave.iter().enumerate() {
+        for &q in &concave[i + 1..] {
+            let horizontal = p.y == q.y && p.x != q.x;
+            let vertical = p.x == q.x && p.y != q.y;
+            if !horizontal && !vertical {
+                continue;
+            }
+            let (a, b) = if (p.x, p.y) < (q.x, q.y) { (p, q) } else { (q, p) };
+            // No other polygon vertex on the open segment.
+            let contains_vertex = vertex_set.iter().any(|&v| {
+                v != a && v != b
+                    && if horizontal {
+                        v.y == a.y && a.x < v.x && v.x < b.x
+                    } else {
+                        v.x == a.x && a.y < v.y && v.y < b.y
+                    }
+            });
+            if contains_vertex {
+                continue;
+            }
+            // Strict interior test: sample both sides of the open segment.
+            let interior = if horizontal {
+                (a.x..b.x).all(|x| {
+                    polygon.contains_f64(x as f64 + 0.5, a.y as f64 + 0.25)
+                        && polygon.contains_f64(x as f64 + 0.5, a.y as f64 - 0.25)
+                })
+            } else {
+                (a.y..b.y).all(|y| {
+                    polygon.contains_f64(a.x as f64 + 0.25, y as f64 + 0.5)
+                        && polygon.contains_f64(a.x as f64 - 0.25, y as f64 + 0.5)
+                })
+            };
+            if interior {
+                chords.push(Chord { a, b, horizontal });
+            }
+        }
+    }
+    chords
+}
+
+/// Maximum independent set of pairwise non-crossing chords (König).
+fn independent_chords(chords: &[Chord]) -> Vec<Chord> {
+    let horizontals: Vec<&Chord> = chords.iter().filter(|c| c.horizontal).collect();
+    let verticals: Vec<&Chord> = chords.iter().filter(|c| !c.horizontal).collect();
+    let mut graph = Bipartite::new(horizontals.len(), verticals.len());
+    for (hi, h) in horizontals.iter().enumerate() {
+        for (vi, v) in verticals.iter().enumerate() {
+            // Closed-interval crossing (shared endpoints count as crossing).
+            if h.a.x <= v.a.x && v.a.x <= h.b.x && v.a.y <= h.a.y && h.a.y <= v.b.y {
+                graph.add_edge(hi, vi);
+            }
+        }
+    }
+    let m = maximum_matching(&graph);
+    let mut selected = Vec::new();
+    for (hi, h) in horizontals.iter().enumerate() {
+        if !m.cover_left[hi] {
+            selected.push(**h);
+        }
+    }
+    for (vi, v) in verticals.iter().enumerate() {
+        if !m.cover_right[vi] {
+            selected.push(**v);
+        }
+    }
+    selected
+}
+
+/// Wall grid over the pixel frame: walls block pixel adjacency.
+struct WallGrid {
+    frame: Frame,
+    /// `v_walls[(x, y)]`: wall on the vertical line `x` covering `y..y+1`
+    /// (frame-local coordinates), blocking pixels `(x-1, y)` ↔ `(x, y)`.
+    v_walls: HashSet<(i64, i64)>,
+    /// `h_walls[(x, y)]`: wall on the horizontal line `y` covering
+    /// `x..x+1`, blocking pixels `(x, y-1)` ↔ `(x, y)`.
+    h_walls: HashSet<(i64, i64)>,
+}
+
+impl WallGrid {
+    fn new(frame: Frame) -> Self {
+        WallGrid {
+            frame,
+            v_walls: HashSet::new(),
+            h_walls: HashSet::new(),
+        }
+    }
+
+    fn local(&self, p: Point) -> (i64, i64) {
+        (p.x - self.frame.origin().x, p.y - self.frame.origin().y)
+    }
+
+    /// Adds an axis-parallel wall segment between absolute points.
+    fn add_segment(&mut self, a: Point, b: Point) {
+        let (ax, ay) = self.local(a);
+        let (bx, by) = self.local(b);
+        if ay == by {
+            for x in ax.min(bx)..ax.max(bx) {
+                self.h_walls.insert((x, ay));
+            }
+        } else {
+            for y in ay.min(by)..ay.max(by) {
+                self.v_walls.insert((ax, y));
+            }
+        }
+    }
+
+    /// Whether the absolute point lies on any wall or outside the region
+    /// (used as a ray stop test); `inside` is the rasterized polygon.
+    fn point_blocked(&self, x: i64, y: i64, inside: &Bitmap) -> bool {
+        // A lattice point (x, y) "blocks" a vertical ray when a horizontal
+        // wall passes through it.
+        self.h_walls.contains(&(x, y)) || self.h_walls.contains(&(x - 1, y)) || {
+            // Reached the region boundary: neither pixel column continues.
+            !inside.get_i64(x, y) && !inside.get_i64(x - 1, y)
+        }
+    }
+
+    /// Shoots a vertical ray from a concave vertex into the interior,
+    /// adding walls until it hits the boundary or an existing cut.
+    fn shoot_ray(&mut self, v: Point, inside: &Bitmap) {
+        let (x, y) = self.local(v);
+        // Interior direction: up if the two pixels above the vertex are
+        // inside, else down.
+        let up_inside = inside.get_i64(x - 1, y) && inside.get_i64(x, y);
+        let dir: i64 = if up_inside { 1 } else { -1 };
+        let mut cy = y;
+        let limit = self.frame.height() as i64 + 2;
+        for _ in 0..limit {
+            let (seg_y, next_y) = if dir > 0 { (cy, cy + 1) } else { (cy - 1, cy - 1) };
+            // The wall cell covering seg_y..seg_y+1 on line x.
+            let wall_cell = if dir > 0 { (x, cy) } else { (x, cy - 1) };
+            // Stop if the swept cell has no interior on both sides.
+            let py = if dir > 0 { cy } else { cy - 1 };
+            if !(inside.get_i64(x - 1, py) && inside.get_i64(x, py)) {
+                break;
+            }
+            self.v_walls.insert(wall_cell);
+            cy = next_y;
+            let _ = seg_y;
+            if self.point_blocked(x, cy, inside) {
+                break;
+            }
+        }
+    }
+
+    /// Connected faces of the inside pixels under wall-blocked adjacency
+    /// (plain component labeling is not wall-aware, so flood fill here).
+    fn faces(&self, inside: &Bitmap) -> Vec<maskfrac_geom::Component> {
+        let w = inside.width();
+        let h = inside.height();
+        let mut visited = vec![false; w * h];
+        let mut faces = Vec::new();
+        for sy in 0..h {
+            for sx in 0..w {
+                if !inside.get(sx, sy) || visited[sy * w + sx] {
+                    continue;
+                }
+                let mut stack = vec![(sx, sy)];
+                visited[sy * w + sx] = true;
+                let mut pixels = Vec::new();
+                let (mut min_x, mut min_y, mut max_x, mut max_y) = (sx, sy, sx, sy);
+                while let Some((cx, cy)) = stack.pop() {
+                    pixels.push((cx, cy));
+                    min_x = min_x.min(cx);
+                    max_x = max_x.max(cx);
+                    min_y = min_y.min(cy);
+                    max_y = max_y.max(cy);
+                    let (cxi, cyi) = (cx as i64, cy as i64);
+                    // Left neighbour: blocked by v_wall at (cx, cy).
+                    let mut try_go = |nx: i64, ny: i64, blocked: bool, stack: &mut Vec<(usize, usize)>| {
+                        if blocked || nx < 0 || ny < 0 {
+                            return;
+                        }
+                        let (nx, ny) = (nx as usize, ny as usize);
+                        if nx < w && ny < h && inside.get(nx, ny) && !visited[ny * w + nx] {
+                            visited[ny * w + nx] = true;
+                            stack.push((nx, ny));
+                        }
+                    };
+                    try_go(cxi - 1, cyi, self.v_walls.contains(&(cxi, cyi)), &mut stack);
+                    try_go(cxi + 1, cyi, self.v_walls.contains(&(cxi + 1, cyi)), &mut stack);
+                    try_go(cxi, cyi - 1, self.h_walls.contains(&(cxi, cyi)), &mut stack);
+                    try_go(cxi, cyi + 1, self.h_walls.contains(&(cxi, cyi + 1)), &mut stack);
+                }
+                pixels.sort_unstable();
+                faces.push(maskfrac_geom::Component {
+                    pixels,
+                    bbox: Rect::new(
+                        min_x as i64,
+                        min_y as i64,
+                        max_x as i64 + 1,
+                        max_y as i64 + 1,
+                    )
+                    .expect("face bbox ordered"),
+                });
+            }
+        }
+        faces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::partition::{is_partition_of, partition_slabs};
+
+    fn verify_partition(polygon: &Polygon, rects: &[Rect]) {
+        let frame = Frame::covering(polygon.bbox(), 1);
+        let inside = Bitmap::rasterize(polygon, frame);
+        assert!(
+            is_partition_of(rects, &inside, frame),
+            "not a partition: {rects:?}"
+        );
+    }
+
+    #[test]
+    fn rectangle_is_one() {
+        let r = Polygon::from_rect(Rect::new(0, 0, 30, 20).unwrap());
+        let rects = partition_min(&r).unwrap();
+        assert_eq!(rects.len(), 1);
+        assert_eq!(minimum_rect_count(&r), Some(1));
+        verify_partition(&r, &rects);
+    }
+
+    #[test]
+    fn l_shape_is_two() {
+        let l = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(40, 0),
+            Point::new(40, 15),
+            Point::new(15, 15),
+            Point::new(15, 40),
+            Point::new(0, 40),
+        ])
+        .unwrap();
+        let rects = partition_min(&l).unwrap();
+        assert_eq!(rects.len(), 2);
+        verify_partition(&l, &rects);
+    }
+
+    #[test]
+    fn plus_sign_uses_chords() {
+        let plus = Polygon::new(vec![
+            Point::new(10, 0),
+            Point::new(20, 0),
+            Point::new(20, 10),
+            Point::new(30, 10),
+            Point::new(30, 20),
+            Point::new(20, 20),
+            Point::new(20, 30),
+            Point::new(10, 30),
+            Point::new(10, 20),
+            Point::new(0, 20),
+            Point::new(0, 10),
+            Point::new(10, 10),
+        ])
+        .unwrap();
+        // 4 concave vertices; two horizontal chords (y=10, y=20) are
+        // independent: 4 - 2 + 1 = 3 rectangles.
+        assert_eq!(minimum_rect_count(&plus), Some(3));
+        let rects = partition_min(&plus).unwrap();
+        assert_eq!(rects.len(), 3);
+        verify_partition(&plus, &rects);
+    }
+
+    #[test]
+    fn t_shape_uses_one_chord() {
+        let t = Polygon::new(vec![
+            Point::new(0, 20),
+            Point::new(50, 20),
+            Point::new(50, 35),
+            Point::new(35, 35),
+            Point::new(35, 60),
+            Point::new(15, 60),
+            Point::new(15, 35),
+            Point::new(0, 35),
+        ])
+        .unwrap();
+        // 2 concave vertices joined by one horizontal chord: 2 rects.
+        assert_eq!(minimum_rect_count(&t), Some(2));
+        let rects = partition_min(&t).unwrap();
+        assert_eq!(rects.len(), 2);
+        verify_partition(&t, &rects);
+    }
+
+    #[test]
+    fn staircase_needs_rays() {
+        // Staircase with 2 concave corners and no chords: 3 rects.
+        let stairs = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(60, 0),
+            Point::new(60, 15),
+            Point::new(40, 15),
+            Point::new(40, 30),
+            Point::new(20, 30),
+            Point::new(20, 45),
+            Point::new(0, 45),
+        ])
+        .unwrap();
+        assert_eq!(minimum_rect_count(&stairs), Some(3));
+        let rects = partition_min(&stairs).unwrap();
+        assert_eq!(rects.len(), 3);
+        verify_partition(&stairs, &rects);
+    }
+
+    #[test]
+    fn min_count_never_exceeds_slabs() {
+        for poly in [
+            Polygon::new(vec![
+                Point::new(0, 0),
+                Point::new(50, 0),
+                Point::new(50, 30),
+                Point::new(30, 30),
+                Point::new(30, 50),
+                Point::new(10, 50),
+                Point::new(10, 20),
+                Point::new(0, 20),
+            ])
+            .unwrap(),
+        ] {
+            let frame = Frame::covering(poly.bbox(), 1);
+            let inside = Bitmap::rasterize(&poly, frame);
+            let slabs = partition_slabs(&inside, frame);
+            let min = partition_min(&poly).unwrap();
+            assert!(min.len() <= slabs.len(), "{} > {}", min.len(), slabs.len());
+            assert_eq!(Some(min.len()), minimum_rect_count(&poly));
+            verify_partition(&poly, &min);
+        }
+    }
+
+    #[test]
+    fn non_rectilinear_returns_none() {
+        let tri =
+            Polygon::new(vec![Point::new(0, 0), Point::new(10, 0), Point::new(5, 8)]).unwrap();
+        assert!(partition_min(&tri).is_none());
+        assert!(minimum_rect_count(&tri).is_none());
+    }
+}

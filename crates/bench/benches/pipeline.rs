@@ -1,0 +1,23 @@
+//! End-to-end fracturing throughput on representative suite clips
+//! (supports the paper's "average runtime < 1.4 s per shape" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let fracturer = ModelBasedFracturer::new(FractureConfig::default());
+    let clips = maskfrac_shapes::ilt_suite();
+    let mut group = c.benchmark_group("fracture_pipeline");
+    group.sample_size(10);
+    // Small, medium and large clips cover the runtime spread.
+    for id in ["Clip-1", "Clip-5", "Clip-9"] {
+        let clip = clips.iter().find(|c| c.id == id).expect("clip exists");
+        group.bench_with_input(BenchmarkId::from_parameter(id), clip, |b, clip| {
+            b.iter(|| fracturer.fracture(&clip.polygon));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Per-stage microbenchmarks: boundary simplification, pixel
+//! classification, intensity accumulation, the strip-delta inner loop of
+//! shot-edge adjustment, the approximate-fracturing stage and the `Lth`
+//! derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maskfrac_ebeam::violations::cost_delta_for_strip;
+use maskfrac_ebeam::{Classification, ExposureModel, IntensityMap};
+use maskfrac_fracture::{approximate_fracture, FractureConfig};
+use maskfrac_geom::rdp::simplify_ring;
+use maskfrac_geom::Rect;
+
+fn bench_stages(c: &mut Criterion) {
+    let cfg = FractureConfig::default();
+    let model = ExposureModel::paper_default();
+    let clip = maskfrac_shapes::ilt_suite().swap_remove(4).polygon; // Clip-5
+    let cls = Classification::build(&clip, cfg.gamma, model.support_radius_px() + 2);
+
+    c.bench_function("rdp_simplify_clip", |b| {
+        b.iter(|| simplify_ring(&clip, cfg.gamma))
+    });
+
+    c.bench_function("classification_build", |b| {
+        b.iter(|| Classification::build(&clip, cfg.gamma, model.support_radius_px() + 2))
+    });
+
+    let shot = Rect::new(20, 20, 90, 70).expect("rect");
+    c.bench_function("intensity_map_add_remove_shot", |b| {
+        let mut map = IntensityMap::new(model.clone(), cls.frame());
+        b.iter(|| {
+            map.add_shot(&shot);
+            map.remove_shot(&shot);
+        })
+    });
+
+    c.bench_function("cost_delta_for_strip", |b| {
+        let mut map = IntensityMap::new(model.clone(), cls.frame());
+        map.add_shot(&shot);
+        let strip = Rect::new(90, 20, 91, 70).expect("rect");
+        b.iter(|| cost_delta_for_strip(&cls, &map, &strip, 1.0))
+    });
+
+    c.bench_function("approximate_fracture_stage", |b| {
+        let lth = cfg.resolve_lth();
+        b.iter(|| approximate_fracture(&clip, &cls, &model, &cfg, lth))
+    });
+
+    c.bench_function("lth_derivation", |b| {
+        b.iter(|| maskfrac_ebeam::lth::compute_lth(&model, cfg.gamma))
+    });
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

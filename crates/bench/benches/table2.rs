@@ -1,0 +1,31 @@
+//! Criterion-measured per-method runtime on a representative ILT clip —
+//! the runtime columns of paper Table 2 in benchmark form. Run the
+//! `table2` *binary* for the full shot-count table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maskfrac_baselines::{GreedySetCover, MaskFracturer, MatchingPursuit, Ours, ProtoEda};
+use maskfrac_fracture::FractureConfig;
+
+fn bench_methods_ilt(c: &mut Criterion) {
+    let cfg = FractureConfig::default();
+    let methods: Vec<Box<dyn MaskFracturer>> = vec![
+        Box::new(GreedySetCover::new(cfg.clone())),
+        Box::new(MatchingPursuit::new(cfg.clone())),
+        Box::new(ProtoEda::new(cfg.clone())),
+        Box::new(Ours::new(cfg)),
+    ];
+    let clip = maskfrac_shapes::ilt_suite().swap_remove(4); // Clip-5, mid-size
+    let mut group = c.benchmark_group("table2_methods_clip5");
+    group.sample_size(10);
+    for m in &methods {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m.name()),
+            &clip.polygon,
+            |b, poly| b.iter(|| m.fracture(poly)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods_ilt);
+criterion_main!(benches);

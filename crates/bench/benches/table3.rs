@@ -1,0 +1,32 @@
+//! Criterion-measured per-method runtime on a generated benchmark shape —
+//! the runtime columns of paper Table 3 in benchmark form. Run the
+//! `table3` *binary* for the full shot-count table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maskfrac_baselines::{GreedySetCover, MaskFracturer, MatchingPursuit, Ours, ProtoEda};
+use maskfrac_fracture::FractureConfig;
+
+fn bench_methods_generated(c: &mut Criterion) {
+    let cfg = FractureConfig::default();
+    let model = cfg.model();
+    let methods: Vec<Box<dyn MaskFracturer>> = vec![
+        Box::new(GreedySetCover::new(cfg.clone())),
+        Box::new(MatchingPursuit::new(cfg.clone())),
+        Box::new(ProtoEda::new(cfg.clone())),
+        Box::new(Ours::new(cfg)),
+    ];
+    let clip = maskfrac_shapes::generated_suite(&model).swap_remove(3); // AGB-4
+    let mut group = c.benchmark_group("table3_methods_agb4");
+    group.sample_size(10);
+    for m in &methods {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m.name()),
+            &clip.polygon,
+            |b, poly| b.iter(|| m.fracture(poly)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods_generated);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Ablation study over the method's design choices (DESIGN.md experiment
+//! index): coloring heuristic, test-shot overlap threshold, stall window
+//! `NH`, `Lth` derivation, and the shot-reduction sweep.
+//!
+//! Each variant runs over the full ILT suite; the table reports total
+//! shots, total failing pixels and total runtime.
+//!
+//! Run with `cargo run -p maskfrac-bench --release --bin ablation`.
+
+use maskfrac_bench::save_json;
+use maskfrac_ebeam::lth::compute_lth_staircase;
+use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
+use maskfrac_graph::ColoringStrategy;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct AblationRow {
+    variant: String,
+    total_shots: usize,
+    total_fail_pixels: usize,
+    total_runtime_s: f64,
+}
+
+fn run_variant(name: &str, cfg: FractureConfig) -> AblationRow {
+    let fracturer = ModelBasedFracturer::new(cfg);
+    let mut total_shots = 0;
+    let mut total_fail_pixels = 0;
+    let mut total_runtime_s = 0.0;
+    for clip in maskfrac_shapes::ilt_suite() {
+        let r = fracturer.fracture(&clip.polygon);
+        total_shots += r.shot_count();
+        total_fail_pixels += r.summary.fail_count();
+        total_runtime_s += r.runtime.as_secs_f64();
+    }
+    let row = AblationRow {
+        variant: name.to_owned(),
+        total_shots,
+        total_fail_pixels,
+        total_runtime_s,
+    };
+    println!(
+        "{:32} {:>7} shots {:>7} fails {:>8.2}s",
+        row.variant, row.total_shots, row.total_fail_pixels, row.total_runtime_s
+    );
+    row
+}
+
+fn main() {
+    let base = FractureConfig::default();
+    let mut rows = Vec::new();
+
+    println!("== Ablation over the ILT suite (10 clips) ==");
+    rows.push(run_variant("baseline (paper defaults)", base.clone()));
+
+    // Coloring heuristic (paper: simple sequential is sufficient).
+    for (name, strategy) in [
+        ("coloring: welsh-powell", ColoringStrategy::WelshPowell),
+        ("coloring: dsatur", ColoringStrategy::Dsatur),
+    ] {
+        rows.push(run_variant(
+            name,
+            FractureConfig {
+                coloring: strategy,
+                ..base.clone()
+            },
+        ));
+    }
+
+    // Test-shot overlap threshold (paper footnote: 80 % "gave the best
+    // fracturing results").
+    for frac in [0.6, 0.7, 0.9] {
+        rows.push(run_variant(
+            &format!("overlap threshold: {frac:.1}"),
+            FractureConfig {
+                shot_overlap_fraction: frac,
+                ..base.clone()
+            },
+        ));
+    }
+
+    // Stall window NH.
+    for nh in [5usize, 20] {
+        rows.push(run_variant(
+            &format!("stall window NH = {nh}"),
+            FractureConfig {
+                stall_window: nh,
+                ..base.clone()
+            },
+        ));
+    }
+
+    // Lth derivation: the stricter staircase-coupled bound.
+    let staircase_lth = compute_lth_staircase(&base.model(), base.gamma);
+    rows.push(run_variant(
+        &format!("Lth: staircase ({staircase_lth:.1} nm)"),
+        FractureConfig {
+            lth_override: Some(staircase_lth),
+            ..base.clone()
+        },
+    ));
+
+    // Shot-reduction sweep off (pure paper Algorithm 1 postprocessing).
+    rows.push(run_variant(
+        "reduction sweep: off",
+        FractureConfig {
+            reduction_sweep: false,
+            ..base
+        },
+    ));
+
+    save_json("ablation.json", &rows);
+}

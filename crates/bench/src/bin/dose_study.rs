@@ -1,0 +1,80 @@
+//! Extension experiment: what variable-dose writing buys on top of the
+//! paper's fixed-dose method.
+//!
+//! The paper fixes the dose (following Elayat et al.'s assessment that
+//! fixed-dose rectangular shots are the most viable without tool
+//! changes) and cites modified-dose writing as the alternative. This
+//! study quantifies the trade on the ILT suite: run the fixed-dose
+//! pipeline, then tune per-shot doses within ±30 % tool headroom and
+//! report how many residual CD violations the dose degree of freedom
+//! repairs, and how far doses actually stray from nominal.
+//!
+//! Run with `cargo run -p maskfrac-bench --release --bin dose_study`.
+
+use maskfrac_bench::save_json;
+use maskfrac_fracture::dose::{polish_doses, DoseOptions};
+use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct DoseRow {
+    clip: String,
+    shots: usize,
+    fixed_dose_fails: usize,
+    variable_dose_fails: usize,
+    fixed_dose_cost: f64,
+    variable_dose_cost: f64,
+    dose_moves: usize,
+    min_dose: f64,
+    max_dose: f64,
+}
+
+fn main() {
+    let cfg = FractureConfig::default();
+    let fracturer = ModelBasedFracturer::new(cfg.clone());
+    let options = DoseOptions::default();
+
+    println!("== Variable-dose extension study (ILT suite) ==");
+    println!(
+        "{:8} {:>6} {:>12} {:>12} {:>11} {:>11} {:>7} {:>12}",
+        "clip", "shots", "fixed fails", "dosed fails", "fixed cost", "dosed cost", "moves", "dose range"
+    );
+    let mut rows = Vec::new();
+    for clip in maskfrac_shapes::ilt_suite() {
+        let result = fracturer.fracture(&clip.polygon);
+        let cls = fracturer.classify(&clip.polygon);
+        let outcome = polish_doses(&cls, fracturer.model(), &cfg, &result.shots, &options);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for d in &outcome.shots {
+            lo = lo.min(d.dose);
+            hi = hi.max(d.dose);
+        }
+        println!(
+            "{:8} {:>6} {:>12} {:>12} {:>11.3} {:>11.3} {:>7} {:>6.2}-{:<5.2}",
+            clip.id,
+            result.shot_count(),
+            result.summary.fail_count(),
+            outcome.summary.fail_count(),
+            result.summary.cost,
+            outcome.summary.cost,
+            outcome.moves,
+            lo,
+            hi
+        );
+        rows.push(DoseRow {
+            clip: clip.id,
+            shots: result.shot_count(),
+            fixed_dose_fails: result.summary.fail_count(),
+            variable_dose_fails: outcome.summary.fail_count(),
+            fixed_dose_cost: result.summary.cost,
+            variable_dose_cost: outcome.summary.cost,
+            dose_moves: outcome.moves,
+            min_dose: lo,
+            max_dose: hi,
+        });
+    }
+    let fixed: usize = rows.iter().map(|r| r.fixed_dose_fails).sum();
+    let dosed: usize = rows.iter().map(|r| r.variable_dose_fails).sum();
+    println!("\ntotal residual failing pixels: fixed-dose {fixed} -> variable-dose {dosed}");
+    save_json("dose_study.json", &rows);
+}

@@ -1,0 +1,77 @@
+//! Renders the whole benchmark suite as one SVG contact sheet: each clip
+//! with its fractured shots and the printed `ρ`-contour. A quick visual
+//! sanity check of the entire pipeline.
+//!
+//! Run with `cargo run -p maskfrac-bench --release --bin gallery`.
+
+use maskfrac_bench::results_dir;
+use maskfrac_ebeam::{intensity_contours, IntensityMap};
+use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
+use maskfrac_geom::svg::{Style, SvgCanvas};
+use maskfrac_geom::{Point, Polygon, Rect};
+
+const CELL: i64 = 360; // nm per gallery cell
+const COLS: i64 = 5;
+
+fn main() {
+    let cfg = FractureConfig::default();
+    let fracturer = ModelBasedFracturer::new(cfg.clone());
+    let model = fracturer.model().clone();
+
+    let mut entries: Vec<(String, Polygon)> = maskfrac_shapes::ilt_suite()
+        .into_iter()
+        .map(|c| (c.id, c.polygon))
+        .collect();
+    entries.extend(
+        maskfrac_shapes::generated_suite(&model)
+            .into_iter()
+            .map(|c| (c.id, c.polygon)),
+    );
+
+    let rows = (entries.len() as i64 + COLS - 1) / COLS;
+    let view = Rect::new(0, 0, COLS * CELL, rows * CELL).expect("gallery viewport");
+    let mut canvas = SvgCanvas::new(view, 2.0);
+
+    for (i, (id, polygon)) in entries.iter().enumerate() {
+        let col = i as i64 % COLS;
+        let row = i as i64 / COLS;
+        // nm-space offset of this cell (y grows upward in canvas space).
+        let ox = col * CELL + 30;
+        let oy = (rows - 1 - row) * CELL + 30;
+        let bbox = polygon.bbox();
+        let shift = Point::new(ox - bbox.x0(), oy - bbox.y0());
+        let placed = polygon.translate(shift);
+
+        let result = fracturer.fracture(polygon);
+        let cls = fracturer.classify(polygon);
+        let mut map = IntensityMap::new(model.clone(), cls.frame());
+        for s in &result.shots {
+            map.add_shot(s);
+        }
+
+        canvas.polygon(&placed, &Style::filled("#dde6f2"));
+        for shot in &result.shots {
+            canvas.rect(&shot.translate(shift), &Style::outline("#d62728", 1.2));
+        }
+        for line in intensity_contours(&map, model.rho()) {
+            let shifted: Vec<(f64, f64)> = line
+                .iter()
+                .map(|&(x, y)| (x + shift.x as f64, y + shift.y as f64))
+                .collect();
+            canvas.polyline_f64(&shifted, &Style::outline("#2ca02c", 1.0));
+        }
+        canvas.text(
+            Point::new(ox, oy - 18),
+            9.0,
+            &format!(
+                "{id}: {} shots, {} fail px",
+                result.shot_count(),
+                result.summary.fail_count()
+            ),
+        );
+    }
+
+    let path = results_dir().join("suite_gallery.svg");
+    std::fs::write(&path, canvas.finish()).expect("can write gallery");
+    println!("wrote {}", path.display());
+}

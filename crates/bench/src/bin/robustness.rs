@@ -1,0 +1,88 @@
+//! Extension experiment: statistical robustness of the Table 2 ranking.
+//!
+//! The paper (and our Table 2) evaluates ten fixed clips. This study
+//! draws twenty *fresh* random ILT clips and reports the distribution of
+//! the per-clip shot-count ratio ours / PROTO-EDA and ours / GSC, so the
+//! headline comparison is not an artifact of the suite's particular
+//! seeds.
+//!
+//! Run with `cargo run -p maskfrac-bench --release --bin robustness`.
+
+use maskfrac_baselines::{GreedySetCover, MaskFracturer, Ours, ProtoEda};
+use maskfrac_bench::save_json;
+use maskfrac_fracture::FractureConfig;
+use maskfrac_shapes::ilt::{generate_ilt_clip, IltParams};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct RobustnessRow {
+    seed: u64,
+    ours_shots: usize,
+    ours_fails: usize,
+    proto_shots: usize,
+    gsc_shots: usize,
+}
+
+fn mean_and_std(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let cfg = FractureConfig::default();
+    let ours = Ours::new(cfg.clone());
+    let proto = ProtoEda::new(cfg.clone());
+    let gsc = GreedySetCover::new(cfg);
+
+    println!("== Robustness: 20 fresh random clips ==");
+    println!(
+        "{:>6} {:>11} {:>11} {:>10} {:>12} {:>11}",
+        "seed", "ours", "proto-eda", "gsc", "ours/proto", "ours/gsc"
+    );
+    let mut rows = Vec::new();
+    let mut vs_proto = Vec::new();
+    let mut vs_gsc = Vec::new();
+    for k in 0..20u64 {
+        let clip = generate_ilt_clip(&IltParams {
+            base_radius: 34.0 + 3.0 * (k % 8) as f64,
+            irregularity: 0.15 + 0.02 * (k % 6) as f64,
+            lobes: 1 + (k % 3) as usize,
+            seed: 0x40B0_5700 + k,
+            ..IltParams::default()
+        });
+        let r_ours = ours.fracture(&clip);
+        let r_proto = proto.fracture(&clip);
+        let r_gsc = gsc.fracture(&clip);
+        let ratio_proto = r_ours.shot_count() as f64 / r_proto.shot_count().max(1) as f64;
+        let ratio_gsc = r_ours.shot_count() as f64 / r_gsc.shot_count().max(1) as f64;
+        vs_proto.push(ratio_proto);
+        vs_gsc.push(ratio_gsc);
+        println!(
+            "{:>6} {:>7} sh {:>2}f {:>8} sh {:>7} sh {:>12.2} {:>11.2}",
+            k,
+            r_ours.shot_count(),
+            r_ours.summary.fail_count(),
+            r_proto.shot_count(),
+            r_gsc.shot_count(),
+            ratio_proto,
+            ratio_gsc
+        );
+        rows.push(RobustnessRow {
+            seed: 0x40B0_5700 + k,
+            ours_shots: r_ours.shot_count(),
+            ours_fails: r_ours.summary.fail_count(),
+            proto_shots: r_proto.shot_count(),
+            gsc_shots: r_gsc.shot_count(),
+        });
+    }
+
+    let (mp, sp) = mean_and_std(&vs_proto);
+    let (mg, sg) = mean_and_std(&vs_gsc);
+    let wins_proto = vs_proto.iter().filter(|&&r| r <= 1.0).count();
+    let wins_gsc = vs_gsc.iter().filter(|&&r| r <= 1.0).count();
+    println!("\nours/proto-eda ratio: mean {mp:.2} ± {sp:.2} (ties-or-wins on {wins_proto}/20 clips)");
+    println!("ours/gsc ratio:       mean {mg:.2} ± {sg:.2} (ties-or-wins on {wins_gsc}/20 clips)");
+    save_json("robustness.json", &rows);
+}

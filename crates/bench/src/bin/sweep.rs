@@ -1,0 +1,78 @@
+//! Extension experiment: how the shot count moves with the CD tolerance
+//! `γ` and the blur `σ` — the sensitivity the paper's fixed evaluation
+//! point (γ = 2 nm, σ = 6.25 nm) sits inside.
+//!
+//! Looser tolerance admits coarser boundary approximation and longer
+//! `Lth` (fewer staircase corners); more blur lengthens `Lth` but also
+//! makes tight features harder, so the trend is not monotone everywhere.
+//!
+//! Run with `cargo run -p maskfrac-bench --release --bin sweep`.
+
+use maskfrac_bench::save_json;
+use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    gamma: f64,
+    sigma: f64,
+    lth: f64,
+    total_shots: usize,
+    total_fail_pixels: usize,
+    total_runtime_s: f64,
+}
+
+const SWEEP_CLIPS: [&str; 3] = ["Clip-1", "Clip-5", "Clip-10"];
+
+fn run_point(gamma: f64, sigma: f64) -> SweepRow {
+    let cfg = FractureConfig {
+        gamma,
+        sigma,
+        ..FractureConfig::default()
+    };
+    let fracturer = ModelBasedFracturer::new(cfg);
+    let clips = maskfrac_shapes::ilt_suite();
+    let mut total_shots = 0;
+    let mut total_fail_pixels = 0;
+    let mut total_runtime_s = 0.0;
+    for id in SWEEP_CLIPS {
+        let clip = clips.iter().find(|c| c.id == id).expect("clip exists");
+        let r = fracturer.fracture(&clip.polygon);
+        total_shots += r.shot_count();
+        total_fail_pixels += r.summary.fail_count();
+        total_runtime_s += r.runtime.as_secs_f64();
+    }
+    let row = SweepRow {
+        gamma,
+        sigma,
+        lth: fracturer.lth(),
+        total_shots,
+        total_fail_pixels,
+        total_runtime_s,
+    };
+    println!(
+        "gamma {gamma:>4.1}  sigma {sigma:>5.2}  Lth {:>6.2}  ->  {:>4} shots  {:>4} fails  {:>6.2}s",
+        row.lth, row.total_shots, row.total_fail_pixels, row.total_runtime_s
+    );
+    row
+}
+
+fn main() {
+    println!("== Parameter sweep over {} clips ==", SWEEP_CLIPS.len());
+    let mut rows = Vec::new();
+
+    println!("\nCD tolerance sweep (sigma = 6.25 nm):");
+    for gamma in [1.0, 1.5, 2.0, 3.0, 4.0] {
+        rows.push(run_point(gamma, 6.25));
+    }
+
+    println!("\nblur sweep (gamma = 2 nm):");
+    for sigma in [4.0, 5.0, 6.25, 8.0, 10.0] {
+        if sigma == 6.25 {
+            continue; // already measured above
+        }
+        rows.push(run_point(2.0, sigma));
+    }
+
+    save_json("sweep.json", &rows);
+}

@@ -1,0 +1,206 @@
+//! Shared reporting plumbing for the experiment harness.
+//!
+//! The binaries in this crate regenerate the paper's evaluation artifacts:
+//!
+//! * `table2` — shot count and runtime on the ten ILT clips, for GSC, MP,
+//!   the PROTO-EDA surrogate, and the paper's method (paper Table 2);
+//! * `table3` — the same comparison on the ten generated benchmarks with
+//!   known optimal shot counts (paper Table 3);
+//! * `figures` — SVG reproductions of the paper's illustrations
+//!   (Figs. 1–5);
+//! * `ablation` — sensitivity of the method to its design choices
+//!   (coloring heuristic, overlap threshold, `NH`, `Lth` derivation,
+//!   reduction sweep).
+//!
+//! Each binary prints the paper-format rows and writes machine-readable
+//! JSON under `results/`.
+
+#![warn(missing_docs)]
+
+use maskfrac_baselines::MaskFracturer;
+use maskfrac_geom::Polygon;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One method's result on one benchmark instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodRow {
+    /// Method name.
+    pub method: String,
+    /// Shot count (the paper's primary metric).
+    pub shot_count: usize,
+    /// Failing pixels of the returned solution.
+    pub fail_pixels: usize,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+}
+
+/// All methods' results on one benchmark instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClipResult {
+    /// Instance id (`Clip-3`, `AGB-1`, …).
+    pub clip: String,
+    /// Known optimal shot count (generated benchmarks only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub optimal: Option<usize>,
+    /// The paper's reported LB/UB for the corresponding real clip
+    /// (ILT clips only; reference metadata, not our normalizer).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub paper_bounds: Option<(u32, u32)>,
+    /// Per-method rows.
+    pub rows: Vec<MethodRow>,
+}
+
+impl ClipResult {
+    /// Shot count of the named method.
+    pub fn shots_of(&self, method: &str) -> Option<usize> {
+        self.rows
+            .iter()
+            .find(|r| r.method == method)
+            .map(|r| r.shot_count)
+    }
+
+    /// The per-clip normalizer: the known optimal when available, else the
+    /// best (smallest) shot count any method achieved.
+    pub fn normalizer(&self) -> usize {
+        self.optimal.unwrap_or_else(|| {
+            self.rows
+                .iter()
+                .map(|r| r.shot_count)
+                .min()
+                .unwrap_or(1)
+                .max(1)
+        })
+    }
+}
+
+/// Runs every method on one target shape.
+pub fn run_methods(methods: &[Box<dyn MaskFracturer>], target: &Polygon) -> Vec<MethodRow> {
+    methods
+        .iter()
+        .map(|m| {
+            let r = m.fracture(target);
+            MethodRow {
+                method: m.name().to_owned(),
+                shot_count: r.shot_count(),
+                fail_pixels: r.summary.fail_count(),
+                runtime_s: r.runtime.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Sum over clips of `shots / normalizer` for one method — the paper's
+/// "sum of normalized shot count" (suboptimality) metric.
+pub fn normalized_sum(results: &[ClipResult], method: &str) -> f64 {
+    results
+        .iter()
+        .map(|c| {
+            c.shots_of(method)
+                .map(|s| s as f64 / c.normalizer() as f64)
+                .unwrap_or(0.0)
+        })
+        .sum()
+}
+
+/// Resolves the `results/` output directory (created on demand) relative
+/// to the workspace root.
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    std::fs::create_dir_all(&dir).expect("can create results dir");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/bench at compile time.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Writes a serializable value as pretty JSON under `results/`.
+pub fn save_json<T: Serialize>(filename: &str, value: &T) {
+    let path = results_dir().join(filename);
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(&path, json).expect("can write results file");
+    println!("wrote {}", path.display());
+}
+
+/// Prints one table row in the paper's layout.
+pub fn print_clip_row(result: &ClipResult) {
+    print!("{:8}", result.clip);
+    if let Some((lb, ub)) = result.paper_bounds {
+        print!("  {lb:>2}/{ub:<3}", );
+    }
+    if let Some(opt) = result.optimal {
+        print!("  opt {opt:>3}");
+    }
+    for row in &result.rows {
+        print!(
+            "  | {:>3} sh {:>4} f {:>6.2} s",
+            row.shot_count, row.fail_pixels, row.runtime_s
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClipResult {
+        ClipResult {
+            clip: "Clip-1".into(),
+            optimal: None,
+            paper_bounds: Some((3, 4)),
+            rows: vec![
+                MethodRow {
+                    method: "gsc".into(),
+                    shot_count: 8,
+                    fail_pixels: 0,
+                    runtime_s: 0.1,
+                },
+                MethodRow {
+                    method: "ours".into(),
+                    shot_count: 4,
+                    fail_pixels: 0,
+                    runtime_s: 0.2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn normalizer_uses_best_method_without_optimal() {
+        let c = sample();
+        assert_eq!(c.normalizer(), 4);
+        assert_eq!(c.shots_of("gsc"), Some(8));
+        assert_eq!(c.shots_of("nope"), None);
+    }
+
+    #[test]
+    fn normalizer_prefers_known_optimal() {
+        let mut c = sample();
+        c.optimal = Some(3);
+        assert_eq!(c.normalizer(), 3);
+    }
+
+    #[test]
+    fn normalized_sum_accumulates() {
+        let a = sample();
+        let mut b = sample();
+        b.clip = "Clip-2".into();
+        let results = vec![a, b];
+        assert!((normalized_sum(&results, "gsc") - 4.0).abs() < 1e-12);
+        assert!((normalized_sum(&results, "ours") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_dir_exists() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+        assert!(dir.exists());
+    }
+}

@@ -1,0 +1,253 @@
+//! Pixel classification: `Pon`, `Poff` and the don't-care band `Px`.
+//!
+//! The fracturing constraint (paper §2, Eq. 4) is evaluated on pixels:
+//! pixels inside the target and farther than the CD tolerance `γ` from its
+//! boundary must print (`Itot ≥ ρ`), pixels outside and farther than `γ`
+//! must not (`Itot < ρ`), and pixels within `γ` of the boundary are
+//! unconstrained.
+
+use maskfrac_geom::morph::boundary_band;
+use maskfrac_geom::{Bitmap, Frame, Polygon, Region};
+use serde::{Deserialize, Serialize};
+
+/// Constraint class of one pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PixelClass {
+    /// Inside the target, beyond the tolerance band: must print.
+    On,
+    /// Outside the target, beyond the tolerance band: must not print.
+    Off,
+    /// Within `γ` of the target boundary: unconstrained (`Px`).
+    Band,
+}
+
+/// Classification of every pixel of a frame against a target shape.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_ebeam::{Classification, PixelClass};
+/// use maskfrac_geom::{Point, Polygon, Rect};
+///
+/// let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).expect("rect"));
+/// let cls = Classification::build(&target, 2.0, 20);
+/// let frame = cls.frame();
+/// let (ix, iy) = frame.pixel_of(20.0, 20.0).expect("inside frame");
+/// assert_eq!(cls.class(ix, iy), PixelClass::On);
+/// let (bx, by) = frame.pixel_of(0.5, 20.0).expect("inside frame");
+/// assert_eq!(cls.class(bx, by), PixelClass::Band);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Classification {
+    frame: Frame,
+    classes: Vec<PixelClass>,
+    target: Bitmap,
+    on_count: usize,
+    off_count: usize,
+    band_count: usize,
+}
+
+impl Classification {
+    /// Classifies the pixels of a frame covering `target` with `margin` nm
+    /// of surround (use at least the model's support radius so off-target
+    /// intensity is fully constrained).
+    ///
+    /// `gamma` is the CD tolerance in nm; the band is realized
+    /// morphologically with a disc of radius `⌈γ⌉` pixels, matching the
+    /// 1 nm pixel pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is negative.
+    pub fn build(target: &Polygon, gamma: f64, margin: i64) -> Self {
+        Self::build_region(&Region::simple(target.clone()), gamma, margin)
+    }
+
+    /// Classifies the pixels of a frame covering a [`Region`] (a polygon
+    /// with holes): hole interiors are `Poff`, hole boundaries get their
+    /// own don't-care band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is negative.
+    pub fn build_region(target: &Region, gamma: f64, margin: i64) -> Self {
+        assert!(gamma >= 0.0, "gamma must be nonnegative");
+        let frame = Frame::covering(target.bbox(), margin);
+        let inside = target.rasterize(frame);
+        let band = boundary_band(&inside, gamma.ceil() as i64);
+
+        let mut classes = Vec::with_capacity(frame.len());
+        let (mut on_count, mut off_count, mut band_count) = (0, 0, 0);
+        for iy in 0..frame.height() {
+            for ix in 0..frame.width() {
+                let class = if band.get(ix, iy) {
+                    band_count += 1;
+                    PixelClass::Band
+                } else if inside.get(ix, iy) {
+                    on_count += 1;
+                    PixelClass::On
+                } else {
+                    off_count += 1;
+                    PixelClass::Off
+                };
+                classes.push(class);
+            }
+        }
+        Classification {
+            frame,
+            classes,
+            target: inside,
+            on_count,
+            off_count,
+            band_count,
+        }
+    }
+
+    /// The classified pixel frame.
+    #[inline]
+    pub fn frame(&self) -> Frame {
+        self.frame
+    }
+
+    /// Class of pixel `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if out of range.
+    #[inline]
+    pub fn class(&self, ix: usize, iy: usize) -> PixelClass {
+        self.classes[self.frame.index(ix, iy)]
+    }
+
+    /// Class by linear pixel index.
+    #[inline]
+    pub fn class_at(&self, index: usize) -> PixelClass {
+        self.classes[index]
+    }
+
+    /// The rasterized target (pixel centre inside the polygon), before the
+    /// band is carved out.
+    #[inline]
+    pub fn target_bitmap(&self) -> &Bitmap {
+        &self.target
+    }
+
+    /// Number of `Pon` pixels.
+    #[inline]
+    pub fn on_count(&self) -> usize {
+        self.on_count
+    }
+
+    /// Number of `Poff` pixels.
+    #[inline]
+    pub fn off_count(&self) -> usize {
+        self.off_count
+    }
+
+    /// Number of band (`Px`) pixels.
+    #[inline]
+    pub fn band_count(&self) -> usize {
+        self.band_count
+    }
+
+    /// Iterator over `(ix, iy)` of all `Pon` pixels.
+    pub fn on_pixels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let f = self.frame;
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == PixelClass::On)
+            .map(move |(i, _)| f.coords(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::{Point, Rect};
+
+    fn square_classification() -> Classification {
+        let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).unwrap());
+        Classification::build(&target, 2.0, 20)
+    }
+
+    #[test]
+    fn counts_are_exhaustive() {
+        let c = square_classification();
+        assert_eq!(
+            c.on_count() + c.off_count() + c.band_count(),
+            c.frame().len()
+        );
+        assert!(c.on_count() > 0 && c.off_count() > 0 && c.band_count() > 0);
+    }
+
+    #[test]
+    fn deep_inside_is_on() {
+        let c = square_classification();
+        let (ix, iy) = c.frame().pixel_of(20.0, 20.0).unwrap();
+        assert_eq!(c.class(ix, iy), PixelClass::On);
+    }
+
+    #[test]
+    fn far_outside_is_off() {
+        let c = square_classification();
+        let (ix, iy) = c.frame().pixel_of(-10.0, 20.0).unwrap();
+        assert_eq!(c.class(ix, iy), PixelClass::Off);
+    }
+
+    #[test]
+    fn boundary_neighbourhood_is_band() {
+        let c = square_classification();
+        for (x, y) in [(0.5, 20.5), (39.5, 20.5), (20.5, 1.5), (20.5, 41.5)] {
+            let (ix, iy) = c.frame().pixel_of(x, y).unwrap();
+            assert_eq!(c.class(ix, iy), PixelClass::Band, "at ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn band_width_matches_gamma() {
+        let c = square_classification();
+        // gamma = 2: pixels at distance > 2 from the boundary are not band.
+        let (ix, iy) = c.frame().pixel_of(3.5, 20.5).unwrap();
+        assert_eq!(c.class(ix, iy), PixelClass::On);
+        let (ox, oy) = c.frame().pixel_of(-3.5, 20.5).unwrap();
+        assert_eq!(c.class(ox, oy), PixelClass::Off);
+    }
+
+    #[test]
+    fn zero_gamma_has_no_band() {
+        let target = Polygon::from_rect(Rect::new(0, 0, 20, 20).unwrap());
+        let c = Classification::build(&target, 0.0, 10);
+        assert_eq!(c.band_count(), 0);
+        assert_eq!(c.on_count(), 400);
+    }
+
+    #[test]
+    fn on_pixels_iterator_agrees_with_count() {
+        let c = square_classification();
+        assert_eq!(c.on_pixels().count(), c.on_count());
+        for (ix, iy) in c.on_pixels().take(10) {
+            assert_eq!(c.class(ix, iy), PixelClass::On);
+        }
+    }
+
+    #[test]
+    fn l_shape_concave_corner_banded() {
+        let l = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(40, 0),
+            Point::new(40, 20),
+            Point::new(20, 20),
+            Point::new(20, 40),
+            Point::new(0, 40),
+        ])
+        .unwrap();
+        let c = Classification::build(&l, 2.0, 20);
+        let (ix, iy) = c.frame().pixel_of(20.5, 20.5).unwrap();
+        assert_eq!(c.class(ix, iy), PixelClass::Band);
+        let (jx, jy) = c.frame().pixel_of(10.0, 10.0).unwrap();
+        assert_eq!(c.class(jx, jy), PixelClass::On);
+        let (kx, ky) = c.frame().pixel_of(30.0, 30.0).unwrap();
+        assert_eq!(c.class(kx, ky), PixelClass::Off);
+    }
+}

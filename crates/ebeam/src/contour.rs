@@ -1,0 +1,241 @@
+//! Iso-contour extraction from intensity maps (marching squares).
+//!
+//! The printed mask pattern is the `ρ` iso-contour of the accumulated
+//! intensity. This module walks the pixel-centre lattice of an
+//! [`IntensityMap`] with the marching-squares algorithm (linear
+//! interpolation along cell edges) and stitches the resulting segments
+//! into polylines — closed loops for printed features, open chains where
+//! a contour leaves the frame.
+
+use crate::map::IntensityMap;
+use std::collections::HashMap;
+
+/// A traced iso-line: a sequence of absolute-nm points. Closed loops
+/// repeat their first point at the end.
+pub type ContourLine = Vec<(f64, f64)>;
+
+/// Extracts all iso-contours of `map` at the given `level`.
+///
+/// Saddle cells (both diagonals above the level) are disambiguated with
+/// the cell-centre average, the standard marching-squares resolution.
+/// Returned lines are ordered deterministically (by their starting cell).
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_ebeam::{contour::intensity_contours, ExposureModel, IntensityMap};
+/// use maskfrac_geom::{Frame, Point, Rect};
+///
+/// let model = ExposureModel::paper_default();
+/// let frame = Frame::new(Point::new(-25, -25), 100, 100);
+/// let mut map = IntensityMap::new(model.clone(), frame);
+/// map.add_shot(&Rect::new(0, 0, 50, 50).expect("rect"));
+/// let loops = intensity_contours(&map, model.rho());
+/// assert_eq!(loops.len(), 1, "one printed feature, one closed contour");
+/// let line = &loops[0];
+/// assert_eq!(line.first(), line.last());
+/// ```
+pub fn intensity_contours(map: &IntensityMap, level: f64) -> Vec<ContourLine> {
+    let frame = map.frame();
+    let (w, h) = (frame.width(), frame.height());
+    if w < 2 || h < 2 {
+        return Vec::new();
+    }
+
+    // Key segment endpoints to lattice edges so stitching is exact:
+    // (ix, iy, 0) = crossing on the horizontal lattice edge from centre
+    // (ix, iy) to (ix+1, iy); (ix, iy, 1) = vertical edge to (ix, iy+1).
+    type EdgeKey = (usize, usize, u8);
+
+    let value = |ix: usize, iy: usize| map.value(ix, iy);
+    let interp = |a: f64, b: f64| -> f64 {
+        // Fraction along the edge where the level crosses [a, b].
+        ((level - a) / (b - a)).clamp(0.0, 1.0)
+    };
+    let point_on = |key: EdgeKey| -> (f64, f64) {
+        let (ix, iy, dir) = key;
+        let (x0, y0) = frame.pixel_center(ix, iy);
+        match dir {
+            0 => {
+                let t = interp(value(ix, iy), value(ix + 1, iy));
+                (x0 + t, y0)
+            }
+            _ => {
+                let t = interp(value(ix, iy), value(ix, iy + 1));
+                (x0, y0 + t)
+            }
+        }
+    };
+
+    // Collect segments as pairs of edge keys per cell.
+    let mut segments: Vec<(EdgeKey, EdgeKey)> = Vec::new();
+    for iy in 0..h - 1 {
+        for ix in 0..w - 1 {
+            let bl = value(ix, iy) >= level;
+            let br = value(ix + 1, iy) >= level;
+            let tl = value(ix, iy + 1) >= level;
+            let tr = value(ix + 1, iy + 1) >= level;
+            let code = (bl as u8) | (br as u8) << 1 | (tr as u8) << 2 | (tl as u8) << 3;
+            // Cell edges: bottom (ix,iy,0), right (ix+1,iy,1),
+            // top (ix,iy+1,0), left (ix,iy,1).
+            let bottom = (ix, iy, 0u8);
+            let right = (ix + 1, iy, 1u8);
+            let top = (ix, iy + 1, 0u8);
+            let left = (ix, iy, 1u8);
+            match code {
+                0 | 15 => {}
+                1 | 14 => segments.push((left, bottom)),
+                2 | 13 => segments.push((bottom, right)),
+                3 | 12 => segments.push((left, right)),
+                4 | 11 => segments.push((right, top)),
+                6 | 9 => segments.push((bottom, top)),
+                7 | 8 => segments.push((left, top)),
+                5 | 10 => {
+                    // Saddle: resolve with the cell-centre average.
+                    let center = (value(ix, iy)
+                        + value(ix + 1, iy)
+                        + value(ix, iy + 1)
+                        + value(ix + 1, iy + 1))
+                        / 4.0;
+                    let center_in = center >= level;
+                    if (code == 5) == center_in {
+                        segments.push((left, bottom));
+                        segments.push((right, top));
+                    } else {
+                        segments.push((bottom, right));
+                        segments.push((left, top));
+                    }
+                }
+                _ => unreachable!("4-bit code"),
+            }
+        }
+    }
+
+    // Stitch segments into polylines via edge-key adjacency.
+    let mut adjacency: HashMap<EdgeKey, Vec<(usize, EdgeKey)>> = HashMap::new();
+    for (i, &(a, b)) in segments.iter().enumerate() {
+        adjacency.entry(a).or_default().push((i, b));
+        adjacency.entry(b).or_default().push((i, a));
+    }
+    let mut used = vec![false; segments.len()];
+    let mut lines: Vec<ContourLine> = Vec::new();
+
+    // Deterministic order: walk segments in creation order; extend each
+    // unused one in both directions.
+    for start in 0..segments.len() {
+        if used[start] {
+            continue;
+        }
+        used[start] = true;
+        let (a0, b0) = segments[start];
+        let mut keys = vec![a0, b0];
+        // Extend forward from b0, then backward from a0.
+        for end in [true, false] {
+            loop {
+                let tip = if end { *keys.last().expect("non-empty") } else { keys[0] };
+                let next = adjacency
+                    .get(&tip)
+                    .and_then(|cands| cands.iter().find(|&&(i, _)| !used[i]).copied());
+                let Some((seg_index, other)) = next else {
+                    break;
+                };
+                used[seg_index] = true;
+                if end {
+                    keys.push(other);
+                } else {
+                    keys.insert(0, other);
+                }
+            }
+        }
+        // A closed loop's forward walk returns to its starting edge key,
+        // so the repeated key already closes the polyline; open chains
+        // (contours leaving the frame) keep distinct endpoints.
+        let line: ContourLine = keys.iter().map(|&k| point_on(k)).collect();
+        lines.push(line);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::ExposureModel;
+    use maskfrac_geom::{Frame, Point, Rect};
+
+    fn map_with(shots: &[Rect]) -> (IntensityMap, ExposureModel) {
+        let model = ExposureModel::paper_default();
+        let frame = Frame::new(Point::new(-30, -30), 130, 130);
+        let mut map = IntensityMap::new(model.clone(), frame);
+        for s in shots {
+            map.add_shot(s);
+        }
+        (map, model)
+    }
+
+    #[test]
+    fn single_shot_yields_one_closed_loop() {
+        let shot = Rect::new(0, 0, 50, 40).unwrap();
+        let (map, model) = map_with(&[shot]);
+        let loops = intensity_contours(&map, model.rho());
+        assert_eq!(loops.len(), 1);
+        let line = &loops[0];
+        assert_eq!(line.first(), line.last(), "loop must close");
+        // Contour hugs the shot: every point within a few nm of its edge.
+        for &(x, y) in line {
+            let d = shot.distance_to_point_f64(x, y);
+            let inside_margin = (x - shot.x0() as f64)
+                .min(shot.x1() as f64 - x)
+                .min(y - shot.y0() as f64)
+                .min(shot.y1() as f64 - y);
+            assert!(
+                d < 1.0 && inside_margin > -1.0 || inside_margin.abs() < 4.0,
+                "contour point ({x:.1}, {y:.1}) strays from the shot edge"
+            );
+        }
+    }
+
+    #[test]
+    fn two_disjoint_shots_yield_two_loops() {
+        let a = Rect::new(0, 0, 30, 30).unwrap();
+        let b = Rect::new(60, 60, 90, 90).unwrap();
+        let (map, model) = map_with(&[a, b]);
+        let loops = intensity_contours(&map, model.rho());
+        assert_eq!(loops.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_shots_merge_to_one_loop() {
+        let a = Rect::new(0, 0, 40, 30).unwrap();
+        let b = Rect::new(30, 0, 70, 30).unwrap();
+        let (map, model) = map_with(&[a, b]);
+        let loops = intensity_contours(&map, model.rho());
+        assert_eq!(loops.len(), 1, "union prints as one feature");
+    }
+
+    #[test]
+    fn empty_map_has_no_contours() {
+        let (map, model) = map_with(&[]);
+        assert!(intensity_contours(&map, model.rho()).is_empty());
+    }
+
+    #[test]
+    fn contour_interpolation_is_subpixel() {
+        // The contour of a straight edge sits at the shot edge (where
+        // I = 0.5 exactly), between pixel centres.
+        let shot = Rect::new(0, 0, 60, 60).unwrap();
+        let (map, model) = map_with(&[shot]);
+        let loops = intensity_contours(&map, model.rho());
+        let line = &loops[0];
+        // Points along the left edge must be within half a pixel of x = 0.
+        let lefts: Vec<f64> = line
+            .iter()
+            .filter(|&&(_, y)| (10.0..50.0).contains(&y))
+            .map(|&(x, _)| x)
+            .filter(|&x| x < 30.0)
+            .collect();
+        assert!(!lefts.is_empty());
+        for x in lefts {
+            assert!(x.abs() < 0.6, "edge contour at x = {x:.2}");
+        }
+    }
+}

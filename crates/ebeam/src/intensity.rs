@@ -1,0 +1,400 @@
+//! Shot intensity under the proximity model (paper Eqs. 1–3).
+//!
+//! The intensity of a rectangular shot is its indicator function convolved
+//! with the Gaussian kernel. For the untruncated kernel this factorizes
+//! into two 1-D edge profiles:
+//!
+//! ```text
+//! I_s(x, y) = fx(x) · fy(y)
+//! fx(x) = ½ [erf((x1 − x)/σ) − erf((x0 − x)/σ)]     (same for fy)
+//! ```
+//!
+//! The paper's kernel is truncated at `3σ`, which perturbs intensities by
+//! at most ~1.2·10⁻⁴ — two orders of magnitude below the CD-tolerance
+//! scale the algorithms operate at. [`ExposureModel`] therefore uses the
+//! closed form (through a lookup table, mirroring the paper's "lookup
+//! table based method" for fast convolution) and
+//! [`ExposureModel::shot_intensity_truncated_ref`] provides the exact
+//! truncated-kernel quadrature as a test reference.
+
+use crate::erf::erf;
+use crate::kernel::ProximityKernel;
+use maskfrac_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Resolution of the edge-profile lookup table, in samples per unit of
+/// `t = distance/σ`.
+const LUT_PER_UNIT: usize = 512;
+/// Half-range of the lookup table in units of `σ` (profile is saturated
+/// beyond).
+const LUT_RANGE: f64 = 4.0;
+
+/// The fixed-dose e-beam exposure model: Gaussian proximity kernel plus
+/// the print threshold `ρ`.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_ebeam::ExposureModel;
+/// use maskfrac_geom::Rect;
+///
+/// let model = ExposureModel::paper_default();
+/// let shot = Rect::new(0, 0, 50, 50).expect("rect");
+/// let center = model.shot_intensity(&shot, 25.0, 25.0);
+/// let corner = model.shot_intensity(&shot, 0.0, 0.0);
+/// assert!(center > 0.99);
+/// assert!((corner - 0.25).abs() < 1e-3); // two half-edges: 0.5 × 0.5
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExposureModel {
+    kernel: ProximityKernel,
+    rho: f64,
+    #[serde(skip, default)]
+    lut: EdgeLut,
+}
+
+impl PartialEq for ExposureModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.kernel == other.kernel && self.rho == other.rho
+    }
+}
+
+impl ExposureModel {
+    /// Creates a model with kernel parameter `sigma` (nm) and print
+    /// threshold `rho`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive or `rho` is outside `(0, 1)`.
+    pub fn new(sigma: f64, rho: f64) -> Self {
+        assert!(rho > 0.0 && rho < 1.0, "rho must be in (0, 1)");
+        ExposureModel {
+            kernel: ProximityKernel::new(sigma),
+            rho,
+            lut: EdgeLut::new(),
+        }
+    }
+
+    /// The paper's evaluation parameters: `σ = 6.25 nm`, `ρ = 0.5`.
+    pub fn paper_default() -> Self {
+        ExposureModel::new(6.25, 0.5)
+    }
+
+    /// Folds long-range backscatter into the model as an effective
+    /// threshold shift (an extension beyond the paper, which models
+    /// forward scattering only).
+    ///
+    /// The full double-Gaussian exposure is
+    /// `I = (F + η·B) / (1 + η)` with `F` the forward term this model
+    /// computes and `B` the backscatter convolution. The backscatter range
+    /// `β ≈ 10 µm` dwarfs a clip, so over one clip `B` is effectively the
+    /// constant local *pattern density*; the print condition
+    /// `I ≥ ρ` is then exactly `F ≥ ρ(1+η) − η·density`. This constructor
+    /// returns a model with that effective forward threshold — all
+    /// fracturing machinery applies unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is negative, `density` is outside `[0, 1]`, or the
+    /// effective threshold leaves `(0, 1)` (a density so high nothing can
+    /// stay unprinted, or so low nothing prints — upstream dose correction
+    /// must handle those regimes).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use maskfrac_ebeam::ExposureModel;
+    ///
+    /// // η = 0.6, 40 % local pattern density.
+    /// let m = ExposureModel::paper_default().with_backscatter(0.6, 0.4);
+    /// // Effective forward threshold: 0.5·1.6 − 0.6·0.4 = 0.56.
+    /// assert!((m.rho() - 0.56).abs() < 1e-12);
+    /// ```
+    pub fn with_backscatter(self, eta: f64, density: f64) -> Self {
+        assert!(eta >= 0.0, "backscatter ratio must be nonnegative");
+        assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+        let rho_eff = self.rho * (1.0 + eta) - eta * density;
+        assert!(
+            rho_eff > 0.0 && rho_eff < 1.0,
+            "effective threshold {rho_eff} out of range; correct the base dose upstream"
+        );
+        ExposureModel::new(self.sigma(), rho_eff)
+    }
+
+    /// Kernel parameter `σ` in nm.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.kernel.sigma()
+    }
+
+    /// Print threshold `ρ`.
+    #[inline]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The proximity kernel.
+    #[inline]
+    pub fn kernel(&self) -> &ProximityKernel {
+        &self.kernel
+    }
+
+    /// Radius (nm) beyond which a shot's intensity is treated as zero.
+    ///
+    /// The truncated kernel vanishes at `3σ`; the closed form decays below
+    /// `10⁻⁶` slightly earlier. `3σ` is used for all locality windows.
+    #[inline]
+    pub fn support_radius(&self) -> f64 {
+        self.kernel.support_radius()
+    }
+
+    /// Support radius rounded up to whole pixels (1 nm), plus one pixel of
+    /// slack for centre-offset effects.
+    #[inline]
+    pub fn support_radius_px(&self) -> i64 {
+        self.support_radius().ceil() as i64 + 1
+    }
+
+    /// 1-D edge factor for a shot spanning `[a, b]`, evaluated at `t`.
+    #[inline]
+    pub fn edge_factor(&self, a: f64, b: f64, t: f64) -> f64 {
+        let s = self.sigma();
+        self.lut.phi((b - t) / s) - self.lut.phi((a - t) / s)
+    }
+
+    /// Intensity of shot `s` at the continuous point `(x, y)` using the
+    /// separable closed form through the lookup table.
+    #[inline]
+    pub fn shot_intensity(&self, s: &Rect, x: f64, y: f64) -> f64 {
+        let fx = self.edge_factor(s.x0() as f64, s.x1() as f64, x);
+        if fx <= 0.0 {
+            return 0.0;
+        }
+        let fy = self.edge_factor(s.y0() as f64, s.y1() as f64, y);
+        fx * fy
+    }
+
+    /// Intensity via direct `erf` evaluation (no lookup table). Slower;
+    /// used to bound the LUT interpolation error in tests.
+    pub fn shot_intensity_exact(&self, s: &Rect, x: f64, y: f64) -> f64 {
+        let sg = self.sigma();
+        let fx = 0.5 * (erf((s.x1() as f64 - x) / sg) - erf((s.x0() as f64 - x) / sg));
+        let fy = 0.5 * (erf((s.y1() as f64 - y) / sg) - erf((s.y0() as f64 - y) / sg));
+        fx * fy
+    }
+
+    /// Reference intensity under the **truncated** kernel, by midpoint
+    /// quadrature of the kernel over its intersection with the shot.
+    ///
+    /// Cost is `O((6σ/step)²)`; this exists to validate the closed form
+    /// (they differ by at most the truncation mass, ~1.2·10⁻⁴).
+    pub fn shot_intensity_truncated_ref(&self, s: &Rect, x: f64, y: f64, step: f64) -> f64 {
+        let r = self.support_radius();
+        let n = (2.0 * r / step).ceil() as i64;
+        let mut acc = 0.0;
+        for iy in 0..n {
+            let dy = -r + (iy as f64 + 0.5) * step;
+            for ix in 0..n {
+                let dx = -r + (ix as f64 + 0.5) * step;
+                if s.contains_f64(x + dx, y + dy) {
+                    acc += self.kernel.value(dx, dy);
+                }
+            }
+        }
+        acc * step * step
+    }
+}
+
+impl Default for ExposureModel {
+    fn default() -> Self {
+        ExposureModel::paper_default()
+    }
+}
+
+/// Lookup table for `Φ(t) = ½(1 + erf(t))` with linear interpolation.
+#[derive(Debug, Clone)]
+struct EdgeLut {
+    values: Vec<f64>,
+}
+
+impl EdgeLut {
+    fn new() -> Self {
+        let n = (2.0 * LUT_RANGE) as usize * LUT_PER_UNIT + 1;
+        let values = (0..n)
+            .map(|i| {
+                let t = -LUT_RANGE + i as f64 / LUT_PER_UNIT as f64;
+                0.5 * (1.0 + erf(t))
+            })
+            .collect();
+        EdgeLut { values }
+    }
+
+    #[inline]
+    fn phi(&self, t: f64) -> f64 {
+        if t <= -LUT_RANGE {
+            return 0.0;
+        }
+        if t >= LUT_RANGE {
+            return 1.0;
+        }
+        let pos = (t + LUT_RANGE) * LUT_PER_UNIT as f64;
+        let i = pos as usize;
+        let frac = pos - i as f64;
+        // `i + 1` is in range because t < LUT_RANGE strictly.
+        self.values[i] * (1.0 - frac) + self.values[i + 1] * frac
+    }
+}
+
+impl Default for EdgeLut {
+    fn default() -> Self {
+        EdgeLut::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ExposureModel {
+        ExposureModel::paper_default()
+    }
+
+    fn big_shot() -> Rect {
+        Rect::new(-200, -200, 200, 200).unwrap()
+    }
+
+    #[test]
+    fn saturates_deep_inside() {
+        let m = model();
+        assert!((m.shot_intensity(&big_shot(), 0.0, 0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straight_edge_is_half() {
+        let m = model();
+        let v = m.shot_intensity(&big_shot(), 200.0, 0.0);
+        assert!((v - 0.5).abs() < 1e-6, "edge value {v}");
+    }
+
+    #[test]
+    fn corner_is_quarter() {
+        let m = model();
+        let v = m.shot_intensity(&big_shot(), 200.0, 200.0);
+        assert!((v - 0.25).abs() < 1e-6, "corner value {v}");
+    }
+
+    #[test]
+    fn decays_to_zero_outside() {
+        let m = model();
+        let r = m.support_radius();
+        // The closed form (untruncated) leaves erfc(3)/2 ≈ 1.1e-5 at 3σ.
+        let v = m.shot_intensity(&big_shot(), 200.0 + r, 0.0);
+        assert!(v < 2e-5, "beyond 3 sigma: {v}");
+        let v4 = m.shot_intensity(&big_shot(), 200.0 + 4.0 * m.sigma(), 0.0);
+        assert!(v4 < 1e-8, "beyond 4 sigma: {v4}");
+    }
+
+    #[test]
+    fn symmetric_about_shot_center() {
+        let m = model();
+        let s = Rect::new(0, 0, 30, 20).unwrap();
+        for (dx, dy) in [(5.0, 3.0), (12.0, 8.0), (20.0, 15.0)] {
+            let a = m.shot_intensity(&s, 15.0 - dx, 10.0 - dy);
+            let b = m.shot_intensity(&s, 15.0 + dx, 10.0 + dy);
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_in_shot_size() {
+        let m = model();
+        let small = Rect::new(0, 0, 20, 20).unwrap();
+        let large = Rect::new(-5, -5, 25, 25).unwrap();
+        for (x, y) in [(10.0, 10.0), (0.0, 0.0), (25.0, 10.0), (40.0, 10.0)] {
+            assert!(
+                m.shot_intensity(&large, x, y) >= m.shot_intensity(&small, x, y) - 1e-12,
+                "containment must not reduce intensity at ({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_matches_exact_erf() {
+        let m = model();
+        let s = Rect::new(3, -7, 41, 22).unwrap();
+        let mut worst = 0.0f64;
+        for i in 0..60 {
+            let x = -20.0 + i as f64 * 1.37;
+            for j in 0..40 {
+                let y = -25.0 + j as f64 * 1.61;
+                let d = (m.shot_intensity(&s, x, y) - m.shot_intensity_exact(&s, x, y)).abs();
+                worst = worst.max(d);
+            }
+        }
+        assert!(worst < 1e-6, "LUT error {worst}");
+    }
+
+    #[test]
+    fn closed_form_matches_truncated_reference() {
+        let m = model();
+        let s = Rect::new(0, 0, 25, 18).unwrap();
+        for (x, y) in [(12.5, 9.0), (0.0, 9.0), (25.0, 18.0), (30.0, 9.0), (-5.0, -5.0)] {
+            let closed = m.shot_intensity(&s, x, y);
+            let reference = m.shot_intensity_truncated_ref(&s, x, y, 0.05);
+            assert!(
+                (closed - reference).abs() < 3e-4,
+                "at ({x}, {y}): closed {closed} vs truncated {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn additivity_of_adjacent_shots() {
+        // Two shots sharing an edge must sum to the intensity of their union.
+        let m = model();
+        let a = Rect::new(0, 0, 20, 30).unwrap();
+        let b = Rect::new(20, 0, 45, 30).unwrap();
+        let u = Rect::new(0, 0, 45, 30).unwrap();
+        for (x, y) in [(20.0, 15.0), (10.0, 15.0), (33.0, 2.0), (50.0, 15.0)] {
+            let sum = m.shot_intensity_exact(&a, x, y) + m.shot_intensity_exact(&b, x, y);
+            let whole = m.shot_intensity_exact(&u, x, y);
+            assert!((sum - whole).abs() < 1e-12, "at ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let m = ExposureModel::paper_default();
+        assert_eq!(m.sigma(), 6.25);
+        assert_eq!(m.rho(), 0.5);
+        assert_eq!(m.support_radius(), 18.75);
+        assert_eq!(m.support_radius_px(), 20);
+        assert_eq!(m, ExposureModel::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_bad_rho() {
+        ExposureModel::new(6.25, 1.5);
+    }
+
+    #[test]
+    fn backscatter_shifts_threshold() {
+        let m = ExposureModel::paper_default().with_backscatter(0.6, 0.4);
+        assert!((m.rho() - 0.56).abs() < 1e-12);
+        // Zero eta is a no-op.
+        let same = ExposureModel::paper_default().with_backscatter(0.0, 0.9);
+        assert_eq!(same.rho(), 0.5);
+        // Higher density lowers the forward threshold (fog helps print).
+        let dense = ExposureModel::paper_default().with_backscatter(0.6, 0.8);
+        let sparse = ExposureModel::paper_default().with_backscatter(0.6, 0.1);
+        assert!(dense.rho() < sparse.rho());
+    }
+
+    #[test]
+    #[should_panic(expected = "effective threshold")]
+    fn backscatter_rejects_unprintable_regime() {
+        // eta = 1, density = 1: everything prints; rho_eff = 0.
+        ExposureModel::paper_default().with_backscatter(1.0, 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The truncated Gaussian proximity kernel (paper Eq. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// The e-beam forward-scattering point-spread function
+///
+/// ```text
+/// G(x, y) = exp(-(x² + y²)/σ²) / (πσ²)   if √(x² + y²) ≤ 3σ
+///         = 0                            otherwise
+/// ```
+///
+/// Note the paper's convention: the exponent is `-(r²)/σ²` (not `r²/2σ²`),
+/// so the Gaussian's standard deviation is `σ/√2`. The prefactor makes the
+/// *untruncated* kernel integrate to exactly 1; truncation at `3σ` removes
+/// only `exp(-9) ≈ 1.2e-4` of the mass.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_ebeam::ProximityKernel;
+///
+/// let k = ProximityKernel::new(6.25);
+/// assert!(k.value(0.0, 0.0) > 0.0);
+/// assert_eq!(k.value(0.0, 3.0 * 6.25 + 0.001), 0.0);
+/// let mass = k.integrate_numeric(0.05);
+/// assert!((mass - 1.0).abs() < 2e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProximityKernel {
+    sigma: f64,
+}
+
+impl ProximityKernel {
+    /// Creates a kernel with the given `σ` in nm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not strictly positive and finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+        ProximityKernel { sigma }
+    }
+
+    /// The kernel parameter `σ` in nm.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Truncation radius `3σ` in nm: the kernel is identically zero beyond.
+    #[inline]
+    pub fn support_radius(&self) -> f64 {
+        3.0 * self.sigma
+    }
+
+    /// Kernel value at offset `(x, y)` nm.
+    pub fn value(&self, x: f64, y: f64) -> f64 {
+        let r_sq = x * x + y * y;
+        let cutoff = self.support_radius();
+        if r_sq > cutoff * cutoff {
+            return 0.0;
+        }
+        (-r_sq / (self.sigma * self.sigma)).exp() / (std::f64::consts::PI * self.sigma * self.sigma)
+    }
+
+    /// Numerically integrates the truncated kernel on a grid of pitch
+    /// `step` nm (midpoint rule). Used by tests to verify normalization.
+    pub fn integrate_numeric(&self, step: f64) -> f64 {
+        let r = self.support_radius();
+        let n = (2.0 * r / step).ceil() as i64;
+        let mut acc = 0.0;
+        for iy in 0..n {
+            let y = -r + (iy as f64 + 0.5) * step;
+            for ix in 0..n {
+                let x = -r + (ix as f64 + 0.5) * step;
+                acc += self.value(x, y);
+            }
+        }
+        acc * step * step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_value() {
+        let k = ProximityKernel::new(10.0);
+        let want = 1.0 / (std::f64::consts::PI * 100.0);
+        assert!((k.value(0.0, 0.0) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn radially_symmetric() {
+        let k = ProximityKernel::new(6.25);
+        let v1 = k.value(3.0, 4.0);
+        let v2 = k.value(5.0, 0.0);
+        let v3 = k.value(-4.0, 3.0);
+        assert!((v1 - v2).abs() < 1e-15);
+        assert!((v1 - v3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn truncated_beyond_three_sigma() {
+        let k = ProximityKernel::new(6.25);
+        let r = k.support_radius();
+        assert!(k.value(r - 0.01, 0.0) > 0.0);
+        assert_eq!(k.value(r + 0.01, 0.0), 0.0);
+        assert_eq!(k.value(r / 1.4, r / 1.4 + 0.1), 0.0);
+    }
+
+    #[test]
+    fn integrates_to_one_within_truncation_error() {
+        let k = ProximityKernel::new(6.25);
+        let mass = k.integrate_numeric(0.05);
+        // exp(-9) of mass lives outside the truncation radius.
+        assert!((mass - 1.0).abs() < 2e-4, "mass = {mass}");
+    }
+
+    #[test]
+    fn sigma_scales_support() {
+        let k = ProximityKernel::new(4.0);
+        assert_eq!(k.support_radius(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_sigma() {
+        ProximityKernel::new(0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Accumulated intensity over a pixel grid, with incremental updates.
+//!
+//! Iterative shot refinement moves one shot edge at a time and needs the
+//! total intensity `Itot = Σ_s I_s` kept up to date cheaply. Because each
+//! shot's intensity is separable and has bounded support (`3σ`), adding or
+//! removing a shot touches only a local window and costs
+//! `O(w + h)` edge-profile evaluations plus `O(w·h)` multiply-adds.
+
+use crate::intensity::ExposureModel;
+use maskfrac_geom::{Frame, Rect};
+
+/// Total-intensity grid for a set of shots on a pixel frame.
+///
+/// The map does not own the shot list — callers (the fracturers) do — it
+/// only maintains `Itot` under [`add_shot`](Self::add_shot) /
+/// [`remove_shot`](Self::remove_shot) so the two stay consistent by
+/// construction as long as every mutation is mirrored.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_ebeam::{ExposureModel, IntensityMap};
+/// use maskfrac_geom::{Frame, Point, Rect};
+///
+/// let model = ExposureModel::paper_default();
+/// let frame = Frame::new(Point::new(-20, -20), 90, 90);
+/// let mut map = IntensityMap::new(model, frame);
+/// let shot = Rect::new(0, 0, 50, 50).expect("rect");
+/// map.add_shot(&shot);
+/// let (ix, iy) = (45, 45); // pixel centred at (25.5, 25.5) nm
+/// assert!(map.value(ix, iy) > 0.99);
+/// map.remove_shot(&shot);
+/// assert!(map.value(ix, iy).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntensityMap {
+    model: ExposureModel,
+    frame: Frame,
+    values: Vec<f64>,
+}
+
+impl IntensityMap {
+    /// Creates an all-zero intensity map over `frame`.
+    pub fn new(model: ExposureModel, frame: Frame) -> Self {
+        IntensityMap {
+            model,
+            frame,
+            values: vec![0.0; frame.len()],
+        }
+    }
+
+    /// The exposure model.
+    #[inline]
+    pub fn model(&self) -> &ExposureModel {
+        &self.model
+    }
+
+    /// The pixel frame.
+    #[inline]
+    pub fn frame(&self) -> Frame {
+        self.frame
+    }
+
+    /// Total intensity at pixel `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the pixel is out of range.
+    #[inline]
+    pub fn value(&self, ix: usize, iy: usize) -> f64 {
+        self.values[self.frame.index(ix, iy)]
+    }
+
+    /// Adds a shot's intensity.
+    pub fn add_shot(&mut self, shot: &Rect) {
+        self.apply_shot(shot, 1.0);
+    }
+
+    /// Removes a previously added shot's intensity.
+    pub fn remove_shot(&mut self, shot: &Rect) {
+        self.apply_shot(shot, -1.0);
+    }
+
+    /// Replaces `old` with `new` (e.g. after an edge move).
+    pub fn replace_shot(&mut self, old: &Rect, new: &Rect) {
+        self.remove_shot(old);
+        self.add_shot(new);
+    }
+
+    /// Adds a shot's intensity scaled by `dose` (variable-dose writing;
+    /// `dose = 1` is the nominal fixed dose, negative values subtract).
+    pub fn add_shot_scaled(&mut self, shot: &Rect, dose: f64) {
+        self.apply_shot(shot, dose);
+    }
+
+    /// Pixel-index window over which `shot`'s intensity is non-negligible.
+    pub fn affected_window(&self, shot: &Rect) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        let r = self.model.support_radius_px() as f64;
+        let xs = self
+            .frame
+            .clamp_x_range(shot.x0() as f64 - r, shot.x1() as f64 + r);
+        let ys = self
+            .frame
+            .clamp_y_range(shot.y0() as f64 - r, shot.y1() as f64 + r);
+        (xs, ys)
+    }
+
+    /// Recomputes the map from scratch for the given shot set.
+    ///
+    /// Used by tests and consistency checks to confirm that a sequence of
+    /// incremental updates did not drift.
+    pub fn rebuild<'a, I: IntoIterator<Item = &'a Rect>>(&mut self, shots: I) {
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+        for s in shots {
+            self.add_shot(s);
+        }
+    }
+
+    /// Maximum absolute difference from another map of identical frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames differ.
+    pub fn max_abs_diff(&self, other: &IntensityMap) -> f64 {
+        assert_eq!(self.frame, other.frame, "frames must match");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn apply_shot(&mut self, shot: &Rect, sign: f64) {
+        let (xs, ys) = self.affected_window(shot);
+        if xs.is_empty() || ys.is_empty() {
+            return;
+        }
+        // Separable profile: one edge factor per row/column.
+        let fx: Vec<f64> = xs
+            .clone()
+            .map(|ix| {
+                let (cx, _) = self.frame.pixel_center(ix, 0);
+                self.model.edge_factor(shot.x0() as f64, shot.x1() as f64, cx)
+            })
+            .collect();
+        let fy: Vec<f64> = ys
+            .clone()
+            .map(|iy| {
+                let (_, cy) = self.frame.pixel_center(0, iy);
+                self.model.edge_factor(shot.y0() as f64, shot.y1() as f64, cy)
+            })
+            .collect();
+        let width = self.frame.width();
+        for (j, iy) in ys.clone().enumerate() {
+            let row = iy * width;
+            let fyv = fy[j] * sign;
+            for (i, ix) in xs.clone().enumerate() {
+                self.values[row + ix] += fx[i] * fyv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::Point;
+
+    fn map() -> IntensityMap {
+        IntensityMap::new(
+            ExposureModel::paper_default(),
+            Frame::new(Point::new(-25, -25), 120, 120),
+        )
+    }
+
+    #[test]
+    fn add_matches_direct_evaluation() {
+        let mut m = map();
+        let shot = Rect::new(0, 0, 40, 30).unwrap();
+        m.add_shot(&shot);
+        for &(ix, iy) in &[(30usize, 30usize), (25, 25), (70, 40), (5, 5)] {
+            let (x, y) = m.frame().pixel_center(ix, iy);
+            let want = m.model().shot_intensity(&shot, x, y);
+            assert!(
+                (m.value(ix, iy) - want).abs() < 1e-12,
+                "pixel ({ix}, {iy})"
+            );
+        }
+    }
+
+    #[test]
+    fn add_then_remove_is_identity() {
+        let mut m = map();
+        let a = Rect::new(0, 0, 40, 30).unwrap();
+        let b = Rect::new(20, 10, 60, 55).unwrap();
+        m.add_shot(&a);
+        m.add_shot(&b);
+        m.remove_shot(&a);
+        m.remove_shot(&b);
+        let zero = map();
+        assert!(m.max_abs_diff(&zero) < 1e-12);
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        let mut m = map();
+        let shots = vec![
+            Rect::new(0, 0, 30, 30).unwrap(),
+            Rect::new(25, 5, 65, 40).unwrap(),
+            Rect::new(-10, 20, 20, 70).unwrap(),
+        ];
+        for s in &shots {
+            m.add_shot(s);
+        }
+        // Jiggle: remove/re-add with a moved edge, then undo.
+        let moved = shots[1].with_edge(maskfrac_geom::rect::Edge::Right, 70).unwrap();
+        m.replace_shot(&shots[1], &moved);
+        m.replace_shot(&moved, &shots[1]);
+
+        let mut fresh = map();
+        fresh.rebuild(shots.iter());
+        assert!(m.max_abs_diff(&fresh) < 1e-12);
+    }
+
+    #[test]
+    fn shot_outside_frame_is_noop() {
+        let mut m = map();
+        let far = Rect::new(4000, 4000, 4100, 4100).unwrap();
+        m.add_shot(&far);
+        let zero = map();
+        assert_eq!(m.max_abs_diff(&zero), 0.0);
+    }
+
+    #[test]
+    fn overlapping_shots_accumulate() {
+        let mut m = map();
+        let s = Rect::new(0, 0, 40, 40).unwrap();
+        m.add_shot(&s);
+        m.add_shot(&s);
+        let (ix, iy) = (45usize, 45usize); // centre (20.5, 20.5)
+        assert!((m.value(ix, iy) - 2.0).abs() < 1e-4, "double dose saturates at 2");
+    }
+
+    #[test]
+    fn window_clamps_to_frame() {
+        let m = map();
+        let shot = Rect::new(-100, -100, -30, 200).unwrap();
+        let (xs, ys) = m.affected_window(&shot);
+        assert!(xs.start == 0);
+        assert!(xs.end <= m.frame().width());
+        assert!(ys.start == 0 && ys.end == m.frame().height());
+    }
+}

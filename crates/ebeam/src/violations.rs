@@ -1,0 +1,269 @@
+//! Failing pixels and the shot-refinement cost function.
+//!
+//! A pixel *fails* (paper Eq. 4) when it is in `Pon` with `Itot < ρ` or in
+//! `Poff` with `Itot ≥ ρ`. Shot refinement minimizes the continuous cost
+//! (paper Eq. 5)
+//!
+//! ```text
+//! cost_ref = Σ_{p ∈ Pfail} |Itot(p) − ρ|
+//! ```
+//!
+//! which is a more sensitive progress signal than the raw failing-pixel
+//! count.
+
+use crate::classify::{Classification, PixelClass};
+use crate::map::IntensityMap;
+use maskfrac_geom::{Bitmap, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate violation state of a fracturing solution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FailureSummary {
+    /// Failing pixels in `Pon` (under-exposed target interior).
+    pub on_fails: usize,
+    /// Failing pixels in `Poff` (over-exposed surround).
+    pub off_fails: usize,
+    /// The continuous refinement cost `Σ |Itot − ρ|` over failing pixels.
+    pub cost: f64,
+}
+
+impl FailureSummary {
+    /// Total failing pixel count `|Pfail|`.
+    #[inline]
+    pub fn fail_count(&self) -> usize {
+        self.on_fails + self.off_fails
+    }
+
+    /// Whether the solution satisfies every constrained pixel.
+    #[inline]
+    pub fn is_feasible(&self) -> bool {
+        self.fail_count() == 0
+    }
+}
+
+/// Cost contribution of one pixel: `|I − ρ|` if the pixel fails, else 0.
+#[inline]
+pub fn pixel_cost(class: PixelClass, intensity: f64, rho: f64) -> f64 {
+    match class {
+        PixelClass::On if intensity < rho => rho - intensity,
+        PixelClass::Off if intensity >= rho => intensity - rho,
+        _ => 0.0,
+    }
+}
+
+/// Whether a pixel of the given class fails at the given intensity.
+#[inline]
+pub fn pixel_fails(class: PixelClass, intensity: f64, rho: f64) -> bool {
+    match class {
+        PixelClass::On => intensity < rho,
+        PixelClass::Off => intensity >= rho,
+        PixelClass::Band => false,
+    }
+}
+
+/// Evaluates the failure summary of the current intensity map by a full
+/// scan over the frame.
+///
+/// # Panics
+///
+/// Panics if the classification and map frames differ.
+pub fn evaluate(cls: &Classification, map: &IntensityMap) -> FailureSummary {
+    assert_eq!(cls.frame(), map.frame(), "frames must match");
+    let rho = map.model().rho();
+    let mut summary = FailureSummary::default();
+    for iy in 0..cls.frame().height() {
+        for ix in 0..cls.frame().width() {
+            let class = cls.class(ix, iy);
+            if class == PixelClass::Band {
+                continue;
+            }
+            let i = map.value(ix, iy);
+            if pixel_fails(class, i, rho) {
+                match class {
+                    PixelClass::On => summary.on_fails += 1,
+                    PixelClass::Off => summary.off_fails += 1,
+                    PixelClass::Band => unreachable!(),
+                }
+                summary.cost += (i - rho).abs();
+            }
+        }
+    }
+    summary
+}
+
+/// Bitmaps of failing `Pon` and failing `Poff` pixels (in frame pixel
+/// coordinates), for the add-shot / remove-shot moves.
+pub fn fail_bitmaps(cls: &Classification, map: &IntensityMap) -> (Bitmap, Bitmap) {
+    assert_eq!(cls.frame(), map.frame(), "frames must match");
+    let rho = map.model().rho();
+    let w = cls.frame().width();
+    let h = cls.frame().height();
+    let mut on_fail = Bitmap::new(w, h);
+    let mut off_fail = Bitmap::new(w, h);
+    for iy in 0..h {
+        for ix in 0..w {
+            match cls.class(ix, iy) {
+                PixelClass::On if map.value(ix, iy) < rho => on_fail.set(ix, iy, true),
+                PixelClass::Off if map.value(ix, iy) >= rho => off_fail.set(ix, iy, true),
+                _ => {}
+            }
+        }
+    }
+    (on_fail, off_fail)
+}
+
+/// Change in `cost_ref` if the intensity of the 1-pixel-wide `strip`
+/// rectangle were added (`sign = +1`) or subtracted (`sign = -1`) from the
+/// map — the inner loop of greedy shot-edge adjustment.
+///
+/// Only pixels within the model's support radius of the strip can change,
+/// so the scan window is local. The map itself is not modified.
+pub fn cost_delta_for_strip(
+    cls: &Classification,
+    map: &IntensityMap,
+    strip: &Rect,
+    sign: f64,
+) -> f64 {
+    let model = map.model();
+    let rho = model.rho();
+    let frame = cls.frame();
+    let (xs, ys) = map.affected_window(strip);
+    if xs.is_empty() || ys.is_empty() {
+        return 0.0;
+    }
+    // Separable edge factors: one per column/row of the window.
+    let fx: Vec<f64> = xs
+        .clone()
+        .map(|ix| {
+            let (cx, _) = frame.pixel_center(ix, 0);
+            model.edge_factor(strip.x0() as f64, strip.x1() as f64, cx)
+        })
+        .collect();
+    let fy: Vec<f64> = ys
+        .clone()
+        .map(|iy| {
+            let (_, cy) = frame.pixel_center(0, iy);
+            model.edge_factor(strip.y0() as f64, strip.y1() as f64, cy)
+        })
+        .collect();
+    let mut delta = 0.0;
+    for (j, iy) in ys.enumerate() {
+        let fyv = fy[j] * sign;
+        if fyv == 0.0 {
+            continue;
+        }
+        for (i, ix) in xs.clone().enumerate() {
+            let class = cls.class(ix, iy);
+            if class == PixelClass::Band {
+                continue;
+            }
+            let di = fx[i] * fyv;
+            if di == 0.0 {
+                continue;
+            }
+            let old = map.value(ix, iy);
+            let new = old + di;
+            delta += pixel_cost(class, new, rho) - pixel_cost(class, old, rho);
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::ExposureModel;
+    use maskfrac_geom::{Polygon, Rect};
+
+    fn setup(shots: &[Rect]) -> (Classification, IntensityMap) {
+        let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).unwrap());
+        let model = ExposureModel::paper_default();
+        let cls = Classification::build(&target, 2.0, model.support_radius_px() + 2);
+        let mut map = IntensityMap::new(model, cls.frame());
+        for s in shots {
+            map.add_shot(s);
+        }
+        (cls, map)
+    }
+
+    #[test]
+    fn empty_solution_fails_everywhere_inside() {
+        let (cls, map) = setup(&[]);
+        let s = evaluate(&cls, &map);
+        assert_eq!(s.on_fails, cls.on_count());
+        assert_eq!(s.off_fails, 0);
+        assert!((s.cost - 0.5 * cls.on_count() as f64).abs() < 1e-9);
+        assert!(!s.is_feasible());
+    }
+
+    #[test]
+    fn exact_shot_is_feasible() {
+        // A shot exactly matching the square target prints it: edges sit at
+        // the boundary where I = 0.5 and the gamma band absorbs rounding.
+        let (cls, map) = setup(&[Rect::new(0, 0, 40, 40).unwrap()]);
+        let s = evaluate(&cls, &map);
+        assert!(s.is_feasible(), "summary: {s:?}");
+    }
+
+    #[test]
+    fn oversized_shot_fails_off_pixels() {
+        let (cls, map) = setup(&[Rect::new(-10, -10, 50, 50).unwrap()]);
+        let s = evaluate(&cls, &map);
+        assert_eq!(s.on_fails, 0);
+        assert!(s.off_fails > 0);
+        assert!(s.cost > 0.0);
+    }
+
+    #[test]
+    fn fail_bitmaps_match_summary() {
+        let (cls, map) = setup(&[Rect::new(0, 0, 40, 20).unwrap()]);
+        let s = evaluate(&cls, &map);
+        let (on_fail, off_fail) = fail_bitmaps(&cls, &map);
+        assert_eq!(on_fail.count_ones(), s.on_fails);
+        assert_eq!(off_fail.count_ones(), s.off_fails);
+        assert!(s.on_fails > 0, "half-covered square under-exposes the top");
+    }
+
+    #[test]
+    fn pixel_cost_cases() {
+        assert!((pixel_cost(PixelClass::On, 0.3, 0.5) - 0.2).abs() < 1e-12);
+        assert_eq!(pixel_cost(PixelClass::On, 0.7, 0.5), 0.0);
+        assert!((pixel_cost(PixelClass::Off, 0.7, 0.5) - 0.2).abs() < 1e-12);
+        assert_eq!(pixel_cost(PixelClass::Off, 0.3, 0.5), 0.0);
+        assert_eq!(pixel_cost(PixelClass::Band, 0.0, 0.5), 0.0);
+        // Off pixel exactly at threshold fails (Eq. 4 is strict for Poff).
+        assert!(pixel_fails(PixelClass::Off, 0.5, 0.5));
+        assert!(!pixel_fails(PixelClass::On, 0.5, 0.5));
+    }
+
+    #[test]
+    fn strip_delta_matches_full_reevaluation() {
+        let shot = Rect::new(0, 0, 40, 30).unwrap();
+        let (cls, mut map) = setup(&[shot]);
+        let before = evaluate(&cls, &map);
+        // Candidate move: extend the top edge by 1 px, i.e. add the strip.
+        let strip = Rect::new(0, 30, 40, 31).unwrap();
+        let predicted = cost_delta_for_strip(&cls, &map, &strip, 1.0);
+        map.add_shot(&strip);
+        let after = evaluate(&cls, &map);
+        assert!(
+            (after.cost - before.cost - predicted).abs() < 1e-9,
+            "predicted {predicted}, actual {}",
+            after.cost - before.cost
+        );
+        assert!(predicted < 0.0, "growing toward the target must help");
+    }
+
+    #[test]
+    fn strip_delta_negative_direction() {
+        let shot = Rect::new(0, 0, 40, 40).unwrap();
+        let (cls, mut map) = setup(&[shot]);
+        // Candidate move: shrink the right edge by 1 px (subtract strip).
+        let strip = Rect::new(39, 0, 40, 40).unwrap();
+        let predicted = cost_delta_for_strip(&cls, &map, &strip, -1.0);
+        let before = evaluate(&cls, &map);
+        map.remove_shot(&strip);
+        let after = evaluate(&cls, &map);
+        assert!((after.cost - before.cost - predicted).abs() < 1e-9);
+    }
+}

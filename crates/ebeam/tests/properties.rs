@@ -1,0 +1,118 @@
+//! Property-based tests for the exposure model.
+
+use maskfrac_ebeam::violations::{cost_delta_for_strip, evaluate};
+use maskfrac_ebeam::{Classification, ExposureModel, IntensityMap};
+use maskfrac_geom::{Polygon, Rect};
+use proptest::prelude::*;
+
+fn shot_strategy() -> impl Strategy<Value = Rect> {
+    (-30i64..60, -30i64..60, 10i64..60, 10i64..60)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h).expect("w,h > 0"))
+}
+
+proptest! {
+    #[test]
+    fn intensity_is_bounded(shot in shot_strategy(), x in -60.0f64..120.0, y in -60.0f64..120.0) {
+        let m = ExposureModel::paper_default();
+        let v = m.shot_intensity(&shot, x, y);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "I = {v}");
+    }
+
+    #[test]
+    fn intensity_lut_matches_exact(shot in shot_strategy(), x in -60.0f64..120.0, y in -60.0f64..120.0) {
+        let m = ExposureModel::paper_default();
+        let lut = m.shot_intensity(&shot, x, y);
+        let exact = m.shot_intensity_exact(&shot, x, y);
+        prop_assert!((lut - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intensity_additive_across_split(
+        shot in shot_strategy(),
+        frac in 0.2f64..0.8,
+        x in -40.0f64..100.0,
+        y in -40.0f64..100.0,
+    ) {
+        // Splitting a shot along a vertical line preserves total intensity.
+        let m = ExposureModel::paper_default();
+        let cut = shot.x0() + ((shot.width() as f64 * frac) as i64).clamp(1, shot.width() - 1);
+        let left = Rect::new(shot.x0(), shot.y0(), cut, shot.y1()).expect("ordered");
+        let right = Rect::new(cut, shot.y0(), shot.x1(), shot.y1()).expect("ordered");
+        let whole = m.shot_intensity_exact(&shot, x, y);
+        let parts = m.shot_intensity_exact(&left, x, y) + m.shot_intensity_exact(&right, x, y);
+        prop_assert!((whole - parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_incremental_matches_rebuild(shots in proptest::collection::vec(shot_strategy(), 1..6)) {
+        let m = ExposureModel::paper_default();
+        let frame = maskfrac_geom::Frame::new(maskfrac_geom::Point::new(-50, -50), 180, 180);
+        let mut incremental = IntensityMap::new(m.clone(), frame);
+        // Add all, remove every other, re-add them.
+        for s in &shots {
+            incremental.add_shot(s);
+        }
+        for s in shots.iter().step_by(2) {
+            incremental.remove_shot(s);
+        }
+        for s in shots.iter().step_by(2) {
+            incremental.add_shot(s);
+        }
+        let mut rebuilt = IntensityMap::new(m, frame);
+        rebuilt.rebuild(shots.iter());
+        prop_assert!(incremental.max_abs_diff(&rebuilt) < 1e-9);
+    }
+
+    #[test]
+    fn strip_delta_predicts_full_evaluation(
+        shot in shot_strategy(),
+        edge_pick in 0usize..4,
+        sign_pick in proptest::bool::ANY,
+    ) {
+        let m = ExposureModel::paper_default();
+        let target = Polygon::from_rect(Rect::new(0, 0, 50, 50).expect("rect"));
+        let cls = Classification::build(&target, 2.0, m.support_radius_px() + 2);
+        let mut map = IntensityMap::new(m, cls.frame());
+        map.add_shot(&shot);
+
+        // A random 1-px strip on one side of the shot.
+        let strip = match edge_pick {
+            0 => Rect::new(shot.x0() - 1, shot.y0(), shot.x0(), shot.y1()),
+            1 => Rect::new(shot.x1(), shot.y0(), shot.x1() + 1, shot.y1()),
+            2 => Rect::new(shot.x0(), shot.y0() - 1, shot.x1(), shot.y0()),
+            _ => Rect::new(shot.x0(), shot.y1(), shot.x1(), shot.y1() + 1),
+        }.expect("strip ordered");
+        let sign = if sign_pick { 1.0 } else { -1.0 };
+
+        let before = evaluate(&cls, &map);
+        let predicted = cost_delta_for_strip(&cls, &map, &strip, sign);
+        if sign > 0.0 {
+            map.add_shot(&strip);
+        } else {
+            map.remove_shot(&strip);
+        }
+        let after = evaluate(&cls, &map);
+        prop_assert!(
+            (after.cost - before.cost - predicted).abs() < 1e-9,
+            "predicted {predicted}, actual {}",
+            after.cost - before.cost
+        );
+    }
+
+    #[test]
+    fn classification_is_exhaustive_and_consistent(
+        w in 20i64..70,
+        h in 20i64..70,
+        gamma in 1.0f64..4.0,
+    ) {
+        let target = Polygon::from_rect(Rect::new(0, 0, w, h).expect("rect"));
+        let cls = Classification::build(&target, gamma, 25);
+        prop_assert_eq!(
+            cls.on_count() + cls.off_count() + cls.band_count(),
+            cls.frame().len()
+        );
+        // Interior shrinks as gamma grows.
+        let tight = Classification::build(&target, 0.5, 25);
+        prop_assert!(cls.on_count() <= tight.on_count());
+    }
+}

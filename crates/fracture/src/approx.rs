@@ -1,0 +1,490 @@
+//! Graph-coloring-based approximate fracturing (paper §3, Figs. 1, 3, 4).
+//!
+//! Pipeline: simplify the boundary (RDP, tolerance `γ`) → extract and
+//! cluster shot corner points → build the compatibility graph (edge ⇔ the
+//! two corner points can be corners of one valid shot) → minimum clique
+//! partition via greedy coloring of the inverse graph → place one shot per
+//! color class, extending degenerate classes to the opposite target
+//! boundary.
+//!
+//! The output is *approximate*: it may contain CD violations, which the
+//! iterative [refinement](mod@crate::refine) step fixes.
+
+use crate::config::FractureConfig;
+use crate::corner::{cluster_corners, extract_shot_corners, CornerType, ShotCorner};
+use maskfrac_ebeam::Classification;
+use maskfrac_geom::rdp::simplify_ring;
+use maskfrac_geom::{Polygon, Rect};
+use maskfrac_graph::{clique_partition, Graph};
+
+/// Result of the approximate fracturing stage.
+#[derive(Debug, Clone)]
+pub struct ApproxFracture {
+    /// Initial (possibly violating) shot list.
+    pub shots: Vec<Rect>,
+    /// Clustered shot corner points (graph vertices).
+    pub corners: Vec<ShotCorner>,
+    /// The RDP-simplified target boundary.
+    pub simplified: Polygon,
+    /// Color classes (cliques) over `corners` indices, one per shot slot.
+    pub color_classes: Vec<Vec<usize>>,
+}
+
+/// Fraction of `rect`'s pixels whose centres land on target pixels.
+///
+/// Pixels outside the classification frame count as outside the target;
+/// the denominator is the full rectangle area, so a rect hanging off the
+/// frame is penalized, not ignored.
+pub(crate) fn fraction_inside_target(cls: &Classification, rect: &Rect) -> f64 {
+    if rect.is_degenerate() {
+        return 0.0;
+    }
+    let frame = cls.frame();
+    let xs = frame.clamp_x_range(rect.x0() as f64, rect.x1() as f64);
+    let ys = frame.clamp_y_range(rect.y0() as f64, rect.y1() as f64);
+    let mut inside = 0i64;
+    for iy in ys {
+        for ix in xs.clone() {
+            if cls.target_bitmap().get(ix, iy) {
+                inside += 1;
+            }
+        }
+    }
+    inside as f64 / rect.area() as f64
+}
+
+/// The unique test shot induced by two corner points, if they are
+/// compatible (paper §3): different types, and either a correctly-oriented
+/// diagonal pair (unique rectangle) or a same-edge pair extended to the
+/// minimum size `lmin` in the free direction.
+pub(crate) fn test_shot(a: &ShotCorner, b: &ShotCorner, lmin: i64) -> Option<Rect> {
+    use CornerType::*;
+    // Alignment slack for same-edge pairs: corners of one shot edge must
+    // share a coordinate; clustered points may be off by a little.
+    let tol = lmin;
+    let (a, b) = if corner_rank(a.kind) <= corner_rank(b.kind) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let (pa, pb) = (a.pos, b.pos);
+    match (a.kind, b.kind) {
+        (BottomLeft, TopRight) => {
+            if pb.x - pa.x >= lmin && pb.y - pa.y >= lmin {
+                Rect::new(pa.x, pa.y, pb.x, pb.y)
+            } else {
+                None
+            }
+        }
+        (BottomRight, TopLeft) => {
+            if pa.x - pb.x >= lmin && pb.y - pa.y >= lmin {
+                Rect::new(pb.x, pa.y, pa.x, pb.y)
+            } else {
+                None
+            }
+        }
+        (BottomLeft, TopLeft) => {
+            if pb.y - pa.y >= lmin && (pa.x - pb.x).abs() <= tol {
+                let x0 = pa.x.min(pb.x);
+                Rect::new(x0, pa.y, x0 + lmin, pb.y)
+            } else {
+                None
+            }
+        }
+        (BottomRight, TopRight) => {
+            if pb.y - pa.y >= lmin && (pa.x - pb.x).abs() <= tol {
+                let x1 = pa.x.max(pb.x);
+                Rect::new(x1 - lmin, pa.y, x1, pb.y)
+            } else {
+                None
+            }
+        }
+        (BottomLeft, BottomRight) => {
+            if pb.x - pa.x >= lmin && (pa.y - pb.y).abs() <= tol {
+                let y0 = pa.y.min(pb.y);
+                Rect::new(pa.x, y0, pb.x, y0 + lmin)
+            } else {
+                None
+            }
+        }
+        (TopLeft, TopRight) => {
+            if pb.x - pa.x >= lmin && (pa.y - pb.y).abs() <= tol {
+                let y1 = pa.y.max(pb.y);
+                Rect::new(pa.x, y1 - lmin, pb.x, y1)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+use crate::corner::corner_rank;
+
+/// Builds the corner-compatibility graph.
+pub(crate) fn build_corner_graph(
+    corners: &[ShotCorner],
+    cls: &Classification,
+    cfg: &FractureConfig,
+) -> Graph {
+    let mut g = Graph::new(corners.len());
+    for i in 0..corners.len() {
+        for j in (i + 1)..corners.len() {
+            if corners[i].kind == corners[j].kind {
+                continue;
+            }
+            if let Some(shot) = test_shot(&corners[i], &corners[j], cfg.min_shot_size) {
+                if fraction_inside_target(cls, &shot) >= cfg.shot_overlap_fraction {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Places the shot for one color class (clique) of corner points.
+///
+/// Sides with at least one corner of the matching type are pinned to the
+/// mean coordinate of those corners; free sides start at minimum distance
+/// and are extended until they touch the opposite boundary of the target
+/// (paper Fig. 4).
+pub(crate) fn place_shot(
+    class: &[ShotCorner],
+    cls: &Classification,
+    lmin: i64,
+) -> Option<Rect> {
+    debug_assert!(!class.is_empty());
+    let mean = |values: &[i64]| -> Option<i64> {
+        if values.is_empty() {
+            None
+        } else {
+            Some(
+                (values.iter().sum::<i64>() as f64 / values.len() as f64).round() as i64,
+            )
+        }
+    };
+    let left: Vec<i64> = class.iter().filter(|c| c.kind.is_left()).map(|c| c.pos.x).collect();
+    let right: Vec<i64> = class.iter().filter(|c| !c.kind.is_left()).map(|c| c.pos.x).collect();
+    let bottom: Vec<i64> = class.iter().filter(|c| c.kind.is_bottom()).map(|c| c.pos.y).collect();
+    let top: Vec<i64> = class.iter().filter(|c| !c.kind.is_bottom()).map(|c| c.pos.y).collect();
+
+    let (x0_pin, x1_pin) = (mean(&left), mean(&right));
+    let (y0_pin, y1_pin) = (mean(&bottom), mean(&top));
+
+    // Seed free sides at minimum distance from the pinned side.
+    let (mut x0, mut x1) = match (x0_pin, x1_pin) {
+        (Some(a), Some(b)) => (a, b),
+        (Some(a), None) => (a, a + lmin),
+        (None, Some(b)) => (b - lmin, b),
+        (None, None) => return None, // no x information at all
+    };
+    let (mut y0, mut y1) = match (y0_pin, y1_pin) {
+        (Some(a), Some(b)) => (a, b),
+        (Some(a), None) => (a, a + lmin),
+        (None, Some(b)) => (b - lmin, b),
+        (None, None) => return None,
+    };
+
+    // Enforce the minimum size, growing on free sides first.
+    if x1 - x0 < lmin {
+        match (x0_pin, x1_pin) {
+            (Some(_), None) => x1 = x0 + lmin,
+            (None, Some(_)) => x0 = x1 - lmin,
+            _ => {
+                let grow = lmin - (x1 - x0);
+                x0 -= grow / 2;
+                x1 = x0 + lmin;
+            }
+        }
+    }
+    if y1 - y0 < lmin {
+        match (y0_pin, y1_pin) {
+            (Some(_), None) => y1 = y0 + lmin,
+            (None, Some(_)) => y0 = y1 - lmin,
+            _ => {
+                let grow = lmin - (y1 - y0);
+                y0 -= grow / 2;
+                y1 = y0 + lmin;
+            }
+        }
+    }
+
+    let mut shot = Rect::new(x0, y0, x1, y1)?;
+    // Extend free edges until they touch the opposite target boundary.
+    use maskfrac_geom::rect::Edge;
+    if x1_pin.is_none() {
+        shot = extend_edge_to_boundary(shot, Edge::Right, cls);
+    }
+    if x0_pin.is_none() {
+        shot = extend_edge_to_boundary(shot, Edge::Left, cls);
+    }
+    if y1_pin.is_none() {
+        shot = extend_edge_to_boundary(shot, Edge::Top, cls);
+    }
+    if y0_pin.is_none() {
+        shot = extend_edge_to_boundary(shot, Edge::Bottom, cls);
+    }
+    Some(shot)
+}
+
+/// Steps `edge` outward 1 nm at a time while the newly swept strip is at
+/// least half inside the target, so the edge stops at (touches) the
+/// opposite boundary.
+fn extend_edge_to_boundary(
+    shot: Rect,
+    edge: maskfrac_geom::rect::Edge,
+    cls: &Classification,
+) -> Rect {
+    use maskfrac_geom::rect::Edge;
+    let frame = cls.frame();
+    let limit = frame.width().max(frame.height()) as i64;
+    let mut current = shot;
+    for _ in 0..limit {
+        let pos = current.edge(edge);
+        let next = match edge {
+            Edge::Right | Edge::Top => pos + 1,
+            Edge::Left | Edge::Bottom => pos - 1,
+        };
+        let strip = match edge {
+            Edge::Right => Rect::new(pos, current.y0(), next, current.y1()),
+            Edge::Left => Rect::new(next, current.y0(), pos, current.y1()),
+            Edge::Top => Rect::new(current.x0(), pos, current.x1(), next),
+            Edge::Bottom => Rect::new(current.x0(), next, current.x1(), pos),
+        };
+        let Some(strip) = strip else { break };
+        if fraction_inside_target(cls, &strip) < 0.5 {
+            break;
+        }
+        match current.with_edge(edge, next) {
+            Some(r) => current = r,
+            None => break,
+        }
+    }
+    current
+}
+
+/// Runs the full approximate-fracturing stage.
+///
+/// `model` supplies the corner insets used as outward shifts for the
+/// extracted corner points.
+pub fn approximate_fracture(
+    target: &Polygon,
+    cls: &Classification,
+    model: &maskfrac_ebeam::ExposureModel,
+    cfg: &FractureConfig,
+    lth: f64,
+) -> ApproxFracture {
+    approximate_fracture_region(
+        &maskfrac_geom::Region::simple(target.clone()),
+        cls,
+        model,
+        cfg,
+        lth,
+    )
+}
+
+/// Region (polygon-with-holes) variant of [`approximate_fracture`]: shot
+/// corner points are extracted from the outer boundary and from every
+/// hole boundary (walked clockwise so the region interior stays on the
+/// left).
+pub fn approximate_fracture_region(
+    target: &maskfrac_geom::Region,
+    cls: &Classification,
+    model: &maskfrac_ebeam::ExposureModel,
+    cfg: &FractureConfig,
+    lth: f64,
+) -> ApproxFracture {
+    let simplified = simplify_ring(target.outer(), cfg.gamma);
+    let axis_shift = maskfrac_ebeam::lth::corner_inset_per_axis(model);
+    let perp_shift = maskfrac_ebeam::lth::corner_inset_diagonal(model);
+    let mut raw = extract_shot_corners(&simplified, lth, axis_shift, perp_shift);
+    for hole in target.holes() {
+        let hole_simplified = simplify_ring(hole, cfg.gamma);
+        let mut ring = hole_simplified.vertices().to_vec();
+        ring.reverse(); // interior of the region on the left
+        raw.extend(crate::corner::extract_shot_corners_from_ring(
+            &ring, lth, axis_shift, perp_shift,
+        ));
+    }
+    let corners = cluster_corners(&raw, lth);
+    let graph = build_corner_graph(&corners, cls, cfg);
+    let color_classes = clique_partition(&graph, cfg.coloring);
+
+    let mut shots: Vec<Rect> = Vec::with_capacity(color_classes.len());
+    for class in &color_classes {
+        let members: Vec<ShotCorner> = class.iter().map(|&i| corners[i]).collect();
+        if let Some(shot) = place_shot(&members, cls, cfg.min_shot_size) {
+            if !shots.contains(&shot) {
+                shots.push(shot);
+            }
+        }
+    }
+    ApproxFracture {
+        shots,
+        corners,
+        simplified,
+        color_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::Point;
+
+    fn classification_for(target: &Polygon) -> Classification {
+        Classification::build(target, 2.0, 22)
+    }
+
+    fn corner(x: i64, y: i64, kind: CornerType) -> ShotCorner {
+        ShotCorner {
+            pos: Point::new(x, y),
+            kind,
+        }
+    }
+
+    #[test]
+    fn test_shot_diagonal_pairs() {
+        use CornerType::*;
+        let bl = corner(0, 0, BottomLeft);
+        let tr = corner(30, 20, TopRight);
+        assert_eq!(test_shot(&bl, &tr, 10), Rect::new(0, 0, 30, 20));
+        assert_eq!(test_shot(&tr, &bl, 10), Rect::new(0, 0, 30, 20));
+        // Too small or inverted: rejected.
+        let tr_small = corner(5, 20, TopRight);
+        assert_eq!(test_shot(&bl, &tr_small, 10), None);
+        let tr_inverted = corner(-30, -20, TopRight);
+        assert_eq!(test_shot(&bl, &tr_inverted, 10), None);
+
+        let br = corner(30, 0, BottomRight);
+        let tl = corner(0, 20, TopLeft);
+        assert_eq!(test_shot(&br, &tl, 10), Rect::new(0, 0, 30, 20));
+    }
+
+    #[test]
+    fn test_shot_same_edge_pairs() {
+        use CornerType::*;
+        let bl = corner(0, 0, BottomLeft);
+        let tl = corner(0, 25, TopLeft);
+        assert_eq!(test_shot(&bl, &tl, 10), Rect::new(0, 0, 10, 25));
+        let br = corner(40, 0, BottomRight);
+        let tr = corner(40, 25, TopRight);
+        assert_eq!(test_shot(&br, &tr, 10), Rect::new(30, 0, 40, 25));
+        assert_eq!(test_shot(&bl, &br, 10), Rect::new(0, 0, 40, 10));
+        let tl2 = corner(0, 25, TopLeft);
+        let tr2 = corner(40, 25, TopRight);
+        assert_eq!(test_shot(&tl2, &tr2, 10), Rect::new(0, 15, 40, 25));
+        // Misaligned beyond tolerance: rejected.
+        let tl_off = corner(20, 25, TopLeft);
+        assert_eq!(test_shot(&bl, &tl_off, 10), None);
+        // Same type: no shot.
+        assert_eq!(test_shot(&bl, &corner(5, 5, BottomLeft), 10), None);
+    }
+
+    #[test]
+    fn square_fractures_to_one_shot() {
+        let target = Polygon::from_rect(Rect::new(0, 0, 60, 60).unwrap());
+        let cls = classification_for(&target);
+        let cfg = FractureConfig::default();
+        let model = cfg.model();
+        let result = approximate_fracture(&target, &cls, &model, &cfg, 8.0);
+        assert_eq!(
+            result.shots.len(),
+            1,
+            "a square is one clique: {:?}",
+            result.shots
+        );
+        let s = result.shots[0];
+        // The shot hugs the square up to the deliberate corner-rounding
+        // overhang (≈ lth/(2√2) ≈ 3 nm per side).
+        assert!((s.x0()).abs() <= 4 && (s.y0()).abs() <= 4, "{s}");
+        assert!((s.x1() - 60).abs() <= 4 && (s.y1() - 60).abs() <= 4, "{s}");
+    }
+
+    #[test]
+    fn l_shape_fractures_to_two_or_three_shots() {
+        let target = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(80, 0),
+            Point::new(80, 30),
+            Point::new(30, 30),
+            Point::new(30, 80),
+            Point::new(0, 80),
+        ])
+        .unwrap();
+        let cls = classification_for(&target);
+        let cfg = FractureConfig::default();
+        let model = cfg.model();
+        let result = approximate_fracture(&target, &cls, &model, &cfg, 8.0);
+        assert!(
+            (2..=4).contains(&result.shots.len()),
+            "L-shape expects ~2 overlapping shots, got {:?}",
+            result.shots
+        );
+        // Every shot mostly inside the L.
+        for s in &result.shots {
+            assert!(
+                fraction_inside_target(&cls, s) >= 0.45,
+                "shot {s} strays outside"
+            );
+        }
+    }
+
+    #[test]
+    fn place_shot_extends_free_sides_to_boundary() {
+        use CornerType::*;
+        let target = Polygon::from_rect(Rect::new(0, 0, 50, 40).unwrap());
+        let cls = classification_for(&target);
+        // Only the two top corners: bottom edge is free and must extend
+        // down to the bottom boundary (paper Fig. 4).
+        let class = vec![corner(0, 40, TopLeft), corner(50, 40, TopRight)];
+        let shot = place_shot(&class, &cls, 10).unwrap();
+        assert_eq!(shot.y1(), 40);
+        assert!(shot.y0() <= 1, "bottom edge must reach the boundary, got {shot}");
+        assert_eq!(shot.x0(), 0);
+        assert_eq!(shot.x1(), 50);
+    }
+
+    #[test]
+    fn place_shot_single_corner() {
+        use CornerType::*;
+        let target = Polygon::from_rect(Rect::new(0, 0, 50, 40).unwrap());
+        let cls = classification_for(&target);
+        let shot = place_shot(&[corner(0, 0, BottomLeft)], &cls, 10).unwrap();
+        assert_eq!(shot.bottom_left(), Point::new(0, 0));
+        // Free right/top edges extend across the target.
+        assert!(shot.x1() >= 49);
+        assert!(shot.y1() >= 39);
+    }
+
+    #[test]
+    fn fraction_inside_target_cases() {
+        let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).unwrap());
+        let cls = classification_for(&target);
+        assert!(fraction_inside_target(&cls, &Rect::new(5, 5, 35, 35).unwrap()) > 0.99);
+        assert!(fraction_inside_target(&cls, &Rect::new(-40, 0, 0, 40).unwrap()) < 0.01);
+        let half = fraction_inside_target(&cls, &Rect::new(-20, 0, 20, 40).unwrap());
+        assert!((half - 0.5).abs() < 0.05, "half in: {half}");
+        assert_eq!(
+            fraction_inside_target(&cls, &Rect::new(0, 0, 0, 40).unwrap()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn graph_connects_compatible_corners_only() {
+        use CornerType::*;
+        let target = Polygon::from_rect(Rect::new(0, 0, 60, 60).unwrap());
+        let cls = classification_for(&target);
+        let corners = vec![
+            corner(0, 0, BottomLeft),
+            corner(60, 60, TopRight),
+            corner(0, 0, TopRight), // inverted diagonal: incompatible with 0
+        ];
+        let cfg = FractureConfig::default();
+        let g = build_corner_graph(&corners, &cls, &cfg);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+}

@@ -1,0 +1,312 @@
+//! The end-to-end model-based fracturer.
+
+use crate::approx::{approximate_fracture_region, ApproxFracture};
+use crate::config::FractureConfig;
+use crate::refine::{refine, RefineOutcome};
+use maskfrac_ebeam::{Classification, ExposureModel, FailureSummary};
+use maskfrac_geom::{Polygon, Rect, Region};
+use std::time::{Duration, Instant};
+
+/// Output of a fracturing run.
+#[derive(Debug, Clone)]
+pub struct FractureResult {
+    /// The final shot list.
+    pub shots: Vec<Rect>,
+    /// Violation summary of `shots` (zero failing pixels when feasible).
+    pub summary: FailureSummary,
+    /// Refinement iterations executed.
+    pub iterations: usize,
+    /// Shot count after the approximate stage, before refinement.
+    pub approx_shot_count: usize,
+    /// Wall-clock time of the whole run.
+    pub runtime: Duration,
+}
+
+impl FractureResult {
+    /// Number of e-beam shots — the paper's primary metric.
+    #[inline]
+    pub fn shot_count(&self) -> usize {
+        self.shots.len()
+    }
+}
+
+/// The paper's model-based mask fracturer: graph-coloring approximate
+/// fracturing (§3) followed by iterative shot refinement (§4).
+///
+/// Construction resolves `Lth` from the exposure model once, so repeated
+/// [`fracture`](Self::fracture) calls on different shapes (a mask has
+/// billions) share the setup.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
+/// use maskfrac_geom::{Point, Polygon};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = Polygon::new(vec![
+///     Point::new(0, 0), Point::new(60, 0), Point::new(60, 30),
+///     Point::new(30, 30), Point::new(30, 60), Point::new(0, 60),
+/// ])?;
+/// let fracturer = ModelBasedFracturer::new(FractureConfig::default());
+/// let result = fracturer.fracture(&target);
+/// assert!(result.summary.is_feasible());
+/// assert!(result.shot_count() <= 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelBasedFracturer {
+    config: FractureConfig,
+    model: ExposureModel,
+    lth: f64,
+}
+
+impl ModelBasedFracturer {
+    /// Creates a fracturer, deriving `Lth` from the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`FractureConfig::validate`].
+    pub fn new(config: FractureConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid fracture config: {msg}");
+        }
+        let model = config.model();
+        let lth = config.resolve_lth();
+        ModelBasedFracturer { config, model, lth }
+    }
+
+    /// The configuration this fracturer runs with.
+    #[inline]
+    pub fn config(&self) -> &FractureConfig {
+        &self.config
+    }
+
+    /// The exposure model.
+    #[inline]
+    pub fn model(&self) -> &ExposureModel {
+        &self.model
+    }
+
+    /// The resolved `Lth` in nm.
+    #[inline]
+    pub fn lth(&self) -> f64 {
+        self.lth
+    }
+
+    /// Builds the pixel classification for `target` with the margin the
+    /// pipeline uses (support radius + slack).
+    pub fn classify(&self, target: &Polygon) -> Classification {
+        Classification::build(target, self.config.gamma, self.model.support_radius_px() + 2)
+    }
+
+    /// Region variant of [`classify`](Self::classify).
+    pub fn classify_region(&self, target: &Region) -> Classification {
+        Classification::build_region(target, self.config.gamma, self.model.support_radius_px() + 2)
+    }
+
+    /// Fractures one target shape.
+    pub fn fracture(&self, target: &Polygon) -> FractureResult {
+        let (result, _, _) = self.fracture_traced(target);
+        result
+    }
+
+    /// Fractures a target region (polygon with holes).
+    pub fn fracture_region(&self, target: &Region) -> FractureResult {
+        let (result, _, _) = self.fracture_region_traced(target);
+        result
+    }
+
+    /// Fractures one target shape, also returning the intermediate
+    /// approximate solution and the refinement trace (used by the figure
+    /// harness and ablations).
+    pub fn fracture_traced(
+        &self,
+        target: &Polygon,
+    ) -> (FractureResult, ApproxFracture, RefineOutcome) {
+        self.fracture_region_traced(&Region::simple(target.clone()))
+    }
+
+    /// Region variant of [`fracture_traced`](Self::fracture_traced).
+    pub fn fracture_region_traced(
+        &self,
+        target: &Region,
+    ) -> (FractureResult, ApproxFracture, RefineOutcome) {
+        let start = Instant::now();
+        let cls = self.classify_region(target);
+        let approx = approximate_fracture_region(target, &cls, &self.model, &self.config, self.lth);
+        let mut outcome = refine(&cls, &self.model, &self.config, approx.shots.clone());
+        if !outcome.summary.is_feasible() {
+            // Robustness restart: the coloring seed occasionally lands in a
+            // basin Algorithm 1 cannot leave (offset staircase arms where
+            // every single-edge move trades on- for off-violations).
+            // Reseed once from a conventional tolerant-slab partition —
+            // non-overlapping, feasibility-friendly — and keep whichever
+            // result is better by (failing pixels, shot count).
+            let bitmap = target.rasterize(cls.frame());
+            let tol = (self.config.sigma * 0.6).round() as i64;
+            let seeds: Vec<Rect> = maskfrac_geom::partition::partition_slabs_tolerant(
+                &bitmap,
+                cls.frame(),
+                tol,
+            )
+            .into_iter()
+            .filter(|r| r.min_side() >= self.config.min_shot_size / 2)
+            .map(|r| {
+                Rect::new(
+                    r.x0(),
+                    r.y0(),
+                    r.x1().max(r.x0() + self.config.min_shot_size),
+                    r.y1().max(r.y0() + self.config.min_shot_size),
+                )
+                .expect("grown seed ordered")
+            })
+            .collect();
+            if !seeds.is_empty() {
+                let restarted = refine(&cls, &self.model, &self.config, seeds);
+                if (restarted.summary.fail_count(), restarted.shots.len())
+                    < (outcome.summary.fail_count(), outcome.shots.len())
+                {
+                    // Keep the primary run's history (the trace the figure
+                    // harness plots); adopt the restarted solution.
+                    outcome = RefineOutcome {
+                        history: outcome.history,
+                        ..restarted
+                    };
+                }
+            }
+        }
+        if self.config.reduction_sweep && outcome.summary.is_feasible() {
+            let reduced = crate::refine::reduce_shots(
+                &cls,
+                &self.model,
+                &self.config,
+                outcome.shots.clone(),
+            );
+            if reduced.shots.len() < outcome.shots.len() {
+                outcome.iterations += reduced.iterations;
+                outcome.shots = reduced.shots;
+                outcome.summary = reduced.summary;
+            }
+        }
+        let result = FractureResult {
+            shots: outcome.shots.clone(),
+            summary: outcome.summary,
+            iterations: outcome.iterations,
+            approx_shot_count: approx.shots.len(),
+            runtime: start.elapsed(),
+        };
+        (result, approx, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::Point;
+
+    #[test]
+    fn square_is_one_shot() {
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let target = Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap());
+        let r = f.fracture(&target);
+        assert!(r.summary.is_feasible(), "{:?}", r.summary);
+        assert_eq!(r.shot_count(), 1);
+    }
+
+    #[test]
+    fn rectangle_is_one_shot() {
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let target = Polygon::from_rect(Rect::new(0, 0, 120, 25).unwrap());
+        let r = f.fracture(&target);
+        assert!(r.summary.is_feasible(), "{:?}", r.summary);
+        assert_eq!(r.shot_count(), 1, "shots: {:?}", r.shots);
+    }
+
+    #[test]
+    fn l_shape_is_two_shots() {
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let target = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(80, 0),
+            Point::new(80, 30),
+            Point::new(30, 30),
+            Point::new(30, 80),
+            Point::new(0, 80),
+        ])
+        .unwrap();
+        let r = f.fracture(&target);
+        assert!(r.summary.is_feasible(), "{:?}", r.summary);
+        assert!(r.shot_count() <= 3, "L-shape: {:?}", r.shots);
+    }
+
+    #[test]
+    fn traced_run_exposes_stages() {
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).unwrap());
+        let (result, approx, outcome) = f.fracture_traced(&target);
+        assert_eq!(result.approx_shot_count, approx.shots.len());
+        assert_eq!(result.iterations, outcome.iterations);
+        assert!(!approx.corners.is_empty());
+        assert!(approx.simplified.len() >= 4);
+    }
+
+    #[test]
+    fn lth_is_resolved_once() {
+        let f = ModelBasedFracturer::new(FractureConfig {
+            lth_override: Some(9.0),
+            ..FractureConfig::default()
+        });
+        assert_eq!(f.lth(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fracture config")]
+    fn invalid_config_panics() {
+        ModelBasedFracturer::new(FractureConfig {
+            gamma: -1.0,
+            ..FractureConfig::default()
+        });
+    }
+}
+
+#[cfg(test)]
+mod region_tests {
+    use super::*;
+    use maskfrac_geom::Polygon;
+
+    #[test]
+    fn donut_region_fractures_feasibly() {
+        // A square annulus: 90x90 outer with a 30x30 central hole.
+        let outer = Polygon::from_rect(Rect::new(0, 0, 90, 90).unwrap());
+        let hole = Polygon::from_rect(Rect::new(30, 30, 60, 60).unwrap());
+        let donut = Region::new(outer, vec![hole]).unwrap();
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let r = f.fracture_region(&donut);
+        assert!(r.summary.is_feasible(), "{:?}", r.summary);
+        // A square annulus needs ~4 overlapping shots.
+        assert!(
+            (3..=6).contains(&r.shot_count()),
+            "annulus shots: {:?}",
+            r.shots
+        );
+        // No shot may cover the hole centre (it would violate Poff there).
+        for s in &r.shots {
+            assert!(
+                !s.contains_f64(45.0, 45.0),
+                "shot {s} prints into the hole"
+            );
+        }
+    }
+
+    #[test]
+    fn region_of_simple_polygon_matches_polygon_path() {
+        let target = Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap());
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let a = f.fracture(&target);
+        let b = f.fracture_region(&Region::simple(target));
+        assert_eq!(a.shots, b.shots);
+        assert_eq!(a.summary, b.summary);
+    }
+}

@@ -1,0 +1,865 @@
+//! Iterative shot refinement (paper §4, Algorithm 1).
+//!
+//! Takes the approximate fracturing solution and repairs its CD violations
+//! while holding the shot count down, by repeating, for up to `Nmax`
+//! iterations:
+//!
+//! * **greedy shot edge adjustment** — every shot edge proposes ±1 nm
+//!   moves, scored by the change in `cost_ref` (Eq. 5); improving moves
+//!   are accepted best-first with a `2σ` blocking radius so accepted moves
+//!   cannot interact (which would both invalidate the scores and cause the
+//!   cycling the paper warns about);
+//! * **bias all shots** — when no single edge improves, every shot is
+//!   uniformly grown (too many under-exposed pixels) or shrunk (too many
+//!   over-exposed) one pixel to escape the local minimum;
+//! * **add / remove / merge shots** — when the cost has not improved for
+//!   `NH` iterations: one shot is added over the largest cluster of failing
+//!   `Pon` pixels, or the shot blamed for the most failing `Poff` pixels is
+//!   removed, after which aligned or redundant shots are merged.
+//!
+//! The best solution (fewest failing pixels) seen across all iterations is
+//! returned.
+
+use crate::config::FractureConfig;
+use maskfrac_ebeam::violations::{cost_delta_for_strip, evaluate, fail_bitmaps};
+use maskfrac_ebeam::{Classification, ExposureModel, FailureSummary, IntensityMap};
+use maskfrac_geom::rect::Edge;
+use maskfrac_geom::{label_components, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Per-iteration trace record (used by the figure/ablation harness).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// `cost_ref` at the start of the iteration.
+    pub cost: f64,
+    /// Failing-pixel count at the start of the iteration.
+    pub fails: usize,
+    /// Shot count at the start of the iteration.
+    pub shots: usize,
+}
+
+/// Result of shot refinement.
+#[derive(Debug, Clone)]
+pub struct RefineOutcome {
+    /// The refined shot list (best encountered by failing-pixel count).
+    pub shots: Vec<Rect>,
+    /// Violation summary of `shots`.
+    pub summary: FailureSummary,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Per-iteration trace.
+    pub history: Vec<IterationRecord>,
+}
+
+/// Runs Algorithm 1 on an initial shot list.
+///
+/// `cls` must have been built for the same target and with a margin of at
+/// least the model's support radius.
+pub fn refine(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    initial: Vec<Rect>,
+) -> RefineOutcome {
+    let mut shots = initial;
+    let mut map = IntensityMap::new(model.clone(), cls.frame());
+    for s in &shots {
+        map.add_shot(s);
+    }
+
+    let mut best_shots = shots.clone();
+    let mut best_summary = evaluate(cls, &map);
+    let mut history = Vec::new();
+
+    let mut stall_best_cost = f64::INFINITY;
+    let mut since_improve = 0usize;
+    let mut iterations = 0usize;
+    // Plateau-restart accounting for early stop.
+    let mut restarts_without_progress = 0usize;
+    let mut best_fails_at_last_restart = usize::MAX;
+    let mut best_cost_at_last_restart = f64::INFINITY;
+
+    while iterations < cfg.max_iterations {
+        let summary = evaluate(cls, &map);
+        history.push(IterationRecord {
+            cost: summary.cost,
+            fails: summary.fail_count(),
+            shots: shots.len(),
+        });
+        // Track the best solution by |Pfail|, tie-broken by shot count
+        // then cost.
+        if (summary.fail_count(), shots.len())
+            < (best_summary.fail_count(), best_shots.len())
+            || (summary.fail_count() == best_summary.fail_count()
+                && shots.len() == best_shots.len()
+                && summary.cost < best_summary.cost)
+        {
+            best_shots = shots.clone();
+            best_summary = summary;
+        }
+        if summary.fail_count() == 0 {
+            break;
+        }
+
+        if summary.cost < stall_best_cost - 1e-6 {
+            stall_best_cost = summary.cost;
+            since_improve = 0;
+        } else {
+            since_improve += 1;
+        }
+
+        if since_improve >= cfg.stall_window {
+            // Progress since the previous restart means either a better
+            // best solution or a new global cost minimum (a genuine slow
+            // descent must not be mistaken for a limit cycle).
+            let progressed = best_summary.fail_count() < best_fails_at_last_restart
+                || stall_best_cost < best_cost_at_last_restart - 1e-6;
+            best_fails_at_last_restart = best_fails_at_last_restart.min(best_summary.fail_count());
+            best_cost_at_last_restart = best_cost_at_last_restart.min(stall_best_cost);
+            if progressed {
+                restarts_without_progress = 0;
+            } else {
+                restarts_without_progress += 1;
+                if restarts_without_progress >= cfg.max_plateau_restarts {
+                    break; // cycling on an infeasible residue
+                }
+            }
+            if summary.on_fails > summary.off_fails {
+                add_shot(cls, &mut map, &mut shots, cfg);
+            } else {
+                remove_shot(cls, &mut map, &mut shots);
+            }
+            merge_shots(cls, &mut map, &mut shots, cfg);
+            // Give the jolt a fresh stall window, but keep the historical
+            // best cost as the improvement reference: resetting it would
+            // let a bias-induced limit cycle (cost rises, then descends
+            // back to the same floor) masquerade as progress forever and
+            // starve the plateau break above.
+            since_improve = 0;
+        } else {
+            // Fine ±1 nm moves first; if none improves, coarser ±2 nm
+            // strides can step over flat spots; bias is the last resort.
+            let moved = greedy_shot_edge_adjustment(cls, &mut map, &mut shots, cfg, 1)
+                || greedy_shot_edge_adjustment(cls, &mut map, &mut shots, cfg, 2);
+            if !moved {
+                bias_all_shots(cls, &mut map, &mut shots, cfg, &summary);
+            }
+        }
+        iterations += 1;
+    }
+
+    // Final check of the last state (the loop records at iteration start).
+    let final_summary = evaluate(cls, &map);
+    if (final_summary.fail_count(), shots.len())
+        < (best_summary.fail_count(), best_shots.len())
+    {
+        best_shots = shots;
+        best_summary = final_summary;
+    }
+
+    RefineOutcome {
+        shots: best_shots,
+        summary: best_summary,
+        iterations,
+        history,
+    }
+}
+
+/// Edge-only polish: greedy shot-edge adjustment plus biasing, with no
+/// shot addition, removal or merging — the shot count is preserved.
+///
+/// Used by the cover-style baselines as their "simulation driven" cleanup
+/// stage: it repairs boundary violations without granting them the paper's
+/// full Algorithm 1.
+pub fn polish_edges(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    initial: Vec<Rect>,
+    max_iterations: usize,
+) -> RefineOutcome {
+    let mut shots = initial;
+    let mut map = IntensityMap::new(model.clone(), cls.frame());
+    for s in &shots {
+        map.add_shot(s);
+    }
+    let mut best_shots = shots.clone();
+    let mut best_summary = evaluate(cls, &map);
+    let mut iterations = 0usize;
+    let mut history = Vec::new();
+    let mut bias_budget = 6usize; // bias can ping-pong; bound it
+
+    while iterations < max_iterations {
+        let summary = evaluate(cls, &map);
+        history.push(IterationRecord {
+            cost: summary.cost,
+            fails: summary.fail_count(),
+            shots: shots.len(),
+        });
+        if summary.fail_count() < best_summary.fail_count() {
+            best_shots = shots.clone();
+            best_summary = summary;
+        }
+        if summary.fail_count() == 0 {
+            break;
+        }
+        let moved = greedy_shot_edge_adjustment(cls, &mut map, &mut shots, cfg, 1)
+            || greedy_shot_edge_adjustment(cls, &mut map, &mut shots, cfg, 2);
+        if !moved {
+            if bias_budget == 0 {
+                break;
+            }
+            bias_budget -= 1;
+            bias_all_shots(cls, &mut map, &mut shots, cfg, &summary);
+        }
+        iterations += 1;
+    }
+    let final_summary = evaluate(cls, &map);
+    if final_summary.fail_count() < best_summary.fail_count() {
+        best_shots = shots;
+        best_summary = final_summary;
+    }
+    RefineOutcome {
+        shots: best_shots,
+        summary: best_summary,
+        iterations,
+        history,
+    }
+}
+
+/// Post-feasibility shot-count reduction sweep.
+///
+/// An extension beyond the paper's Algorithm 1 (which only merges shots):
+/// tentatively remove one shot and re-run a *bounded* refinement; keep the
+/// removal when a feasible solution with strictly fewer shots results.
+/// Candidates are screened by the cost of their removal (cheap-to-lose
+/// shots first) and at most `SWEEP_CANDIDATES` are attempted per sweep, so
+/// the pass stays a small multiple of one refinement run.
+///
+/// Infeasible inputs are returned unchanged — reduction only makes sense
+/// from a feasible solution.
+pub fn reduce_shots(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    shots: Vec<Rect>,
+) -> RefineOutcome {
+    const SWEEP_CANDIDATES: usize = 6;
+    let budget_cfg = FractureConfig {
+        max_iterations: 120,
+        max_plateau_restarts: 2,
+        ..cfg.clone()
+    };
+
+    let summarize = |shots: &[Rect]| -> FailureSummary {
+        let mut map = IntensityMap::new(model.clone(), cls.frame());
+        for s in shots {
+            map.add_shot(s);
+        }
+        evaluate(cls, &map)
+    };
+
+    let mut current = shots;
+    let mut summary = summarize(&current);
+    let mut total_iterations = 0usize;
+    if !summary.is_feasible() {
+        return RefineOutcome {
+            shots: current,
+            summary,
+            iterations: 0,
+            history: Vec::new(),
+        };
+    }
+
+    loop {
+        if current.len() <= 1 {
+            break;
+        }
+        // Screen: cost incurred by removing each shot from the current map.
+        let mut map = IntensityMap::new(model.clone(), cls.frame());
+        for s in &current {
+            map.add_shot(s);
+        }
+        let mut scored: Vec<(f64, usize)> = current
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (cost_delta_for_strip(cls, &map, s, -1.0), i))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+
+        let mut improved = false;
+        for &(_, i) in scored.iter().take(SWEEP_CANDIDATES) {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            let outcome = refine(cls, model, &budget_cfg, candidate);
+            total_iterations += outcome.iterations;
+            if outcome.summary.is_feasible() && outcome.shots.len() < current.len() {
+                current = outcome.shots;
+                summary = outcome.summary;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    RefineOutcome {
+        shots: current,
+        summary,
+        iterations: total_iterations,
+        history: Vec::new(),
+    }
+}
+
+/// The swept strip and intensity sign for moving `edge` of `shot` by
+/// `delta` nm (nonzero). `sign = +1` means the strip's intensity is added
+/// (the shot grew), `−1` that it is removed (the shot shrank).
+fn strip_for(shot: &Rect, edge: Edge, delta: i64) -> Option<(Rect, f64)> {
+    debug_assert!(delta != 0);
+    let d = delta.abs();
+    let (strip, sign) = match (edge, delta > 0) {
+        (Edge::Left, false) => (Rect::new(shot.x0() - d, shot.y0(), shot.x0(), shot.y1()), 1.0),
+        (Edge::Left, true) => (Rect::new(shot.x0(), shot.y0(), shot.x0() + d, shot.y1()), -1.0),
+        (Edge::Right, true) => (Rect::new(shot.x1(), shot.y0(), shot.x1() + d, shot.y1()), 1.0),
+        (Edge::Right, false) => (Rect::new(shot.x1() - d, shot.y0(), shot.x1(), shot.y1()), -1.0),
+        (Edge::Bottom, false) => (Rect::new(shot.x0(), shot.y0() - d, shot.x1(), shot.y0()), 1.0),
+        (Edge::Bottom, true) => (Rect::new(shot.x0(), shot.y0(), shot.x1(), shot.y0() + d), -1.0),
+        (Edge::Top, true) => (Rect::new(shot.x0(), shot.y1(), shot.x1(), shot.y1() + d), 1.0),
+        (Edge::Top, false) => (Rect::new(shot.x0(), shot.y1() - d, shot.x1(), shot.y1()), -1.0),
+    };
+    strip.map(|s| (s, sign))
+}
+
+/// Euclidean distance between two closed rectangles (0 if they touch).
+fn rect_distance(a: &Rect, b: &Rect) -> f64 {
+    let dx = (a.x0() - b.x1()).max(b.x0() - a.x1()).max(0) as f64;
+    let dy = (a.y0() - b.y1()).max(b.y0() - a.y1()).max(0) as f64;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// One pass of greedy shot-edge adjustment (paper §4.1).
+///
+/// Returns whether any edge moved.
+fn greedy_shot_edge_adjustment(
+    cls: &Classification,
+    map: &mut IntensityMap,
+    shots: &mut [Rect],
+    cfg: &FractureConfig,
+    stride: i64,
+) -> bool {
+    struct Candidate {
+        delta_cost: f64,
+        shot_index: usize,
+        edge: Edge,
+        delta: i64,
+        strip: Rect,
+        sign: f64,
+    }
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (si, shot) in shots.iter().enumerate() {
+        for edge in Edge::ALL {
+            for delta in [-stride, stride] {
+                let new_pos = shot.edge(edge) + delta;
+                let Some(moved) = shot.with_edge(edge, new_pos) else {
+                    continue;
+                };
+                if moved.width() < cfg.min_shot_size || moved.height() < cfg.min_shot_size {
+                    continue;
+                }
+                let Some((strip, sign)) = strip_for(shot, edge, delta) else {
+                    continue;
+                };
+                let dc = cost_delta_for_strip(cls, map, &strip, sign);
+                if dc < -1e-9 {
+                    candidates.push(Candidate {
+                        delta_cost: dc,
+                        shot_index: si,
+                        edge,
+                        delta,
+                        strip,
+                        sign,
+                    });
+                }
+            }
+        }
+    }
+    candidates.sort_by(|a, b| {
+        a.delta_cost
+            .partial_cmp(&b.delta_cost)
+            .expect("costs are finite")
+    });
+
+    // Accept best-first; block any edge whose strip comes within 2σ of an
+    // accepted strip (paper §4.1: avoids cycling and keeps the
+    // pre-computed deltas valid, since intensity interactions vanish
+    // beyond 2σ).
+    let blocking = 2.0 * map.model().sigma();
+    let mut accepted: Vec<Rect> = Vec::new();
+    for c in candidates {
+        if accepted.iter().any(|r| rect_distance(r, &c.strip) < blocking) {
+            continue;
+        }
+        let shot = shots[c.shot_index];
+        let new_pos = shot.edge(c.edge) + c.delta;
+        let Some(moved) = shot.with_edge(c.edge, new_pos) else {
+            continue;
+        };
+        shots[c.shot_index] = moved;
+        if c.sign > 0.0 {
+            map.add_shot(&c.strip);
+        } else {
+            map.remove_shot(&c.strip);
+        }
+        accepted.push(c.strip);
+    }
+    !accepted.is_empty()
+}
+
+/// Uniform bias of all shot edges (paper §4.2): grow everything one pixel
+/// when under-exposure dominates, shrink when over-exposure dominates
+/// (skipping edges whose shot would fall below `Lmin`).
+fn bias_all_shots(
+    cls: &Classification,
+    map: &mut IntensityMap,
+    shots: &mut [Rect],
+    cfg: &FractureConfig,
+    summary: &FailureSummary,
+) {
+    let grow = summary.on_fails >= summary.off_fails;
+    let _ = cls;
+    for shot in shots.iter_mut() {
+        let old = *shot;
+        let new = if grow {
+            old.expand(1).unwrap_or(old)
+        } else {
+            let shrink_x = old.width() - 2 >= cfg.min_shot_size;
+            let shrink_y = old.height() - 2 >= cfg.min_shot_size;
+            let x0 = old.x0() + i64::from(shrink_x);
+            let x1 = old.x1() - i64::from(shrink_x);
+            let y0 = old.y0() + i64::from(shrink_y);
+            let y1 = old.y1() - i64::from(shrink_y);
+            Rect::new(x0, y0, x1, y1).unwrap_or(old)
+        };
+        if new != old {
+            map.replace_shot(&old, &new);
+            *shot = new;
+        }
+    }
+}
+
+/// Adds one shot over the largest cluster of failing `Pon` pixels
+/// (paper §4.3). Returns whether a shot was added.
+///
+/// Public because the cover-style baselines (GSC, MP) use the same move as
+/// their completion pass once their candidate pools run dry.
+pub fn add_shot(
+    cls: &Classification,
+    map: &mut IntensityMap,
+    shots: &mut Vec<Rect>,
+    cfg: &FractureConfig,
+) -> bool {
+    let (on_fail, _) = fail_bitmaps(cls, map);
+    if on_fail.count_ones() == 0 {
+        return false;
+    }
+    let origin = cls.frame().origin();
+    let comps = label_components(&on_fail);
+
+    let mut best: Option<(usize, Rect)> = None;
+    for comp in &comps {
+        // Component bbox in pixel space -> absolute nm.
+        let mut rect = Rect::new(
+            origin.x + comp.bbox.x0(),
+            origin.y + comp.bbox.y0(),
+            origin.x + comp.bbox.x1(),
+            origin.y + comp.bbox.y1(),
+        )
+        .expect("component bbox is well-formed");
+        // Grow to the minimum shot size, centred.
+        if rect.width() < cfg.min_shot_size {
+            let grow = cfg.min_shot_size - rect.width();
+            rect = Rect::new(
+                rect.x0() - grow / 2,
+                rect.y0(),
+                rect.x0() - grow / 2 + cfg.min_shot_size,
+                rect.y1(),
+            )
+            .expect("growing keeps order");
+        }
+        if rect.height() < cfg.min_shot_size {
+            let grow = cfg.min_shot_size - rect.height();
+            rect = Rect::new(
+                rect.x0(),
+                rect.y0() - grow / 2,
+                rect.x1(),
+                rect.y0() - grow / 2 + cfg.min_shot_size,
+            )
+            .expect("growing keeps order");
+        }
+        // Count failing Pon pixels the grown bbox covers.
+        let frame = cls.frame();
+        let xs = frame.clamp_x_range(rect.x0() as f64, rect.x1() as f64);
+        let ys = frame.clamp_y_range(rect.y0() as f64, rect.y1() as f64);
+        let mut covered = 0usize;
+        for iy in ys {
+            for ix in xs.clone() {
+                if on_fail.get(ix, iy) {
+                    covered += 1;
+                }
+            }
+        }
+        if best.as_ref().is_none_or(|(c, _)| covered > *c) {
+            best = Some((covered, rect));
+        }
+    }
+    if let Some((_, rect)) = best {
+        // The grown bbox can slide while still covering the component:
+        // pick the alignment with the least predicted cost (it trades the
+        // fixed on-fail gain against collateral Poff exposure).
+        let mut placed = rect;
+        let mut best_dc = cost_delta_for_strip(cls, map, &rect, 1.0);
+        for dx in [-2i64, 0, 2] {
+            for dy in [-2i64, 0, 2] {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let cand = rect.translate(maskfrac_geom::Point::new(dx, dy));
+                let dc = cost_delta_for_strip(cls, map, &cand, 1.0);
+                if dc < best_dc {
+                    best_dc = dc;
+                    placed = cand;
+                }
+            }
+        }
+        // When every bbox placement is predicted harmful (an L- or
+        // ring-shaped failing region whose bbox covers exposed area),
+        // offer the tolerant slab decomposition of the failing pixels —
+        // slabs hug the region without covering the hole.
+        if best_dc >= 0.0 {
+            let sigma_px = map.model().sigma().round() as i64;
+            for slab in maskfrac_geom::partition::partition_slabs_tolerant(
+                &on_fail,
+                cls.frame(),
+                sigma_px,
+            ) {
+                let grown = Rect::new(
+                    slab.x0(),
+                    slab.y0(),
+                    slab.x1().max(slab.x0() + cfg.min_shot_size),
+                    slab.y1().max(slab.y0() + cfg.min_shot_size),
+                )
+                .expect("slab grown in place");
+                let dc = cost_delta_for_strip(cls, map, &grown, 1.0);
+                if dc < best_dc {
+                    best_dc = dc;
+                    placed = grown;
+                }
+            }
+        }
+        shots.push(placed);
+        map.add_shot(&placed);
+        return true;
+    }
+    false
+}
+
+/// Removes the shot blamed for the most failing `Poff` pixels within `σ`
+/// (paper §4.4).
+fn remove_shot(cls: &Classification, map: &mut IntensityMap, shots: &mut Vec<Rect>) {
+    if shots.is_empty() {
+        return;
+    }
+    let (_, off_fail) = fail_bitmaps(cls, map);
+    if off_fail.count_ones() == 0 {
+        return;
+    }
+    let sigma = map.model().sigma();
+    let frame = cls.frame();
+    let fail_points: Vec<(f64, f64)> = off_fail
+        .iter_set()
+        .map(|(ix, iy)| frame.pixel_center(ix, iy))
+        .collect();
+    let (worst, _) = shots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let near = fail_points
+                .iter()
+                .filter(|&&(x, y)| s.distance_to_point_f64(x, y) < sigma)
+                .count();
+            (i, near)
+        })
+        .max_by_key(|&(i, near)| (near, usize::MAX - i)) // ties: earliest
+        .expect("shots is non-empty");
+    let removed = shots.remove(worst);
+    map.remove_shot(&removed);
+}
+
+/// Merges aligned or redundant shot pairs (paper §4.5, Fig. 5). Repeats
+/// until no pair merges.
+fn merge_shots(
+    cls: &Classification,
+    map: &mut IntensityMap,
+    shots: &mut Vec<Rect>,
+    cfg: &FractureConfig,
+) {
+    let gamma = cfg.gamma.round() as i64;
+    loop {
+        let mut merged: Option<(usize, usize, Option<Rect>)> = None;
+        'outer: for i in 0..shots.len() {
+            for j in (i + 1)..shots.len() {
+                let (a, b) = (shots[i], shots[j]);
+                // Redundant: one inside the other.
+                if a.contains_rect(&b) {
+                    merged = Some((i, j, None));
+                    break 'outer;
+                }
+                if b.contains_rect(&a) {
+                    merged = Some((j, i, None));
+                    break 'outer;
+                }
+                // Aligned x-extents: merge by vertical extension.
+                let x_aligned = (a.x0() - b.x0()).abs() <= gamma && (a.x1() - b.x1()).abs() <= gamma;
+                let y_aligned = (a.y0() - b.y0()).abs() <= gamma && (a.y1() - b.y1()).abs() <= gamma;
+                if x_aligned || y_aligned {
+                    let candidate = a.union_bbox(&b);
+                    if crate::approx::fraction_inside_target(cls, &candidate)
+                        >= cfg.merge_overlap_fraction
+                    {
+                        merged = Some((i, j, Some(candidate)));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        match merged {
+            Some((keep, drop, Some(candidate))) => {
+                let (a, b) = (shots[keep], shots[drop]);
+                map.remove_shot(&a);
+                map.remove_shot(&b);
+                map.add_shot(&candidate);
+                shots[keep] = candidate;
+                shots.remove(drop);
+            }
+            Some((_, drop, None)) => {
+                let removed = shots.remove(drop);
+                map.remove_shot(&removed);
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::{Point, Polygon};
+
+    fn setup(target: &Polygon) -> (Classification, ExposureModel, FractureConfig) {
+        let cfg = FractureConfig::default();
+        let model = cfg.model();
+        let cls = Classification::build(target, cfg.gamma, model.support_radius_px() + 2);
+        (cls, model, cfg)
+    }
+
+    fn square(side: i64) -> Polygon {
+        Polygon::from_rect(Rect::new(0, 0, side, side).unwrap())
+    }
+
+    #[test]
+    fn exact_initial_solution_converges_immediately() {
+        let target = square(50);
+        let (cls, model, cfg) = setup(&target);
+        let out = refine(&cls, &model, &cfg, vec![Rect::new(0, 0, 50, 50).unwrap()]);
+        assert!(out.summary.is_feasible());
+        assert_eq!(out.shots.len(), 1);
+        assert_eq!(out.iterations, 0, "already feasible");
+    }
+
+    #[test]
+    fn slightly_offset_shot_is_pulled_onto_target() {
+        let target = square(50);
+        let (cls, model, cfg) = setup(&target);
+        let out = refine(&cls, &model, &cfg, vec![Rect::new(4, -4, 54, 46).unwrap()]);
+        assert!(
+            out.summary.is_feasible(),
+            "edge adjustment must fix a 4 nm offset: {:?}",
+            out.summary
+        );
+        assert_eq!(out.shots.len(), 1);
+        let s = out.shots[0];
+        assert!((s.x0()).abs() <= 2 && (s.y1() - 50).abs() <= 2, "{s}");
+    }
+
+    #[test]
+    fn empty_initial_solution_bootstraps_via_add_shot() {
+        let target = square(40);
+        let (cls, model, cfg) = setup(&target);
+        let out = refine(&cls, &model, &cfg, Vec::new());
+        assert!(
+            out.summary.is_feasible(),
+            "add-shot must bootstrap: {:?}",
+            out.summary
+        );
+        assert_eq!(out.shots.len(), 1);
+    }
+
+    #[test]
+    fn oversized_shot_is_shrunk_or_removed() {
+        let target = square(40);
+        let (cls, model, cfg) = setup(&target);
+        let out = refine(
+            &cls,
+            &model,
+            &cfg,
+            vec![Rect::new(-15, -15, 55, 55).unwrap()],
+        );
+        assert!(out.summary.is_feasible(), "{:?}", out.summary);
+    }
+
+    #[test]
+    fn l_shape_from_two_overlapping_shots() {
+        let target = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(80, 0),
+            Point::new(80, 30),
+            Point::new(30, 30),
+            Point::new(30, 80),
+            Point::new(0, 80),
+        ])
+        .unwrap();
+        let (cls, model, cfg) = setup(&target);
+        let initial = vec![
+            Rect::new(0, 0, 78, 28).unwrap(),
+            Rect::new(0, 0, 28, 78).unwrap(),
+        ];
+        let out = refine(&cls, &model, &cfg, initial);
+        assert!(out.summary.is_feasible(), "{:?}", out.summary);
+        assert_eq!(out.shots.len(), 2, "no extra shots needed: {:?}", out.shots);
+    }
+
+    #[test]
+    fn all_shots_respect_min_size() {
+        let target = square(30);
+        let (cls, model, cfg) = setup(&target);
+        let out = refine(&cls, &model, &cfg, vec![Rect::new(5, 5, 25, 25).unwrap()]);
+        for s in &out.shots {
+            assert!(s.width() >= cfg.min_shot_size);
+            assert!(s.height() >= cfg.min_shot_size);
+        }
+    }
+
+    #[test]
+    fn history_is_recorded() {
+        let target = square(40);
+        let (cls, model, cfg) = setup(&target);
+        let out = refine(&cls, &model, &cfg, vec![Rect::new(3, 3, 43, 43).unwrap()]);
+        assert!(!out.history.is_empty());
+        assert_eq!(out.history[0].shots, 1);
+        assert!(out.history[0].cost > 0.0);
+    }
+
+    #[test]
+    fn strip_for_all_edges() {
+        let s = Rect::new(10, 10, 30, 30).unwrap();
+        let (strip, sign) = strip_for(&s, Edge::Left, -1).unwrap();
+        assert_eq!(strip, Rect::new(9, 10, 10, 30).unwrap());
+        assert_eq!(sign, 1.0);
+        let (strip, sign) = strip_for(&s, Edge::Top, -1).unwrap();
+        assert_eq!(strip, Rect::new(10, 29, 30, 30).unwrap());
+        assert_eq!(sign, -1.0);
+        let (strip, sign) = strip_for(&s, Edge::Right, 1).unwrap();
+        assert_eq!(strip, Rect::new(30, 10, 31, 30).unwrap());
+        assert_eq!(sign, 1.0);
+        let (strip, sign) = strip_for(&s, Edge::Bottom, 1).unwrap();
+        assert_eq!(strip, Rect::new(10, 10, 30, 11).unwrap());
+        assert_eq!(sign, -1.0);
+    }
+
+    #[test]
+    fn rect_distance_cases() {
+        let a = Rect::new(0, 0, 10, 10).unwrap();
+        assert_eq!(rect_distance(&a, &Rect::new(5, 5, 20, 20).unwrap()), 0.0);
+        assert_eq!(rect_distance(&a, &Rect::new(13, 0, 20, 10).unwrap()), 3.0);
+        assert_eq!(rect_distance(&a, &Rect::new(13, 14, 20, 20).unwrap()), 5.0);
+    }
+
+    #[test]
+    fn merge_absorbs_contained_shot() {
+        let target = square(50);
+        let (cls, model, cfg) = setup(&target);
+        let mut shots = vec![
+            Rect::new(0, 0, 50, 50).unwrap(),
+            Rect::new(10, 10, 30, 30).unwrap(),
+        ];
+        let mut map = IntensityMap::new(model, cls.frame());
+        for s in &shots {
+            map.add_shot(s);
+        }
+        merge_shots(&cls, &mut map, &mut shots, &cfg);
+        assert_eq!(shots, vec![Rect::new(0, 0, 50, 50).unwrap()]);
+    }
+
+    #[test]
+    fn merge_extends_aligned_shots() {
+        let target = square(60);
+        let (cls, model, cfg) = setup(&target);
+        // Two x-aligned shots stacked with a gap, union mostly inside.
+        let mut shots = vec![
+            Rect::new(0, 0, 60, 28).unwrap(),
+            Rect::new(0, 32, 60, 60).unwrap(),
+        ];
+        let mut map = IntensityMap::new(model, cls.frame());
+        for s in &shots {
+            map.add_shot(s);
+        }
+        merge_shots(&cls, &mut map, &mut shots, &cfg);
+        assert_eq!(shots, vec![Rect::new(0, 0, 60, 60).unwrap()]);
+    }
+
+    #[test]
+    fn merge_rejects_extension_outside_target() {
+        // Two aligned shots in separate arms of a U: union crosses the gap.
+        let target = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(90, 0),
+            Point::new(90, 90),
+            Point::new(60, 90),
+            Point::new(60, 30),
+            Point::new(30, 30),
+            Point::new(30, 90),
+            Point::new(0, 90),
+        ])
+        .unwrap();
+        let (cls, model, cfg) = setup(&target);
+        let mut shots = vec![
+            Rect::new(0, 40, 28, 88).unwrap(),
+            Rect::new(62, 40, 88, 88).unwrap(),
+        ];
+        let mut map = IntensityMap::new(model, cls.frame());
+        for s in &shots {
+            map.add_shot(s);
+        }
+        let before = shots.clone();
+        merge_shots(&cls, &mut map, &mut shots, &cfg);
+        assert_eq!(shots, before, "merging across the U gap would expose Poff");
+    }
+
+    #[test]
+    fn map_stays_consistent_through_refinement() {
+        let target = square(45);
+        let (cls, model, cfg) = setup(&target);
+        let out = refine(&cls, &model, &cfg, vec![Rect::new(2, 2, 40, 40).unwrap()]);
+        // Re-simulate the returned shots from scratch; summaries must agree.
+        let mut fresh = IntensityMap::new(model, cls.frame());
+        for s in &out.shots {
+            fresh.add_shot(s);
+        }
+        let resim = evaluate(&cls, &fresh);
+        assert_eq!(resim.fail_count(), out.summary.fail_count());
+        assert!((resim.cost - out.summary.cost).abs() < 1e-6);
+    }
+}

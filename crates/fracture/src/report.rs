@@ -1,0 +1,115 @@
+//! Serializable fracturing reports and independent solution verification.
+
+use crate::config::FractureConfig;
+use crate::pipeline::FractureResult;
+use maskfrac_ebeam::{evaluate, Classification, FailureSummary, IntensityMap};
+use maskfrac_geom::{Polygon, Rect};
+use serde::{Deserialize, Serialize};
+
+/// One row of an experiment table: a method's result on one shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FractureReport {
+    /// Benchmark instance id (e.g. `"Clip-3"`).
+    pub id: String,
+    /// Method name (e.g. `"ours"`, `"gsc"`, `"mp"`, `"proto-eda"`).
+    pub method: String,
+    /// Shot count.
+    pub shot_count: usize,
+    /// Failing pixels of the returned solution.
+    pub fail_pixels: usize,
+    /// Final `cost_ref`.
+    pub cost: f64,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+    /// Refinement iterations (0 for methods without refinement).
+    pub iterations: usize,
+}
+
+impl FractureReport {
+    /// Builds a report row from a fracturing result.
+    pub fn from_result(id: &str, method: &str, result: &FractureResult) -> Self {
+        FractureReport {
+            id: id.to_owned(),
+            method: method.to_owned(),
+            shot_count: result.shot_count(),
+            fail_pixels: result.summary.fail_count(),
+            cost: result.summary.cost,
+            runtime_s: result.runtime.as_secs_f64(),
+            iterations: result.iterations,
+        }
+    }
+}
+
+/// Re-simulates a shot list from scratch against a target and returns its
+/// violation summary.
+///
+/// This is the impartial referee used by the tests and the experiment
+/// harness: it shares no state with whichever method produced the shots.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_fracture::{verify_shots, FractureConfig};
+/// use maskfrac_geom::{Polygon, Rect};
+///
+/// let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).expect("rect"));
+/// let shots = vec![Rect::new(0, 0, 40, 40).expect("rect")];
+/// let summary = verify_shots(&target, &shots, &FractureConfig::default());
+/// assert!(summary.is_feasible());
+/// ```
+pub fn verify_shots(
+    target: &Polygon,
+    shots: &[Rect],
+    config: &FractureConfig,
+) -> FailureSummary {
+    let model = config.model();
+    let cls = Classification::build(target, config.gamma, model.support_radius_px() + 2);
+    let mut map = IntensityMap::new(model, cls.frame());
+    for s in shots {
+        map.add_shot(s);
+    }
+    evaluate(&cls, &map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn report_from_result() {
+        let result = FractureResult {
+            shots: vec![Rect::new(0, 0, 10, 10).unwrap()],
+            summary: FailureSummary {
+                on_fails: 0,
+                off_fails: 2,
+                cost: 0.25,
+            },
+            iterations: 17,
+            approx_shot_count: 3,
+            runtime: Duration::from_millis(250),
+        };
+        let r = FractureReport::from_result("Clip-1", "ours", &result);
+        assert_eq!(r.shot_count, 1);
+        assert_eq!(r.fail_pixels, 2);
+        assert_eq!(r.iterations, 17);
+        assert!((r.runtime_s - 0.25).abs() < 1e-9);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"Clip-1\""));
+    }
+
+    #[test]
+    fn verify_detects_infeasible_solution() {
+        let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).unwrap());
+        let summary = verify_shots(&target, &[], &FractureConfig::default());
+        assert!(!summary.is_feasible());
+        assert!(summary.on_fails > 0);
+    }
+
+    #[test]
+    fn verify_accepts_exact_solution() {
+        let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).unwrap());
+        let shots = vec![Rect::new(0, 0, 40, 40).unwrap()];
+        assert!(verify_shots(&target, &shots, &FractureConfig::default()).is_feasible());
+    }
+}

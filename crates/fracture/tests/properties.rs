@@ -1,0 +1,126 @@
+//! Property-based tests for the fracturing pipeline's building blocks.
+
+use maskfrac_ebeam::Classification;
+use maskfrac_fracture::corner::{cluster_corners, extract_shot_corners};
+use maskfrac_fracture::dose::{polish_doses, DoseOptions};
+use maskfrac_fracture::refine::{polish_edges, reduce_shots, refine};
+use maskfrac_fracture::{CornerType, FractureConfig};
+use maskfrac_geom::{Point, Polygon, Rect};
+use proptest::prelude::*;
+
+fn rect_polygon_strategy() -> impl Strategy<Value = Polygon> {
+    (20i64..80, 20i64..80)
+        .prop_map(|(w, h)| Polygon::from_rect(Rect::new(0, 0, w, h).expect("rect")))
+}
+
+fn l_polygon_strategy() -> impl Strategy<Value = Polygon> {
+    // Arm widths >= 28 nm keep interior spikes and overlaps comfortably
+    // printable at the paper's sigma.
+    (60i64..100, 60i64..100, 28i64..42, 28i64..42).prop_map(|(w, h, aw, ah)| {
+        Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(w, 0),
+            Point::new(w, ah),
+            Point::new(aw, ah),
+            Point::new(aw, h),
+            Point::new(0, h),
+        ])
+        .expect("simple L")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn corner_extraction_covers_all_sides(poly in rect_polygon_strategy(), lth in 6.0f64..16.0) {
+        let corners = extract_shot_corners(&poly, lth, 2.4, 3.4);
+        // A rectangle with sides >= lth yields one merged corner per type.
+        if poly.bbox().min_side() as f64 >= lth {
+            prop_assert_eq!(corners.len(), 4);
+            for kind in CornerType::ALL {
+                prop_assert_eq!(corners.iter().filter(|c| c.kind == kind).count(), 1);
+            }
+        }
+        // Clustering never increases the count and preserves types present.
+        let clustered = cluster_corners(&corners, lth);
+        prop_assert!(clustered.len() <= corners.len());
+    }
+
+    #[test]
+    fn refine_respects_min_size_and_improves(poly in l_polygon_strategy()) {
+        let cfg = FractureConfig { max_iterations: 250, ..FractureConfig::default() };
+        let model = cfg.model();
+        let cls = Classification::build(&poly, cfg.gamma, model.support_radius_px() + 2);
+        // Deliberately poor initial solution: one min-size shot in a corner.
+        let seed = vec![Rect::new(2, 2, 2 + cfg.min_shot_size, 2 + cfg.min_shot_size).expect("rect")];
+        let out = refine(&cls, &model, &cfg, seed);
+        for s in &out.shots {
+            prop_assert!(s.min_side() >= cfg.min_shot_size);
+        }
+        // Refinement must improve on the seed's violation count massively.
+        prop_assert!(out.summary.fail_count() < cls.on_count() / 2);
+    }
+
+    #[test]
+    fn reduce_shots_never_worsens(poly in l_polygon_strategy()) {
+        let cfg = FractureConfig { max_iterations: 300, ..FractureConfig::default() };
+        let model = cfg.model();
+        let cls = Classification::build(&poly, cfg.gamma, model.support_radius_px() + 2);
+        // Obtain a feasible solution first, then spike it with a
+        // redundant interior shot; the sweep must remove it again.
+        let verts = poly.vertices();
+        let (aw, ah) = (verts[3].x, verts[2].y);
+        let bbox = poly.bbox();
+        let seed = vec![
+            Rect::new(0, 0, bbox.x1(), ah).expect("arm 1"),
+            Rect::new(0, 0, aw, bbox.y1()).expect("arm 2"),
+        ];
+        let feasible = refine(&cls, &model, &cfg, seed);
+        prop_assume!(feasible.summary.is_feasible());
+        let mut spiked = feasible.shots.clone();
+        // Redundant shot at the centre of the bottom arm, >= 10 nm from
+        // every boundary so the extra dose bleeds nowhere harmful.
+        let (cx, cy) = (bbox.x1() / 2, ah / 2);
+        spiked.push(
+            Rect::new(cx - 5, cy - 5, cx + 5, cy + 5).expect("interior"),
+        );
+        prop_assume!(maskfrac_fracture::verify_shots(&poly, &spiked, &cfg).is_feasible());
+        let out = reduce_shots(&cls, &model, &cfg, spiked.clone());
+        prop_assert!(out.summary.is_feasible());
+        prop_assert!(
+            out.shots.len() < spiked.len(),
+            "redundant shot must go: {:?}",
+            out.shots
+        );
+    }
+
+    #[test]
+    fn polish_edges_preserves_shot_count(poly in rect_polygon_strategy()) {
+        let cfg = FractureConfig::default();
+        let model = cfg.model();
+        let cls = Classification::build(&poly, cfg.gamma, model.support_radius_px() + 2);
+        let bbox = poly.bbox();
+        // Slightly offset cover.
+        let shots = vec![Rect::new(2, -2, bbox.x1() + 2, bbox.y1() - 2).expect("rect")];
+        let out = polish_edges(&cls, &model, &cfg, shots.clone(), 120);
+        prop_assert_eq!(out.shots.len(), shots.len());
+        let before = maskfrac_fracture::verify_shots(&poly, &shots, &cfg);
+        prop_assert!(out.summary.cost <= before.cost + 1e-9);
+    }
+
+    #[test]
+    fn dose_polish_never_increases_cost(poly in rect_polygon_strategy(), inset in 0i64..4) {
+        let cfg = FractureConfig::default();
+        let model = cfg.model();
+        let cls = Classification::build(&poly, cfg.gamma, model.support_radius_px() + 2);
+        let bbox = poly.bbox();
+        let shot = Rect::new(inset, inset, bbox.x1() - inset, bbox.y1() - inset).expect("rect");
+        let before = maskfrac_fracture::verify_shots(&poly, &[shot], &cfg);
+        let out = polish_doses(&cls, &model, &cfg, &[shot], &DoseOptions::default());
+        prop_assert!(out.summary.cost <= before.cost + 1e-9);
+        for d in &out.shots {
+            prop_assert!((0.7..=1.3).contains(&d.dose));
+        }
+    }
+}

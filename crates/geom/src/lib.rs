@@ -1,0 +1,55 @@
+//! Geometry substrate for model-based mask fracturing.
+//!
+//! This crate provides the planar geometry the fracturing algorithms are
+//! built on: integer-nanometre points and rectangles, simple polygons
+//! (rectilinear or general rings digitized on the mask grid), polyline
+//! simplification ([Ramer–Douglas–Peucker](rdp)), scanline
+//! [rasterization](raster), binary [morphology](morph), connected-component
+//! [labeling](components), conventional rectilinear [partitioning](partition)
+//! and [SVG rendering](svg) used by the figure-reproduction harness.
+//!
+//! # Conventions
+//!
+//! * Coordinates are integer **nanometres** (`i64`) on the writing grid.
+//! * Pixel `(i, j)` of a [`raster::Bitmap`] covers the half-open square
+//!   `[i, i+1) × [j, j+1)` nm relative to the bitmap's frame origin; its
+//!   sampling point is the pixel centre `(i + 0.5, j + 0.5)`.
+//! * Polygons are simple closed rings stored **counter-clockwise**
+//!   (interior on the left of each directed edge).
+//!
+//! # Example
+//!
+//! ```
+//! use maskfrac_geom::{Point, Polygon};
+//!
+//! // A 100 nm x 60 nm rectangle as a polygon.
+//! let poly = Polygon::new(vec![
+//!     Point::new(0, 0),
+//!     Point::new(100, 0),
+//!     Point::new(100, 60),
+//!     Point::new(0, 60),
+//! ]).expect("simple ring");
+//! assert_eq!(poly.area2(), 2 * 100 * 60);
+//! assert!(poly.contains_f64(50.0, 30.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod morph;
+pub mod partition;
+pub mod point;
+pub mod polygon;
+pub mod raster;
+pub mod rdp;
+pub mod rect;
+pub mod region;
+pub mod sat;
+pub mod svg;
+
+pub use components::{label_components, Component};
+pub use point::Point;
+pub use polygon::{Polygon, PolygonError};
+pub use raster::{Bitmap, Frame};
+pub use rect::Rect;
+pub use region::Region;

@@ -1,0 +1,178 @@
+//! Binary morphology on bitmaps.
+//!
+//! Pixel classification (paper §2) needs the band of pixels within the CD
+//! tolerance `γ` of the target boundary. With `Δp = 1 nm` and `γ = 2 nm`
+//! this is a morphological question: a pixel is in the band iff a disc of
+//! radius `γ` centred on it contains both inside and outside pixels, i.e.
+//! the band is `dilate(shape, γ) \ erode(shape, γ)`.
+
+use crate::raster::Bitmap;
+
+/// Offsets within a closed Euclidean disc of radius `r` pixels.
+fn disc_offsets(r: i64) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    for dy in -r..=r {
+        for dx in -r..=r {
+            if dx * dx + dy * dy <= r * r {
+                out.push((dx, dy));
+            }
+        }
+    }
+    out
+}
+
+/// Dilates the set region by a Euclidean disc of radius `radius` pixels.
+///
+/// Pixels outside the bitmap are treated as unset; the result has the same
+/// size as the input (no frame growth — choose the frame margin up front).
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_geom::Bitmap;
+/// use maskfrac_geom::morph::dilate;
+///
+/// let mut bm = Bitmap::new(5, 5);
+/// bm.set(2, 2, true);
+/// let d = dilate(&bm, 1);
+/// assert_eq!(d.count_ones(), 5); // plus-shaped neighbourhood
+/// ```
+pub fn dilate(bitmap: &Bitmap, radius: i64) -> Bitmap {
+    if radius <= 0 {
+        return bitmap.clone();
+    }
+    let offsets = disc_offsets(radius);
+    let mut out = Bitmap::new(bitmap.width(), bitmap.height());
+    for (ix, iy) in bitmap.iter_set() {
+        for &(dx, dy) in &offsets {
+            let x = ix as i64 + dx;
+            let y = iy as i64 + dy;
+            if x >= 0 && y >= 0 && (x as usize) < out.width() && (y as usize) < out.height() {
+                out.set(x as usize, y as usize, true);
+            }
+        }
+    }
+    out
+}
+
+/// Erodes the set region by a Euclidean disc of radius `radius` pixels.
+///
+/// Pixels outside the bitmap are treated as **unset**, so set regions
+/// touching the frame edge erode inward from it — classification frames are
+/// therefore grown by a margin so the target never touches the frame.
+pub fn erode(bitmap: &Bitmap, radius: i64) -> Bitmap {
+    if radius <= 0 {
+        return bitmap.clone();
+    }
+    let offsets = disc_offsets(radius);
+    let mut out = Bitmap::new(bitmap.width(), bitmap.height());
+    'pixels: for (ix, iy) in bitmap.iter_set() {
+        for &(dx, dy) in &offsets {
+            if !bitmap.get_i64(ix as i64 + dx, iy as i64 + dy) {
+                continue 'pixels;
+            }
+        }
+        out.set(ix, iy, true);
+    }
+    out
+}
+
+/// The symmetric boundary band: pixels within `radius` of the region
+/// boundary, i.e. `dilate(r) AND NOT erode(r)`.
+pub fn boundary_band(bitmap: &Bitmap, radius: i64) -> Bitmap {
+    let d = dilate(bitmap, radius);
+    let e = erode(bitmap, radius);
+    let mut out = Bitmap::new(bitmap.width(), bitmap.height());
+    for iy in 0..out.height() {
+        for ix in 0..out.width() {
+            out.set(ix, iy, d.get(ix, iy) && !e.get(ix, iy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(w: usize, h: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> Bitmap {
+        let mut bm = Bitmap::new(w, h);
+        for iy in y0..y1 {
+            for ix in x0..x1 {
+                bm.set(ix, iy, true);
+            }
+        }
+        bm
+    }
+
+    #[test]
+    fn dilate_zero_radius_is_identity() {
+        let bm = block(6, 6, 2, 2, 4, 4);
+        assert_eq!(dilate(&bm, 0), bm);
+        assert_eq!(erode(&bm, 0), bm);
+    }
+
+    #[test]
+    fn dilate_single_pixel_radius_one() {
+        let mut bm = Bitmap::new(5, 5);
+        bm.set(2, 2, true);
+        let d = dilate(&bm, 1);
+        // Disc r=1 in L2 is the 4-neighbourhood plus the centre.
+        assert_eq!(d.count_ones(), 5);
+        assert!(d.get(2, 1) && d.get(2, 3) && d.get(1, 2) && d.get(3, 2));
+        assert!(!d.get(1, 1));
+    }
+
+    #[test]
+    fn dilate_clips_at_frame() {
+        let mut bm = Bitmap::new(3, 3);
+        bm.set(0, 0, true);
+        let d = dilate(&bm, 1);
+        assert_eq!(d.count_ones(), 3);
+    }
+
+    #[test]
+    fn erode_shrinks_block() {
+        let bm = block(10, 10, 2, 2, 8, 8); // 6x6 block
+        let e = erode(&bm, 1);
+        // Disc r=1 erosion removes a 1-pixel rim except it keeps corners
+        // tighter: pixel survives iff all 4-neighbours set.
+        assert!(e.get(3, 3));
+        assert!(e.get(4, 4));
+        assert!(!e.get(2, 2));
+        assert!(!e.get(2, 5));
+        assert_eq!(e.count_ones(), 16);
+    }
+
+    #[test]
+    fn erode_then_dilate_is_subset() {
+        let bm = block(12, 12, 3, 3, 9, 9);
+        let opened = dilate(&erode(&bm, 2), 2);
+        for (ix, iy) in opened.iter_set() {
+            assert!(bm.get(ix, iy), "opening must not grow the set");
+        }
+    }
+
+    #[test]
+    fn boundary_band_of_block() {
+        let bm = block(12, 12, 4, 4, 8, 8);
+        let band = boundary_band(&bm, 1);
+        // Band contains the block rim and the first outside ring.
+        assert!(band.get(4, 4));
+        assert!(band.get(4, 3));
+        assert!(!band.get(5, 5)); // interior survives erosion
+        assert!(!band.get(0, 0));
+    }
+
+    #[test]
+    fn band_radius_two_matches_gamma_two() {
+        let bm = block(20, 20, 8, 8, 14, 14);
+        let band = boundary_band(&bm, 2);
+        // Pixels at Euclidean distance <= 2 from the boundary are banded.
+        assert!(band.get(8, 8));
+        assert!(band.get(9, 9));
+        assert!(!band.get(10, 10));
+        assert!(band.get(8, 6));
+        assert!(!band.get(8, 5));
+    }
+}

@@ -1,0 +1,388 @@
+//! Simple closed polygons digitized on the mask grid.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error constructing a [`Polygon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than three distinct vertices.
+    TooFewVertices,
+    /// Two consecutive vertices coincide.
+    DuplicateVertex,
+    /// The ring has zero signed area.
+    ZeroArea,
+}
+
+impl fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PolygonError::TooFewVertices => "polygon needs at least three vertices",
+            PolygonError::DuplicateVertex => "polygon has two consecutive identical vertices",
+            PolygonError::ZeroArea => "polygon ring has zero area",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+/// A simple closed polygon stored as a counter-clockwise vertex ring.
+///
+/// The last vertex connects implicitly back to the first. Construction
+/// normalizes orientation to counter-clockwise (interior on the left) so the
+/// boundary-traversal logic in the fracturer can infer inside/outside from
+/// edge direction alone.
+///
+/// Mask target shapes — including "curvilinear" ILT shapes, which arrive
+/// digitized on the 1 nm writing grid — are represented with this type.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_geom::{Point, Polygon};
+///
+/// // An L-shape, given clockwise; the constructor flips it to CCW.
+/// let l = Polygon::new(vec![
+///     Point::new(0, 0), Point::new(0, 20), Point::new(10, 20),
+///     Point::new(10, 10), Point::new(20, 10), Point::new(20, 0),
+/// ]).expect("simple ring");
+/// assert!(l.area2() > 0);
+/// assert!(l.is_rectilinear());
+/// assert!(l.contains_f64(5.0, 5.0));
+/// assert!(!l.contains_f64(15.0, 15.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from a vertex ring (implicitly closed).
+    ///
+    /// The ring is normalized to counter-clockwise orientation. A trailing
+    /// vertex equal to the first is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the ring has fewer than three vertices, repeats a
+    /// vertex consecutively, or encloses zero area. Self-intersection is
+    /// *not* detected (callers produce rings from rasterized contours, which
+    /// are simple by construction).
+    pub fn new(mut vertices: Vec<Point>) -> Result<Self, PolygonError> {
+        if vertices.len() > 1 && vertices.first() == vertices.last() {
+            vertices.pop();
+        }
+        if vertices.len() < 3 {
+            return Err(PolygonError::TooFewVertices);
+        }
+        for i in 0..vertices.len() {
+            if vertices[i] == vertices[(i + 1) % vertices.len()] {
+                return Err(PolygonError::DuplicateVertex);
+            }
+        }
+        let area2 = signed_area2(&vertices);
+        if area2 == 0 {
+            return Err(PolygonError::ZeroArea);
+        }
+        if area2 < 0 {
+            vertices.reverse();
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// Creates the polygon outline of a non-degenerate rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rect` is degenerate (zero width or height).
+    pub fn from_rect(rect: Rect) -> Self {
+        assert!(!rect.is_degenerate(), "degenerate rect has no polygon");
+        Polygon {
+            vertices: rect.corners().to_vec(),
+        }
+    }
+
+    /// The counter-clockwise vertex ring.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false`: a valid polygon has at least three vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Twice the (positive) enclosed area, exact in integer arithmetic.
+    pub fn area2(&self) -> i64 {
+        signed_area2(&self.vertices)
+    }
+
+    /// Enclosed area in nm² as `f64`.
+    pub fn area(&self) -> f64 {
+        self.area2() as f64 / 2.0
+    }
+
+    /// Total boundary length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|(a, b)| a.distance(b)).sum()
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bbox(&self) -> Rect {
+        Rect::bounding(self.vertices.iter().copied())
+            .expect("polygon has at least three vertices")
+    }
+
+    /// Iterator over directed boundary edges `(v_k, v_{k+1})`, including the
+    /// closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| (self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Whether every edge is axis-parallel.
+    pub fn is_rectilinear(&self) -> bool {
+        self.edges().all(|(a, b)| a.x == b.x || a.y == b.y)
+    }
+
+    /// Even-odd (ray casting) point-in-polygon test for a continuous point.
+    ///
+    /// Points exactly on the boundary may report either side; the fracturing
+    /// pipeline never depends on boundary pixels because they fall in the
+    /// don't-care band `Px`.
+    pub fn contains_f64(&self, x: f64, y: f64) -> bool {
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (xi, yi) = self.vertices[i].to_f64();
+            let (xj, yj) = self.vertices[j].to_f64();
+            if (yi > y) != (yj > y) {
+                let x_cross = xi + (y - yi) / (yj - yi) * (xj - xi);
+                if x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Point-in-polygon test for an integer grid point (see
+    /// [`contains_f64`](Self::contains_f64) for boundary caveats).
+    pub fn contains(&self, p: Point) -> bool {
+        self.contains_f64(p.x as f64, p.y as f64)
+    }
+
+    /// Euclidean distance from a continuous point to the polygon boundary.
+    pub fn distance_to_boundary_f64(&self, x: f64, y: f64) -> f64 {
+        let mut best = f64::INFINITY;
+        for (a, b) in self.edges() {
+            let d = segment_distance_f64(x, y, a, b);
+            if d < best {
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Polygon translated by vector `d`.
+    pub fn translate(&self, d: Point) -> Polygon {
+        Polygon {
+            vertices: self.vertices.iter().map(|&v| v + d).collect(),
+        }
+    }
+
+    /// Fraction of `rect`'s area lying inside the polygon, estimated by
+    /// sampling pixel centres at 1 nm pitch.
+    ///
+    /// Used for the paper's "more than 80 % of the test shot area must
+    /// overlap with the target shape" criterion. Degenerate rectangles
+    /// return 0.
+    pub fn overlap_fraction(&self, rect: &Rect) -> f64 {
+        if rect.is_degenerate() {
+            return 0.0;
+        }
+        let mut inside = 0u64;
+        let mut total = 0u64;
+        for ix in rect.x0()..rect.x1() {
+            for iy in rect.y0()..rect.y1() {
+                total += 1;
+                if self.contains_f64(ix as f64 + 0.5, iy as f64 + 0.5) {
+                    inside += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            inside as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "polygon[{} vertices, area {}]", self.len(), self.area())
+    }
+}
+
+fn signed_area2(vertices: &[Point]) -> i64 {
+    let n = vertices.len();
+    let mut acc = 0i64;
+    for i in 0..n {
+        acc += vertices[i].cross(vertices[(i + 1) % n]);
+    }
+    acc
+}
+
+fn segment_distance_f64(x: f64, y: f64, a: Point, b: Point) -> f64 {
+    let (ax, ay) = a.to_f64();
+    let (bx, by) = b.to_f64();
+    let dx = bx - ax;
+    let dy = by - ay;
+    let len_sq = dx * dx + dy * dy;
+    if len_sq == 0.0 {
+        return ((x - ax).powi(2) + (y - ay).powi(2)).sqrt();
+    }
+    let t = (((x - ax) * dx + (y - ay) * dy) / len_sq).clamp(0.0, 1.0);
+    let px = ax + t * dx;
+    let py = ay + t * dy;
+    ((x - px).powi(2) + (y - py).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Polygon::from_rect(Rect::new(0, 0, 10, 10).unwrap())
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            Polygon::new(vec![Point::new(0, 0), Point::new(1, 0)]),
+            Err(PolygonError::TooFewVertices)
+        );
+        assert_eq!(
+            Polygon::new(vec![Point::new(0, 0), Point::new(0, 0), Point::new(1, 1)]),
+            Err(PolygonError::DuplicateVertex)
+        );
+        assert_eq!(
+            Polygon::new(vec![Point::new(0, 0), Point::new(5, 5), Point::new(10, 10)]),
+            Err(PolygonError::ZeroArea)
+        );
+        // Explicitly closed ring is accepted.
+        let p = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(4, 0),
+            Point::new(4, 4),
+            Point::new(0, 0),
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn orientation_normalized_to_ccw() {
+        let cw = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 10),
+            Point::new(10, 10),
+            Point::new(10, 0),
+        ])
+        .unwrap();
+        assert!(cw.area2() > 0);
+        assert_eq!(cw.area2(), 200);
+    }
+
+    #[test]
+    fn rect_round_trip() {
+        let s = square();
+        assert_eq!(s.area2(), 200);
+        assert_eq!(s.area(), 100.0);
+        assert_eq!(s.perimeter(), 40.0);
+        assert_eq!(s.bbox(), Rect::new(0, 0, 10, 10).unwrap());
+        assert!(s.is_rectilinear());
+    }
+
+    #[test]
+    fn non_rectilinear_detected() {
+        let tri = Polygon::new(vec![Point::new(0, 0), Point::new(10, 0), Point::new(5, 8)])
+            .unwrap();
+        assert!(!tri.is_rectilinear());
+    }
+
+    #[test]
+    fn point_in_polygon() {
+        let s = square();
+        assert!(s.contains_f64(5.0, 5.0));
+        assert!(!s.contains_f64(-0.5, 5.0));
+        assert!(!s.contains_f64(10.5, 5.0));
+        assert!(s.contains(Point::new(5, 5)));
+    }
+
+    #[test]
+    fn point_in_l_shape() {
+        let l = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(20, 0),
+            Point::new(20, 10),
+            Point::new(10, 10),
+            Point::new(10, 20),
+            Point::new(0, 20),
+        ])
+        .unwrap();
+        assert!(l.contains_f64(5.0, 15.0));
+        assert!(l.contains_f64(15.0, 5.0));
+        assert!(!l.contains_f64(15.0, 15.0));
+    }
+
+    #[test]
+    fn boundary_distance() {
+        let s = square();
+        assert_eq!(s.distance_to_boundary_f64(5.0, 5.0), 5.0);
+        assert_eq!(s.distance_to_boundary_f64(5.0, 12.0), 2.0);
+        assert_eq!(s.distance_to_boundary_f64(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_square() {
+        let s = square();
+        let full = Rect::new(0, 0, 10, 10).unwrap();
+        let half = Rect::new(5, 0, 15, 10).unwrap();
+        let out = Rect::new(20, 20, 30, 30).unwrap();
+        assert_eq!(s.overlap_fraction(&full), 1.0);
+        assert!((s.overlap_fraction(&half) - 0.5).abs() < 1e-9);
+        assert_eq!(s.overlap_fraction(&out), 0.0);
+        let degenerate = Rect::new(0, 0, 0, 10).unwrap();
+        assert_eq!(s.overlap_fraction(&degenerate), 0.0);
+    }
+
+    #[test]
+    fn translate_preserves_shape() {
+        let s = square().translate(Point::new(7, -3));
+        assert_eq!(s.bbox(), Rect::new(7, -3, 17, 7).unwrap());
+        assert_eq!(s.area2(), 200);
+    }
+
+    #[test]
+    fn edges_count_and_closure() {
+        let s = square();
+        let edges: Vec<_> = s.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].1, edges[0].0);
+    }
+}

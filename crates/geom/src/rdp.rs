@@ -1,0 +1,255 @@
+//! Ramer–Douglas–Peucker polyline and polygon-ring simplification.
+//!
+//! The first step of graph-coloring-based approximate fracturing (paper §3)
+//! approximates the target boundary: it keeps a subset of the vertices such
+//! that every dropped vertex lies within the tolerance (the CD tolerance
+//! `γ`) of the simplified boundary.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// Simplifies an **open** polyline with the Ramer–Douglas–Peucker algorithm.
+///
+/// Keeps the first and last points; every dropped point is within
+/// `tolerance` of the segment joining its surviving neighbours.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_geom::Point;
+/// use maskfrac_geom::rdp::simplify_polyline;
+///
+/// let line = vec![
+///     Point::new(0, 0),
+///     Point::new(5, 1),   // 1 nm off the straight line
+///     Point::new(10, 0),
+/// ];
+/// assert_eq!(simplify_polyline(&line, 2.0).len(), 2);
+/// assert_eq!(simplify_polyline(&line, 0.5).len(), 3);
+/// ```
+pub fn simplify_polyline(points: &[Point], tolerance: f64) -> Vec<Point> {
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    rdp_recurse(points, 0, points.len() - 1, tolerance, &mut keep);
+    points
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(&p, _)| p)
+        .collect()
+}
+
+fn rdp_recurse(points: &[Point], lo: usize, hi: usize, tolerance: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let (a, b) = (points[lo], points[hi]);
+    let mut worst = lo;
+    let mut worst_d = -1.0f64;
+    for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = p.distance_to_segment(a, b);
+        if d > worst_d {
+            worst_d = d;
+            worst = i;
+        }
+    }
+    if worst_d > tolerance {
+        keep[worst] = true;
+        rdp_recurse(points, lo, worst, tolerance, keep);
+        rdp_recurse(points, worst, hi, tolerance, keep);
+    }
+}
+
+/// Simplifies a closed polygon ring with Ramer–Douglas–Peucker.
+///
+/// The ring is split at two anchor vertices — vertex 0 and the vertex
+/// farthest from it — so the algorithm for open chains applies to each half;
+/// the anchors always survive. If the simplified ring degenerates below
+/// three distinct vertices (possible for tiny shapes and large tolerances),
+/// the original polygon is returned unchanged.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_geom::{Point, Polygon};
+/// use maskfrac_geom::rdp::simplify_ring;
+///
+/// // A square with a 1 nm nick in one edge.
+/// let p = Polygon::new(vec![
+///     Point::new(0, 0), Point::new(50, 0), Point::new(51, 1),
+///     Point::new(52, 0), Point::new(100, 0), Point::new(100, 100),
+///     Point::new(0, 100),
+/// ]).expect("ring");
+/// let s = simplify_ring(&p, 2.0);
+/// assert_eq!(s.len(), 4);
+/// ```
+pub fn simplify_ring(polygon: &Polygon, tolerance: f64) -> Polygon {
+    let verts = polygon.vertices();
+    let n = verts.len();
+    if n <= 4 {
+        return polygon.clone();
+    }
+    // Anchor at vertex 0 and the vertex farthest from it.
+    let far = (1..n)
+        .max_by(|&i, &j| {
+            verts[0]
+                .distance_sq(verts[i])
+                .cmp(&verts[0].distance_sq(verts[j]))
+        })
+        .expect("n > 1");
+
+    let mut first_half: Vec<Point> = verts[0..=far].to_vec();
+    let mut second_half: Vec<Point> = verts[far..].to_vec();
+    second_half.push(verts[0]);
+
+    first_half = simplify_polyline(&first_half, tolerance);
+    second_half = simplify_polyline(&second_half, tolerance);
+
+    let mut ring = first_half;
+    ring.extend_from_slice(&second_half[1..second_half.len() - 1]);
+
+    match Polygon::new(ring) {
+        Ok(p) => p,
+        Err(_) => polygon.clone(),
+    }
+}
+
+/// Maximum distance from any vertex of `original` to the boundary of
+/// `simplified`.
+///
+/// Useful to assert the RDP guarantee: for rings simplified with tolerance
+/// `t`, this is at most `t` (up to the split-anchor conservatism, which only
+/// makes the bound tighter).
+pub fn max_deviation(original: &Polygon, simplified: &Polygon) -> f64 {
+    original
+        .vertices()
+        .iter()
+        .map(|v| simplified.distance_to_boundary_f64(v.x as f64, v.y as f64))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    #[test]
+    fn polyline_short_inputs_pass_through() {
+        let pts = vec![Point::new(0, 0), Point::new(5, 5)];
+        assert_eq!(simplify_polyline(&pts, 1.0), pts);
+        let one = vec![Point::new(1, 1)];
+        assert_eq!(simplify_polyline(&one, 1.0), one);
+    }
+
+    #[test]
+    fn polyline_collinear_collapses() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i, 0)).collect();
+        assert_eq!(simplify_polyline(&pts, 0.1).len(), 2);
+    }
+
+    #[test]
+    fn polyline_keeps_significant_corner() {
+        let pts = vec![
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(10, 10),
+        ];
+        let s = simplify_polyline(&pts, 1.0);
+        assert_eq!(s.len(), 3, "true corner must survive");
+    }
+
+    #[test]
+    fn polyline_respects_tolerance_bound() {
+        // Noisy sine-ish chain.
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new(i * 4, ((i * 7919) % 5) as i64 - 2))
+            .collect();
+        let tol = 2.5;
+        let s = simplify_polyline(&pts, tol);
+        for p in &pts {
+            let mut best = f64::INFINITY;
+            for w in s.windows(2) {
+                best = best.min(p.distance_to_segment(w[0], w[1]));
+            }
+            assert!(best <= tol + 1e-9, "deviation {best} exceeds tolerance");
+        }
+    }
+
+    #[test]
+    fn ring_square_is_stable() {
+        let sq = Polygon::from_rect(Rect::new(0, 0, 100, 100).unwrap());
+        let s = simplify_ring(&sq, 2.0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.area2(), sq.area2());
+    }
+
+    #[test]
+    fn ring_removes_small_nicks() {
+        let p = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(50, 0),
+            Point::new(51, 1),
+            Point::new(52, 0),
+            Point::new(100, 0),
+            Point::new(100, 100),
+            Point::new(0, 100),
+        ])
+        .unwrap();
+        let s = simplify_ring(&p, 2.0);
+        assert_eq!(s.len(), 4);
+        assert!(max_deviation(&p, &s) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn ring_preserves_large_features() {
+        // Deep notch must survive a small tolerance.
+        let p = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(100, 0),
+            Point::new(100, 100),
+            Point::new(60, 100),
+            Point::new(60, 40),
+            Point::new(40, 40),
+            Point::new(40, 100),
+            Point::new(0, 100),
+        ])
+        .unwrap();
+        let s = simplify_ring(&p, 2.0);
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn ring_tiny_polygon_returned_unchanged_on_degeneracy() {
+        let tri = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(3, 0),
+            Point::new(0, 3),
+        ])
+        .unwrap();
+        let s = simplify_ring(&tri, 100.0);
+        assert_eq!(s, tri);
+    }
+
+    #[test]
+    fn staircase_smooths_to_diagonal() {
+        // 1 nm staircase approximating a 45-degree edge from (40,40) to (0,0).
+        let mut ring = vec![Point::new(0, 0), Point::new(40, 0), Point::new(40, 40)];
+        for i in (0..40).rev() {
+            ring.push(Point::new(i, i + 1));
+            ring.push(Point::new(i, i));
+        }
+        ring.pop(); // drop the repeated (0, 0) closing vertex
+        let p = Polygon::new(ring).unwrap();
+        let s = simplify_ring(&p, 2.0);
+        assert!(
+            s.len() <= 6,
+            "staircase should collapse to few vertices, got {}",
+            s.len()
+        );
+        assert!(max_deviation(&p, &s) <= 2.0 + 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Summed-area tables over bitmaps.
+//!
+//! Cover-style fracturing heuristics repeatedly ask "how many set pixels
+//! does this rectangle contain?" — a summed-area table answers in O(1)
+//! after an O(pixels) build.
+
+use crate::raster::Bitmap;
+
+/// Summed-area (integral-image) table of a bitmap.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_geom::{Bitmap, sat::Sat};
+///
+/// let mut bm = Bitmap::new(4, 4);
+/// bm.set(1, 1, true);
+/// bm.set(2, 2, true);
+/// let sat = Sat::build(&bm);
+/// assert_eq!(sat.count(0..4, 0..4), 2);
+/// assert_eq!(sat.count(2..4, 2..4), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sat {
+    width: usize,
+    sums: Vec<u32>, // (w+1) x (h+1) prefix sums
+}
+
+impl Sat {
+    /// Builds the prefix-sum table of the set pixels.
+    pub fn build(bitmap: &Bitmap) -> Sat {
+        let w = bitmap.width();
+        let h = bitmap.height();
+        let mut sums = vec![0u32; (w + 1) * (h + 1)];
+        for iy in 0..h {
+            let mut row = 0u32;
+            for ix in 0..w {
+                row += bitmap.get(ix, iy) as u32;
+                sums[(iy + 1) * (w + 1) + ix + 1] = sums[iy * (w + 1) + ix + 1] + row;
+            }
+        }
+        Sat { width: w, sums }
+    }
+
+    /// Number of set pixels with `ix ∈ xs`, `iy ∈ ys`.
+    pub fn count(&self, xs: std::ops::Range<usize>, ys: std::ops::Range<usize>) -> usize {
+        if xs.is_empty() || ys.is_empty() {
+            return 0;
+        }
+        let w1 = self.width + 1;
+        let at = |ix: usize, iy: usize| self.sums[iy * w1 + ix] as i64;
+        (at(xs.end, ys.end) - at(xs.start, ys.end) - at(xs.end, ys.start)
+            + at(xs.start, ys.start)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_naive() {
+        let mut bm = Bitmap::new(7, 5);
+        for &(x, y) in &[(0, 0), (3, 2), (6, 4), (3, 3), (2, 2)] {
+            bm.set(x, y, true);
+        }
+        let sat = Sat::build(&bm);
+        for x0 in 0..7 {
+            for x1 in x0..=7 {
+                for y0 in 0..5 {
+                    for y1 in y0..=5 {
+                        let naive = bm
+                            .iter_set()
+                            .filter(|&(ix, iy)| (x0..x1).contains(&ix) && (y0..y1).contains(&iy))
+                            .count();
+                        assert_eq!(sat.count(x0..x1, y0..y1), naive, "({x0}..{x1}, {y0}..{y1})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ranges_count_zero() {
+        let mut bm = Bitmap::new(3, 3);
+        bm.set(1, 1, true);
+        let sat = Sat::build(&bm);
+        assert_eq!(sat.count(2..2, 0..3), 0);
+        assert_eq!(sat.count(0..3, 1..1), 0);
+    }
+
+    #[test]
+    fn full_bitmap() {
+        let mut bm = Bitmap::new(4, 3);
+        for iy in 0..3 {
+            for ix in 0..4 {
+                bm.set(ix, iy, true);
+            }
+        }
+        let sat = Sat::build(&bm);
+        assert_eq!(sat.count(0..4, 0..3), 12);
+        assert_eq!(sat.count(1..3, 1..2), 2);
+    }
+}

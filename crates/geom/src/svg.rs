@@ -1,0 +1,264 @@
+//! Minimal SVG rendering for figure reproduction.
+//!
+//! The DAC'15 paper's figures 1–5 are geometric illustrations (boundary
+//! approximation, corner rounding, coloring steps, shot extension, merge
+//! criteria). The experiment harness regenerates them as SVG files using
+//! this canvas. Geometry is supplied in nm; the canvas flips the y-axis so
+//! the output matches the mathematical orientation used everywhere else.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use std::fmt::Write as _;
+
+/// Stroke/fill styling for one drawing call.
+#[derive(Debug, Clone)]
+pub struct Style {
+    /// CSS fill color, e.g. `"#88aaff"` or `"none"`.
+    pub fill: String,
+    /// CSS stroke color.
+    pub stroke: String,
+    /// Stroke width in nm.
+    pub stroke_width: f64,
+    /// Fill opacity in `[0, 1]`.
+    pub fill_opacity: f64,
+    /// Optional SVG dash pattern, e.g. `"4 2"`.
+    pub dash: Option<String>,
+}
+
+impl Style {
+    /// Filled shape with no stroke.
+    pub fn filled(color: &str) -> Self {
+        Style {
+            fill: color.to_owned(),
+            stroke: "none".to_owned(),
+            stroke_width: 0.0,
+            fill_opacity: 1.0,
+            dash: None,
+        }
+    }
+
+    /// Stroked outline with no fill.
+    pub fn outline(color: &str, width: f64) -> Self {
+        Style {
+            fill: "none".to_owned(),
+            stroke: color.to_owned(),
+            stroke_width: width,
+            fill_opacity: 1.0,
+            dash: None,
+        }
+    }
+
+    /// Sets the fill opacity, returning the modified style.
+    pub fn with_opacity(mut self, opacity: f64) -> Self {
+        self.fill_opacity = opacity;
+        self
+    }
+
+    /// Sets a dash pattern, returning the modified style.
+    pub fn with_dash(mut self, dash: &str) -> Self {
+        self.dash = Some(dash.to_owned());
+        self
+    }
+
+    fn attrs(&self) -> String {
+        let mut s = format!(
+            "fill=\"{}\" fill-opacity=\"{}\" stroke=\"{}\" stroke-width=\"{}\"",
+            self.fill, self.fill_opacity, self.stroke, self.stroke_width
+        );
+        if let Some(d) = &self.dash {
+            let _ = write!(s, " stroke-dasharray=\"{d}\"");
+        }
+        s
+    }
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style::outline("#000000", 1.0)
+    }
+}
+
+/// An SVG drawing canvas over nm coordinates.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_geom::{Rect, svg::{SvgCanvas, Style}};
+///
+/// let mut canvas = SvgCanvas::new(Rect::new(0, 0, 100, 100).expect("rect"), 4.0);
+/// canvas.rect(&Rect::new(10, 10, 60, 40).expect("rect"), &Style::filled("#7799ee"));
+/// let doc = canvas.finish();
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.ends_with("</svg>\n"));
+/// ```
+#[derive(Debug)]
+pub struct SvgCanvas {
+    viewport: Rect,
+    scale: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas showing `viewport` (nm) at `scale` SVG units per nm.
+    pub fn new(viewport: Rect, scale: f64) -> Self {
+        SvgCanvas {
+            viewport,
+            scale,
+            body: String::new(),
+        }
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        (x - self.viewport.x0() as f64) * self.scale
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        (self.viewport.y1() as f64 - y) * self.scale
+    }
+
+    /// Draws a rectangle.
+    pub fn rect(&mut self, rect: &Rect, style: &Style) {
+        let _ = writeln!(
+            self.body,
+            "  <rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" {}/>",
+            self.tx(rect.x0() as f64),
+            self.ty(rect.y1() as f64),
+            rect.width() as f64 * self.scale,
+            rect.height() as f64 * self.scale,
+            style.attrs()
+        );
+    }
+
+    /// Draws a polygon ring.
+    pub fn polygon(&mut self, polygon: &Polygon, style: &Style) {
+        let pts: Vec<String> = polygon
+            .vertices()
+            .iter()
+            .map(|p| format!("{:.2},{:.2}", self.tx(p.x as f64), self.ty(p.y as f64)))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            "  <polygon points=\"{}\" {}/>",
+            pts.join(" "),
+            style.attrs()
+        );
+    }
+
+    /// Draws a straight line segment.
+    pub fn line(&mut self, a: Point, b: Point, style: &Style) {
+        let _ = writeln!(
+            self.body,
+            "  <line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" {}/>",
+            self.tx(a.x as f64),
+            self.ty(a.y as f64),
+            self.tx(b.x as f64),
+            self.ty(b.y as f64),
+            style.attrs()
+        );
+    }
+
+    /// Draws a circle of radius `r` nm centred at `c`.
+    pub fn circle(&mut self, c: Point, r: f64, style: &Style) {
+        let _ = writeln!(
+            self.body,
+            "  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{:.2}\" {}/>",
+            self.tx(c.x as f64),
+            self.ty(c.y as f64),
+            r * self.scale,
+            style.attrs()
+        );
+    }
+
+    /// Draws a polyline through continuous nm points (e.g. an intensity
+    /// contour).
+    pub fn polyline_f64(&mut self, points: &[(f64, f64)], style: &Style) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|&(x, y)| format!("{:.2},{:.2}", self.tx(x), self.ty(y)))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            "  <polyline points=\"{}\" {}/>",
+            pts.join(" "),
+            style.attrs()
+        );
+    }
+
+    /// Draws text anchored at `p` with the given font size in nm.
+    pub fn text(&mut self, p: Point, size: f64, content: &str) {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            "  <text x=\"{:.2}\" y=\"{:.2}\" font-size=\"{:.2}\" font-family=\"sans-serif\">{}</text>",
+            self.tx(p.x as f64),
+            self.ty(p.y as f64),
+            size * self.scale,
+            escaped
+        );
+    }
+
+    /// Finalizes the document and returns the SVG source.
+    pub fn finish(self) -> String {
+        let w = self.viewport.width() as f64 * self.scale;
+        let h = self.viewport.height() as f64 * self.scale;
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+             viewBox=\"0 0 {w:.2} {h:.2}\">\n{}</svg>\n",
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut c = SvgCanvas::new(Rect::new(0, 0, 10, 10).unwrap(), 2.0);
+        c.rect(
+            &Rect::new(1, 1, 5, 5).unwrap(),
+            &Style::filled("#ff0000").with_opacity(0.5),
+        );
+        c.line(Point::new(0, 0), Point::new(10, 10), &Style::default());
+        c.circle(Point::new(5, 5), 1.0, &Style::outline("#00ff00", 0.5));
+        c.text(Point::new(2, 2), 1.5, "a<b&c");
+        let doc = c.finish();
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.contains("<rect"));
+        assert!(doc.contains("<line"));
+        assert!(doc.contains("<circle"));
+        assert!(doc.contains("a&lt;b&amp;c"));
+        assert!(doc.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn y_axis_flips() {
+        let mut c = SvgCanvas::new(Rect::new(0, 0, 10, 10).unwrap(), 1.0);
+        c.circle(Point::new(0, 0), 1.0, &Style::default());
+        let doc = c.finish();
+        // nm (0,0) is the bottom-left, so it maps to SVG y = height = 10.
+        assert!(doc.contains("cy=\"10.00\""));
+    }
+
+    #[test]
+    fn polygon_and_polyline_render() {
+        let mut c = SvgCanvas::new(Rect::new(0, 0, 20, 20).unwrap(), 1.0);
+        let tri = Polygon::new(vec![Point::new(0, 0), Point::new(10, 0), Point::new(5, 8)])
+            .unwrap();
+        c.polygon(&tri, &Style::outline("#123456", 1.0).with_dash("2 1"));
+        c.polyline_f64(&[(0.0, 0.0), (3.5, 7.25)], &Style::default());
+        c.polyline_f64(&[], &Style::default());
+        let doc = c.finish();
+        assert!(doc.contains("<polygon"));
+        assert!(doc.contains("stroke-dasharray=\"2 1\""));
+        assert!(doc.contains("<polyline"));
+    }
+}

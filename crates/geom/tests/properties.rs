@@ -1,0 +1,172 @@
+//! Property-based tests for the geometry substrate.
+
+use maskfrac_geom::morph::{boundary_band, dilate, erode};
+use maskfrac_geom::partition::{is_partition_of, partition_rows, partition_slabs};
+use maskfrac_geom::rdp::{max_deviation, simplify_polyline, simplify_ring};
+use maskfrac_geom::{label_components, Bitmap, Frame, Point, Polygon, Rect};
+use proptest::prelude::*;
+
+/// Strategy: a random well-formed rectangle within a small window.
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (0i64..40, 0i64..40, 1i64..20, 1i64..20)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h).expect("w,h > 0"))
+}
+
+/// Strategy: a random rectilinear polygon as the traced union of 1..5 rects.
+fn rectilinear_polygon_strategy() -> impl Strategy<Value = Polygon> {
+    proptest::collection::vec(rect_strategy(), 1..5).prop_filter_map(
+        "rect union must be connected enough to trace",
+        |rects| {
+            let mut bm = Bitmap::new(64, 64);
+            for r in &rects {
+                for iy in r.y0()..r.y1() {
+                    for ix in r.x0()..r.x1() {
+                        bm.set(ix as usize, iy as usize, true);
+                    }
+                }
+            }
+            bm.largest_outer_contour()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn rect_intersection_commutes(a in rect_strategy(), b in rect_strategy()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn rect_union_bbox_contains_both(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.union_bbox(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn polygon_area_matches_raster_count(poly in rectilinear_polygon_strategy()) {
+        // For a rectilinear polygon on the integer grid, the enclosed area
+        // equals the number of interior pixel centres.
+        let frame = Frame::covering(poly.bbox(), 2);
+        let bm = Bitmap::rasterize(&poly.translate(Point::new(-frame.origin().x, -frame.origin().y)),
+                                   Frame::new(Point::ORIGIN, frame.width(), frame.height()));
+        prop_assert_eq!(bm.count_ones() as i64 * 2, poly.area2());
+    }
+
+    #[test]
+    fn raster_agrees_with_point_in_polygon(poly in rectilinear_polygon_strategy()) {
+        let frame = Frame::covering(poly.bbox(), 2);
+        let bm = Bitmap::rasterize(&poly, frame);
+        // Spot-check a grid of pixels rather than all of them.
+        for iy in (0..frame.height()).step_by(3) {
+            for ix in (0..frame.width()).step_by(3) {
+                let (x, y) = frame.pixel_center(ix, iy);
+                prop_assert_eq!(bm.get(ix, iy), poly.contains_f64(x, y),
+                    "pixel ({}, {}) disagrees", ix, iy);
+            }
+        }
+    }
+
+    #[test]
+    fn contour_round_trip_preserves_area(poly in rectilinear_polygon_strategy()) {
+        let frame = Frame::covering(poly.bbox(), 2);
+        let bm = Bitmap::rasterize(&poly, frame);
+        let loops = bm.trace_boundaries();
+        // Outer loops minus holes must equal the pixel count; with no holes
+        // in rect unions (there can be!), sum of largest is a lower bound.
+        let largest = bm.largest_outer_contour().expect("non-empty");
+        prop_assert!(largest.area2() / 2 <= bm.count_ones() as i64 + largest.len() as i64);
+        prop_assert!(!loops.is_empty());
+    }
+
+    #[test]
+    fn rdp_polyline_never_exceeds_tolerance(
+        points in proptest::collection::vec((0i64..200, -5i64..5), 2..60),
+        tol in 0.5f64..8.0,
+    ) {
+        let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let s = simplify_polyline(&pts, tol);
+        prop_assert!(s.len() >= 2);
+        prop_assert_eq!(s[0], pts[0]);
+        prop_assert_eq!(*s.last().unwrap(), *pts.last().unwrap());
+        for p in &pts {
+            let best = s.windows(2)
+                .map(|w| p.distance_to_segment(w[0], w[1]))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(best <= tol + 1e-9, "deviation {} > tol {}", best, tol);
+        }
+    }
+
+    #[test]
+    fn rdp_ring_bound_holds(poly in rectilinear_polygon_strategy(), tol in 0.5f64..4.0) {
+        let s = simplify_ring(&poly, tol);
+        prop_assert!(s.len() <= poly.len());
+        if s != poly {
+            prop_assert!(max_deviation(&poly, &s) <= tol + 1e-9);
+        }
+    }
+
+    #[test]
+    fn partitions_are_valid(poly in rectilinear_polygon_strategy()) {
+        let frame = Frame::covering(poly.bbox(), 1);
+        let bm = Bitmap::rasterize(&poly, frame);
+        let rows = partition_rows(&bm, frame);
+        let slabs = partition_slabs(&bm, frame);
+        prop_assert!(is_partition_of(&rows, &bm, frame));
+        prop_assert!(is_partition_of(&slabs, &bm, frame));
+        prop_assert!(slabs.len() <= rows.len());
+    }
+
+    #[test]
+    fn dilate_contains_original(poly in rectilinear_polygon_strategy(), r in 1i64..3) {
+        let frame = Frame::covering(poly.bbox(), 4);
+        let bm = Bitmap::rasterize(&poly, frame);
+        let d = dilate(&bm, r);
+        for (ix, iy) in bm.iter_set() {
+            prop_assert!(d.get(ix, iy));
+        }
+        let e = erode(&bm, r);
+        for (ix, iy) in e.iter_set() {
+            prop_assert!(bm.get(ix, iy));
+        }
+    }
+
+    #[test]
+    fn band_is_dilate_minus_erode(poly in rectilinear_polygon_strategy(), r in 1i64..3) {
+        let frame = Frame::covering(poly.bbox(), 4);
+        let bm = Bitmap::rasterize(&poly, frame);
+        let band = boundary_band(&bm, r);
+        let d = dilate(&bm, r);
+        let e = erode(&bm, r);
+        for iy in 0..bm.height() {
+            for ix in 0..bm.width() {
+                prop_assert_eq!(band.get(ix, iy), d.get(ix, iy) && !e.get(ix, iy));
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_set_pixels(poly in rectilinear_polygon_strategy()) {
+        let frame = Frame::covering(poly.bbox(), 1);
+        let bm = Bitmap::rasterize(&poly, frame);
+        let comps = label_components(&bm);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, bm.count_ones());
+        // Every pixel appears exactly once across components.
+        let mut seen = Bitmap::new(bm.width(), bm.height());
+        for c in &comps {
+            for &(ix, iy) in &c.pixels {
+                prop_assert!(!seen.get(ix, iy), "pixel in two components");
+                seen.set(ix, iy, true);
+                prop_assert!(bm.get(ix, iy));
+                // Bounding box contains the pixel.
+                prop_assert!(c.bbox.contains(Point::new(ix as i64, iy as i64)));
+            }
+        }
+    }
+}

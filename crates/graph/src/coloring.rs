@@ -1,0 +1,253 @@
+//! Greedy vertex-coloring heuristics.
+
+use crate::graph::Graph;
+
+/// Vertex-ordering strategy for greedy coloring.
+///
+/// The paper uses the *simple sequential* heuristic (Matula, Marble &
+/// Isaacson 1972) and notes that "better heuristics exist … but we found
+/// this fast and simple method to be sufficient". The other orderings are
+/// provided for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColoringStrategy {
+    /// Vertices in index order (the paper's choice).
+    Sequential,
+    /// Vertices by non-increasing degree (Welsh–Powell).
+    WelshPowell,
+    /// Dynamic saturation-degree ordering (Brélaz's DSATUR).
+    Dsatur,
+}
+
+/// A proper vertex coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    /// `colors[v]` is the color (0-based) of vertex `v`.
+    pub colors: Vec<usize>,
+    /// Number of distinct colors used.
+    pub color_count: usize,
+}
+
+/// Greedily colors `graph` with the given ordering strategy.
+///
+/// Each vertex receives the smallest color absent from its already-colored
+/// neighbours, so the result is always a proper coloring (verifiable with
+/// [`is_proper`]).
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_graph::{color, is_proper, ColoringStrategy, Graph};
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// let c = color(&g, ColoringStrategy::Sequential);
+/// assert!(is_proper(&g, &c.colors));
+/// assert_eq!(c.color_count, 2);
+/// ```
+pub fn color(graph: &Graph, strategy: ColoringStrategy) -> Coloring {
+    match strategy {
+        ColoringStrategy::Sequential => color_in_order(graph, (0..graph.vertex_count()).collect()),
+        ColoringStrategy::WelshPowell => {
+            let mut order: Vec<usize> = (0..graph.vertex_count()).collect();
+            // Stable sort keeps index order among equal degrees: deterministic.
+            order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+            color_in_order(graph, order)
+        }
+        ColoringStrategy::Dsatur => color_dsatur(graph),
+    }
+}
+
+fn color_in_order(graph: &Graph, order: Vec<usize>) -> Coloring {
+    let n = graph.vertex_count();
+    let mut colors = vec![usize::MAX; n];
+    let mut color_count = 0;
+    let mut used = Vec::new();
+    for v in order {
+        // A neighbour's color is < color_count, so `used` of that size
+        // plus one sentinel slot suffices.
+        used.clear();
+        used.resize(color_count + 1, false);
+        for u in graph.neighbors(v) {
+            if colors[u] != usize::MAX {
+                used[colors[u]] = true;
+            }
+        }
+        let c = used.iter().position(|&b| !b).expect("sentinel slot is free");
+        colors[v] = c;
+        color_count = color_count.max(c + 1);
+    }
+    Coloring {
+        colors,
+        color_count,
+    }
+}
+
+fn color_dsatur(graph: &Graph) -> Coloring {
+    use std::collections::BTreeSet;
+    let n = graph.vertex_count();
+    let mut colors = vec![usize::MAX; n];
+    let mut neighbor_colors: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut color_count = 0;
+
+    for _ in 0..n {
+        // Pick the uncolored vertex with max saturation, tie-break by
+        // degree then index (deterministic).
+        let v = (0..n)
+            .filter(|&v| colors[v] == usize::MAX)
+            .max_by(|&a, &b| {
+                neighbor_colors[a]
+                    .len()
+                    .cmp(&neighbor_colors[b].len())
+                    .then(graph.degree(a).cmp(&graph.degree(b)))
+                    .then(b.cmp(&a)) // prefer the smaller index
+            })
+            .expect("an uncolored vertex remains");
+        let c = (0..)
+            .find(|c| !neighbor_colors[v].contains(c))
+            .expect("unbounded");
+        colors[v] = c;
+        color_count = color_count.max(c + 1);
+        for u in graph.neighbors(v) {
+            neighbor_colors[u].insert(c);
+        }
+    }
+    Coloring {
+        colors,
+        color_count,
+    }
+}
+
+/// Whether `colors` is a proper coloring of `graph` (no edge joins two
+/// equal colors and every vertex is colored).
+pub fn is_proper(graph: &Graph, colors: &[usize]) -> bool {
+    if colors.len() != graph.vertex_count() {
+        return false;
+    }
+    if colors.contains(&usize::MAX) {
+        return false;
+    }
+    for u in 0..graph.vertex_count() {
+        for v in graph.neighbors(u) {
+            if colors[u] == colors[v] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [ColoringStrategy; 3] = [
+        ColoringStrategy::Sequential,
+        ColoringStrategy::WelshPowell,
+        ColoringStrategy::Dsatur,
+    ];
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn all_strategies_produce_proper_colorings() {
+        let graphs = vec![cycle(5), cycle(6), complete(4), Graph::new(7)];
+        for g in &graphs {
+            for s in ALL {
+                let c = color(g, s);
+                assert!(is_proper(g, &c.colors), "{s:?} on {g}");
+                let distinct: std::collections::BTreeSet<_> = c.colors.iter().collect();
+                assert_eq!(distinct.len(), c.color_count, "every color below the max is used");
+            }
+        }
+    }
+
+    #[test]
+    fn even_cycle_two_colors() {
+        for s in ALL {
+            assert_eq!(color(&cycle(6), s).color_count, 2, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn odd_cycle_three_colors() {
+        for s in ALL {
+            assert_eq!(color(&cycle(5), s).color_count, 3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_n_colors() {
+        for s in ALL {
+            assert_eq!(color(&complete(5), s).color_count, 5, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_one_color() {
+        let g = Graph::new(4);
+        for s in ALL {
+            let c = color(&g, s);
+            assert_eq!(c.color_count, 1, "{s:?}");
+            assert!(c.colors.iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn dsatur_optimal_on_crown() {
+        // Crown graph S3 (K3,3 minus perfect matching) is 2-chromatic but
+        // sequential order can use 3 colors; DSATUR finds 2.
+        let mut g = Graph::new(6);
+        for u in 0..3 {
+            for v in 3..6 {
+                if v - 3 != u {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        assert!(color(&g, ColoringStrategy::Dsatur).color_count <= 2);
+    }
+
+    #[test]
+    fn coloring_is_deterministic() {
+        let g = cycle(9);
+        for s in ALL {
+            assert_eq!(color(&g, s), color(&g, s));
+        }
+    }
+
+    #[test]
+    fn is_proper_rejects_bad_inputs() {
+        let g = cycle(4);
+        assert!(!is_proper(&g, &[0, 0, 0, 0]));
+        assert!(!is_proper(&g, &[0, 1]));
+        assert!(!is_proper(&g, &[0, 1, 0, usize::MAX]));
+    }
+
+    #[test]
+    fn empty_graph_colors() {
+        let g = Graph::new(0);
+        for s in ALL {
+            let c = color(&g, s);
+            assert_eq!(c.color_count, 0);
+            assert!(c.colors.is_empty());
+            assert!(is_proper(&g, &c.colors));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the graph substrate.
+
+use maskfrac_graph::matching::{maximum_matching, Bipartite};
+use maskfrac_graph::{clique_partition, color, is_proper, ColoringStrategy, Graph};
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..24, proptest::collection::vec((0usize..24, 0usize..24), 0..80)).prop_map(
+        |(n, edges)| {
+            let mut g = Graph::new(n);
+            for (u, v) in edges {
+                let (u, v) = (u % n, v % n);
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn all_strategies_yield_proper_colorings(g in graph_strategy()) {
+        for strategy in [
+            ColoringStrategy::Sequential,
+            ColoringStrategy::WelshPowell,
+            ColoringStrategy::Dsatur,
+        ] {
+            let c = color(&g, strategy);
+            prop_assert!(is_proper(&g, &c.colors), "{strategy:?}");
+            // Greedy colorings use at most max_degree + 1 colors.
+            let max_degree = (0..g.vertex_count()).map(|v| g.degree(v)).max().unwrap_or(0);
+            prop_assert!(c.color_count <= max_degree + 1);
+        }
+    }
+
+    #[test]
+    fn clique_partition_is_exhaustive_and_valid(g in graph_strategy()) {
+        let classes = clique_partition(&g, ColoringStrategy::Sequential);
+        let mut seen = vec![false; g.vertex_count()];
+        for class in &classes {
+            for (i, &u) in class.iter().enumerate() {
+                prop_assert!(!seen[u], "vertex {u} in two cliques");
+                seen[u] = true;
+                for &v in &class[i + 1..] {
+                    prop_assert!(g.has_edge(u, v), "{u}-{v} not adjacent");
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "a vertex was dropped");
+    }
+
+    #[test]
+    fn complement_involution_holds(g in graph_strategy()) {
+        prop_assert_eq!(g.complement().complement(), g);
+    }
+
+    #[test]
+    fn matching_is_consistent_and_cover_valid(
+        n in 1usize..12,
+        m in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..50),
+    ) {
+        let mut g = Bipartite::new(n, m);
+        for (l, r) in edges {
+            g.add_edge(l % n, r % m);
+        }
+        let matching = maximum_matching(&g);
+        // Pairings are mutual.
+        for (l, pr) in matching.pair_left.iter().enumerate() {
+            if let Some(r) = pr {
+                prop_assert_eq!(matching.pair_right[*r], Some(l));
+            }
+        }
+        // König: the cover hits every edge and |cover| == |matching|.
+        let mut cover_size = 0;
+        for l in 0..n {
+            cover_size += matching.cover_left[l] as usize;
+        }
+        for r in 0..m {
+            cover_size += matching.cover_right[r] as usize;
+        }
+        prop_assert_eq!(cover_size, matching.len());
+        for l in 0..n {
+            for &r in g.neighbors(l) {
+                prop_assert!(
+                    matching.cover_left[l] || matching.cover_right[r],
+                    "edge {l}-{r} uncovered"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Mask manufacturing cost model.
+//!
+//! The paper's motivating arithmetic (§1): mask write is ~20 % of mask
+//! manufacturing cost, write cost is dominated by e-beam tool
+//! depreciation and so tracks write time, and write time tracks shot
+//! count — hence "a reduction of even 10 % in shot count would roughly
+//! translate to 2 % improvement in mask cost", which on a
+//! million-dollar-plus mask set is real money.
+
+use crate::writetime::WriteTimeModel;
+use serde::{Deserialize, Serialize};
+
+/// Mask cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Baseline cost of the mask set, dollars.
+    pub mask_set_cost_usd: f64,
+    /// Fraction of mask cost attributable to mask write (paper: ~0.2).
+    pub write_cost_fraction: f64,
+    /// Write-time model used to turn shots into time.
+    pub write_time: WriteTimeModel,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            // "The mask set for a single modern design typically costs
+            // more than a million dollars."
+            mask_set_cost_usd: 1_500_000.0,
+            write_cost_fraction: 0.20,
+            write_time: WriteTimeModel::default(),
+        }
+    }
+}
+
+/// Cost impact of a shot-count change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaskCostReport {
+    /// Shots before / after.
+    pub shots_before: u64,
+    /// Shots after the improvement.
+    pub shots_after: u64,
+    /// Relative write-time change (negative = faster).
+    pub write_time_change: f64,
+    /// Relative mask-cost change (negative = cheaper).
+    pub mask_cost_change: f64,
+    /// Absolute saving on the mask set, dollars (positive = saved).
+    pub savings_usd: f64,
+}
+
+impl CostModel {
+    /// Evaluates the cost impact of going from `shots_before` to
+    /// `shots_after` shots on the mask set.
+    pub fn evaluate(&self, shots_before: u64, shots_after: u64) -> MaskCostReport {
+        let write_time_change = self.write_time.relative_change(shots_before, shots_after);
+        let mask_cost_change = write_time_change * self.write_cost_fraction;
+        MaskCostReport {
+            shots_before,
+            shots_after,
+            write_time_change,
+            mask_cost_change,
+            savings_usd: -mask_cost_change * self.mask_set_cost_usd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_headline_arithmetic() {
+        // 10 % fewer shots ⇒ ~2 % mask cost (paper §1).
+        let model = CostModel::default();
+        let report = model.evaluate(1_000_000_000, 900_000_000);
+        assert!(
+            (report.mask_cost_change + 0.02).abs() < 0.002,
+            "cost change = {}",
+            report.mask_cost_change
+        );
+        // On a $1.5M mask set that is ~$30k.
+        assert!(report.savings_usd > 25_000.0 && report.savings_usd < 35_000.0);
+    }
+
+    #[test]
+    fn papers_23_percent_result_scales() {
+        // The paper's 23 % shot reduction vs PROTO-EDA ⇒ ~4.6 % mask cost.
+        let model = CostModel::default();
+        let report = model.evaluate(1_000_000_000, 770_000_000);
+        assert!((report.mask_cost_change + 0.046).abs() < 0.003);
+    }
+
+    #[test]
+    fn no_change_no_savings() {
+        let model = CostModel::default();
+        let report = model.evaluate(5_000_000, 5_000_000);
+        assert_eq!(report.mask_cost_change, 0.0);
+        assert_eq!(report.savings_usd, 0.0);
+    }
+
+    #[test]
+    fn regression_costs_money() {
+        let model = CostModel::default();
+        let report = model.evaluate(1_000_000, 1_200_000);
+        assert!(report.mask_cost_change > 0.0);
+        assert!(report.savings_usd < 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Plain-text layout interchange format.
+//!
+//! Real mask data prep consumes layouts through OASIS/GDSII; this
+//! reproduction uses a minimal line-oriented text format that carries the
+//! same information the MDP layer needs — a shape library and placements —
+//! while staying diff-able and hand-editable:
+//!
+//! ```text
+//! # maskfrac layout v1
+//! layout demo
+//! shape via 0,0 40,0 40,30 0,30
+//! place via 0 0
+//! place via 200 100
+//! ```
+//!
+//! Lines starting with `#` are comments; blank lines are ignored.
+
+use crate::layout::{Layout, Placement};
+use maskfrac_geom::{Point, Polygon};
+use std::fmt;
+use std::path::Path;
+
+/// Error parsing a layout file.
+#[derive(Debug)]
+pub struct ParseLayoutError {
+    /// 1-based line number of the offending line (0 = file-level).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseLayoutError {
+    ParseLayoutError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a layout to the text format.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_mdp::io::{parse_layout, write_layout};
+/// use maskfrac_mdp::layout::{Layout, Placement};
+/// use maskfrac_geom::{Polygon, Rect};
+///
+/// let mut layout = Layout::new("demo");
+/// layout.add_shape("via", Polygon::from_rect(Rect::new(0, 0, 40, 30).expect("rect")));
+/// layout.place("via", Placement::at(0, 0));
+/// let text = write_layout(&layout);
+/// let back = parse_layout(&text).expect("round trip");
+/// assert_eq!(layout, back);
+/// ```
+pub fn write_layout(layout: &Layout) -> String {
+    let mut out = String::from("# maskfrac layout v1\n");
+    out.push_str(&format!("layout {}\n", layout.name));
+    for (name, polygon) in layout.shapes() {
+        out.push_str(&format!("shape {name}"));
+        for v in polygon.vertices() {
+            out.push_str(&format!(" {},{}", v.x, v.y));
+        }
+        out.push('\n');
+    }
+    for (name, placement) in layout.placements() {
+        out.push_str(&format!(
+            "place {name} {} {}\n",
+            placement.offset.x, placement.offset.y
+        ));
+    }
+    out
+}
+
+/// Parses the text format back into a [`Layout`].
+///
+/// # Errors
+///
+/// Returns a [`ParseLayoutError`] naming the offending line for malformed
+/// directives, bad vertex lists, or placements of unknown shapes.
+pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
+    let mut layout: Option<Layout> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("layout") => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "layout needs a name"))?;
+                if layout.is_some() {
+                    return Err(err(line_no, "duplicate layout directive"));
+                }
+                layout = Some(Layout::new(name));
+            }
+            Some("shape") => {
+                let layout = layout
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "shape before layout directive"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "shape needs a name"))?;
+                let mut vertices = Vec::new();
+                for token in parts {
+                    let (x, y) = token
+                        .split_once(',')
+                        .ok_or_else(|| err(line_no, format!("bad vertex {token:?}")))?;
+                    let x: i64 = x
+                        .parse()
+                        .map_err(|_| err(line_no, format!("bad x coordinate {x:?}")))?;
+                    let y: i64 = y
+                        .parse()
+                        .map_err(|_| err(line_no, format!("bad y coordinate {y:?}")))?;
+                    vertices.push(Point::new(x, y));
+                }
+                let polygon = Polygon::new(vertices)
+                    .map_err(|e| err(line_no, format!("invalid shape ring: {e}")))?;
+                layout.add_shape(name, polygon);
+            }
+            Some("place") => {
+                let layout = layout
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "place before layout directive"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "place needs a shape name"))?
+                    .to_owned();
+                let dx: i64 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "place needs integer dx dy"))?;
+                let dy: i64 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "place needs integer dx dy"))?;
+                if !layout.shapes().any(|(n, _)| n == name) {
+                    return Err(err(line_no, format!("placement of unknown shape {name:?}")));
+                }
+                layout.place(&name, Placement::at(dx, dy));
+            }
+            Some(other) => {
+                return Err(err(line_no, format!("unknown directive {other:?}")));
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    layout.ok_or_else(|| err(0, "no layout directive found"))
+}
+
+/// Writes the layout to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_layout<P: AsRef<Path>>(layout: &Layout, path: P) -> std::io::Result<()> {
+    std::fs::write(path, write_layout(layout))
+}
+
+/// Reads a layout file.
+///
+/// # Errors
+///
+/// Returns filesystem errors (wrapped as `line 0`) or parse errors.
+pub fn load_layout<P: AsRef<Path>>(path: P) -> Result<Layout, ParseLayoutError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(0, format!("cannot read layout file: {e}")))?;
+    parse_layout(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::Rect;
+
+    fn demo() -> Layout {
+        let mut layout = Layout::new("demo");
+        layout.add_shape(
+            "via",
+            Polygon::from_rect(Rect::new(0, 0, 40, 30).unwrap()),
+        );
+        layout.add_shape(
+            "ell",
+            Polygon::new(vec![
+                Point::new(0, 0),
+                Point::new(50, 0),
+                Point::new(50, 20),
+                Point::new(20, 20),
+                Point::new(20, 50),
+                Point::new(0, 50),
+            ])
+            .unwrap(),
+        );
+        layout.place("via", Placement::at(0, 0));
+        layout.place("via", Placement::at(100, 0));
+        layout.place("ell", Placement::at(0, 100));
+        layout
+    }
+
+    #[test]
+    fn round_trip() {
+        let layout = demo();
+        let text = write_layout(&layout);
+        let back = parse_layout(&text).unwrap();
+        assert_eq!(layout, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let layout = demo();
+        let path = std::env::temp_dir().join("maskfrac_layout_test.txt");
+        save_layout(&layout, &path).unwrap();
+        let back = load_layout(&path).unwrap();
+        assert_eq!(layout, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\nlayout x\n  # indented comment\nshape s 0,0 10,0 10,10 0,10\nplace s 5 5\n";
+        let layout = parse_layout(text).unwrap();
+        assert_eq!(layout.name, "x");
+        assert_eq!(layout.shape_count(), 1);
+        assert_eq!(layout.instance_count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("shape s 0,0 1,0 1,1", "before layout"),
+            ("layout a\nshape s 0,0 zz,0 1,1", "bad x coordinate"),
+            ("layout a\nshape s 0,0", "invalid shape ring"),
+            ("layout a\nplace ghost 0 0", "unknown shape"),
+            ("layout a\nfrobnicate", "unknown directive"),
+            ("layout a\nlayout b", "duplicate layout"),
+            ("", "no layout directive"),
+            ("layout a\nshape s 0,0 10,0 10,10\nplace s 1", "integer dx dy"),
+        ];
+        for (text, needle) in cases {
+            let e = parse_layout(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{text:?}: got {e}, wanted {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vertex_order_is_preserved_modulo_normalization() {
+        // Writer emits the normalized (CCW) ring, so parse(write(x)) is a
+        // fixed point even for shapes originally given clockwise.
+        let mut layout = Layout::new("cw");
+        layout.add_shape(
+            "s",
+            Polygon::new(vec![
+                Point::new(0, 0),
+                Point::new(0, 10),
+                Point::new(10, 10),
+                Point::new(10, 0),
+            ])
+            .unwrap(),
+        );
+        let once = parse_layout(&write_layout(&layout)).unwrap();
+        let twice = parse_layout(&write_layout(&once)).unwrap();
+        assert_eq!(once, twice);
+    }
+}

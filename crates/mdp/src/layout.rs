@@ -1,0 +1,294 @@
+//! Layouts: many mask shapes, many placements, fractured independently.
+//!
+//! A full-field mask holds billions of polygons but "each shape can be
+//! fractured independently" (paper §2) — and repeated cells share one
+//! fracturing result. [`Layout`] models exactly that: a library of
+//! distinct *shapes* and a list of *placements* referencing them, so
+//! fracturing cost scales with distinct shapes while shot statistics
+//! scale with placements.
+
+use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
+use maskfrac_geom::{Point, Polygon, Rect};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A placement (translation) of a library shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placement {
+    /// Translation applied to the library shape, nm.
+    pub offset: Point,
+}
+
+impl Placement {
+    /// Places the shape with its local origin at `(x, y)` nm.
+    pub fn at(x: i64, y: i64) -> Self {
+        Placement {
+            offset: Point::new(x, y),
+        }
+    }
+}
+
+/// A mask layout: a shape library plus placements.
+///
+/// Shape names are unique; placements reference names. Placements of
+/// unknown names are rejected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layout {
+    /// Layout name (for reports).
+    pub name: String,
+    shapes: BTreeMap<String, Polygon>,
+    placements: Vec<(String, Placement)>,
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    pub fn new(name: &str) -> Self {
+        Layout {
+            name: name.to_owned(),
+            shapes: BTreeMap::new(),
+            placements: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a library shape. Returns the previous shape
+    /// under that name, if any.
+    pub fn add_shape(&mut self, name: &str, polygon: Polygon) -> Option<Polygon> {
+        self.shapes.insert(name.to_owned(), polygon)
+    }
+
+    /// Places a library shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shape with that name exists — placements must
+    /// reference the library.
+    pub fn place(&mut self, name: &str, placement: Placement) {
+        assert!(
+            self.shapes.contains_key(name),
+            "placement references unknown shape {name:?}"
+        );
+        self.placements.push((name.to_owned(), placement));
+    }
+
+    /// Number of distinct library shapes.
+    pub fn shape_count(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Number of placed instances.
+    pub fn instance_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Iterator over the shape library.
+    pub fn shapes(&self) -> impl Iterator<Item = (&str, &Polygon)> {
+        self.shapes.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterator over placements as `(shape name, placement)`.
+    pub fn placements(&self) -> impl Iterator<Item = (&str, Placement)> {
+        self.placements.iter().map(|(k, p)| (k.as_str(), *p))
+    }
+
+    /// Placement count per shape name.
+    pub fn placement_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for (name, _) in &self.placements {
+            *counts.entry(name.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Bounding box of all placed instances, or `None` for an empty
+    /// placement list.
+    pub fn bbox(&self) -> Option<Rect> {
+        self.placements
+            .iter()
+            .map(|(name, p)| {
+                let b = self.shapes[name].bbox();
+                b.translate(p.offset)
+            })
+            .reduce(|a, b| a.union_bbox(&b))
+    }
+}
+
+/// Per-shape fracturing outcome within a layout run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeFractureStats {
+    /// Library shape name.
+    pub shape: String,
+    /// Shots for one instance of the shape.
+    pub shots_per_instance: usize,
+    /// Placed instances.
+    pub instances: usize,
+    /// Failing pixels for one instance.
+    pub fail_pixels: usize,
+    /// Fracturing runtime for this shape, seconds.
+    pub runtime_s: f64,
+}
+
+/// Result of fracturing a whole layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutFractureReport {
+    /// Layout name.
+    pub layout: String,
+    /// Per-shape statistics, sorted by shape name.
+    pub per_shape: Vec<ShapeFractureStats>,
+}
+
+impl LayoutFractureReport {
+    /// Total shots over all placed instances.
+    pub fn total_shots(&self) -> usize {
+        self.per_shape
+            .iter()
+            .map(|s| s.shots_per_instance * s.instances)
+            .sum()
+    }
+
+    /// Total failing pixels over all placed instances.
+    pub fn total_fail_pixels(&self) -> usize {
+        self.per_shape
+            .iter()
+            .map(|s| s.fail_pixels * s.instances)
+            .sum()
+    }
+
+    /// Total distinct-shape fracturing runtime (the MDP compute cost),
+    /// seconds.
+    pub fn total_runtime_s(&self) -> f64 {
+        self.per_shape.iter().map(|s| s.runtime_s).sum()
+    }
+}
+
+/// Fractures every distinct shape of a layout, spreading shapes over
+/// `threads` worker threads (each shape is independent, exactly as the
+/// paper notes). Results are deterministic regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn fracture_layout(
+    layout: &Layout,
+    config: &FractureConfig,
+    threads: usize,
+) -> LayoutFractureReport {
+    assert!(threads > 0, "need at least one worker thread");
+    let counts = layout.placement_counts();
+    let work: Vec<(&str, &Polygon)> = layout
+        .shapes()
+        .filter(|(name, _)| counts.contains_key(*name))
+        .collect();
+
+    let results: Mutex<Vec<ShapeFractureStats>> = Mutex::new(Vec::new());
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(work.len().max(1)) {
+            scope.spawn(|| {
+                // One fracturer per worker: Lth derivation is shared per
+                // thread, shapes pull work-stealing style off the queue.
+                let fracturer = ModelBasedFracturer::new(config.clone());
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(name, polygon)) = work.get(i) else {
+                        break;
+                    };
+                    let result = fracturer.fracture(polygon);
+                    let stats = ShapeFractureStats {
+                        shape: name.to_owned(),
+                        shots_per_instance: result.shot_count(),
+                        instances: counts[name],
+                        fail_pixels: result.summary.fail_count(),
+                        runtime_s: result.runtime.as_secs_f64(),
+                    };
+                    results.lock().expect("no poisoned lock").push(stats);
+                }
+            });
+        }
+    });
+
+    let mut per_shape = results.into_inner().expect("no poisoned lock");
+    per_shape.sort_by(|a, b| a.shape.cmp(&b.shape));
+    LayoutFractureReport {
+        layout: layout.name.clone(),
+        per_shape,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(side: i64) -> Polygon {
+        Polygon::from_rect(Rect::new(0, 0, side, side).unwrap())
+    }
+
+    fn demo_layout() -> Layout {
+        let mut layout = Layout::new("demo");
+        layout.add_shape("sq40", square(40));
+        layout.add_shape("sq25", square(25));
+        layout.add_shape("unused", square(60));
+        for i in 0..5 {
+            layout.place("sq40", Placement::at(i * 100, 0));
+        }
+        layout.place("sq25", Placement::at(0, 200));
+        layout.place("sq25", Placement::at(300, 200));
+        layout
+    }
+
+    #[test]
+    fn layout_bookkeeping() {
+        let layout = demo_layout();
+        assert_eq!(layout.shape_count(), 3);
+        assert_eq!(layout.instance_count(), 7);
+        let counts = layout.placement_counts();
+        assert_eq!(counts["sq40"], 5);
+        assert_eq!(counts["sq25"], 2);
+        assert!(!counts.contains_key("unused"));
+        let bbox = layout.bbox().unwrap();
+        assert_eq!(bbox, Rect::new(0, 0, 440, 225).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown shape")]
+    fn placement_validates_name() {
+        let mut layout = Layout::new("bad");
+        layout.place("ghost", Placement::at(0, 0));
+    }
+
+    #[test]
+    fn fracture_layout_counts_instances_once_per_shape() {
+        let layout = demo_layout();
+        let report = fracture_layout(&layout, &FractureConfig::default(), 2);
+        // Unused shapes are not fractured.
+        assert_eq!(report.per_shape.len(), 2);
+        // Squares fracture to one shot each; instances multiply.
+        assert_eq!(report.total_shots(), 7);
+        assert_eq!(report.total_fail_pixels(), 0);
+        assert!(report.total_runtime_s() > 0.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let layout = demo_layout();
+        let cfg = FractureConfig::default();
+        let a = fracture_layout(&layout, &cfg, 1);
+        let b = fracture_layout(&layout, &cfg, 4);
+        let strip = |r: &LayoutFractureReport| -> Vec<(String, usize, usize, usize)> {
+            r.per_shape
+                .iter()
+                .map(|s| (s.shape.clone(), s.shots_per_instance, s.instances, s.fail_pixels))
+                .collect()
+        };
+        assert_eq!(strip(&a), strip(&b));
+    }
+
+    #[test]
+    fn empty_layout_report() {
+        let layout = Layout::new("empty");
+        assert!(layout.bbox().is_none());
+        let report = fracture_layout(&layout, &FractureConfig::default(), 2);
+        assert_eq!(report.total_shots(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Shot writing-order optimization.
+//!
+//! After fracturing, the VSB tool exposes the shots one by one; between
+//! consecutive shots the beam deflects by the distance between them, and
+//! long deflections need longer settling. Ordering the shots to shorten
+//! total deflection travel is the classic open-path travelling-salesman
+//! heuristic stack: greedy nearest-neighbour construction followed by
+//! 2-opt improvement. On fractured mask shapes this typically recovers
+//! 2–4× travel versus the arbitrary order the fracturer emits.
+
+use maskfrac_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Result of ordering a shot list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderingReport {
+    /// Visit order (indices into the input shot list).
+    pub order: Vec<usize>,
+    /// Total centre-to-centre deflection travel before ordering, nm.
+    pub travel_before: f64,
+    /// Total travel after ordering, nm.
+    pub travel_after: f64,
+}
+
+impl OrderingReport {
+    /// Relative travel reduction in `[0, 1]`.
+    pub fn reduction(&self) -> f64 {
+        if self.travel_before == 0.0 {
+            0.0
+        } else {
+            1.0 - self.travel_after / self.travel_before
+        }
+    }
+}
+
+fn center(r: &Rect) -> (f64, f64) {
+    r.center_f64()
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+fn path_length(centers: &[(f64, f64)], order: &[usize]) -> f64 {
+    order
+        .windows(2)
+        .map(|w| dist(centers[w[0]], centers[w[1]]))
+        .sum()
+}
+
+/// Orders shots to reduce beam deflection travel: nearest-neighbour
+/// construction from the first shot, then 2-opt until no exchange helps
+/// (bounded by `max_rounds` full passes).
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_geom::Rect;
+/// use maskfrac_mdp::ordering::order_shots;
+///
+/// // Shots along a line, given shuffled.
+/// let shots: Vec<Rect> = [0i64, 300, 100, 400, 200]
+///     .iter()
+///     .map(|&x| Rect::new(x, 0, x + 50, 50).expect("rect"))
+///     .collect();
+/// let report = order_shots(&shots, 10);
+/// assert!(report.travel_after <= report.travel_before);
+/// assert_eq!(report.order.len(), shots.len());
+/// ```
+pub fn order_shots(shots: &[Rect], max_rounds: usize) -> OrderingReport {
+    let n = shots.len();
+    let identity: Vec<usize> = (0..n).collect();
+    let centers: Vec<(f64, f64)> = shots.iter().map(center).collect();
+    let travel_before = path_length(&centers, &identity);
+    if n < 3 {
+        return OrderingReport {
+            order: identity,
+            travel_before,
+            travel_after: travel_before,
+        };
+    }
+
+    // Nearest-neighbour construction.
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut current = 0usize;
+    used[0] = true;
+    order.push(0);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&i| !used[i])
+            .min_by(|&a, &b| {
+                dist(centers[current], centers[a])
+                    .partial_cmp(&dist(centers[current], centers[b]))
+                    .expect("finite distances")
+            })
+            .expect("an unused shot remains");
+        used[next] = true;
+        order.push(next);
+        current = next;
+    }
+
+    // 2-opt: reverse segments while it shortens the open path.
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for i in 0..n - 2 {
+            for j in (i + 2)..n {
+                // Reversing order[i+1..=j] replaces edges (i, i+1) and
+                // (j, j+1) with (i, j) and (i+1, j+1).
+                let a = centers[order[i]];
+                let b = centers[order[i + 1]];
+                let c = centers[order[j]];
+                let old = dist(a, b)
+                    + if j + 1 < n {
+                        dist(c, centers[order[j + 1]])
+                    } else {
+                        0.0
+                    };
+                let new = dist(a, c)
+                    + if j + 1 < n {
+                        dist(b, centers[order[j + 1]])
+                    } else {
+                        0.0
+                    };
+                if new + 1e-9 < old {
+                    order[i + 1..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let travel_after = path_length(&centers, &order);
+    OrderingReport {
+        order,
+        travel_before,
+        travel_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_shots(xs: &[i64]) -> Vec<Rect> {
+        xs.iter()
+            .map(|&x| Rect::new(x, 0, x + 10, 10).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn shuffled_line_recovers_sorted_order() {
+        let shots = line_shots(&[0, 400, 100, 300, 200]);
+        let report = order_shots(&shots, 20);
+        // Optimal open path from shot 0 visits in x order: travel 400.
+        assert!((report.travel_after - 400.0).abs() < 1e-9, "{report:?}");
+        assert!(report.reduction() > 0.5);
+    }
+
+    #[test]
+    fn ordering_is_a_permutation() {
+        let shots = line_shots(&[50, 10, 90, 30, 70, 0]);
+        let report = order_shots(&shots, 20);
+        let mut seen = vec![false; shots.len()];
+        for &i in &report.order {
+            assert!(!seen[i], "index {i} visited twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn short_lists_pass_through() {
+        assert_eq!(order_shots(&[], 5).order, Vec::<usize>::new());
+        let one = line_shots(&[5]);
+        assert_eq!(order_shots(&one, 5).order, vec![0]);
+        let two = line_shots(&[5, 50]);
+        let r = order_shots(&two, 5);
+        assert_eq!(r.order, vec![0, 1]);
+        assert_eq!(r.reduction(), 0.0);
+    }
+
+    #[test]
+    fn grid_travel_improves_over_random_order() {
+        // 5x5 grid of shots listed in a scrambled deterministic order.
+        let mut shots = Vec::new();
+        let mut k = 7usize;
+        let mut order_scramble = Vec::new();
+        for _ in 0..25 {
+            k = (k * 13 + 5) % 25;
+            while order_scramble.contains(&k) {
+                k = (k + 1) % 25;
+            }
+            order_scramble.push(k);
+            let (gx, gy) = ((k % 5) as i64, (k / 5) as i64);
+            shots.push(Rect::new(gx * 100, gy * 100, gx * 100 + 40, gy * 100 + 40).unwrap());
+        }
+        let report = order_shots(&shots, 30);
+        assert!(
+            report.reduction() > 0.4,
+            "2-opt should recover a snake-ish path: {report:?}"
+        );
+    }
+}

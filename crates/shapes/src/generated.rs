@@ -1,0 +1,326 @@
+//! Generated benchmark shapes with a known achievable shot count.
+//!
+//! Following the ICCAD'14 benchmarking methodology the paper builds on:
+//! place `K` rectangles, sum their proximity-blurred intensities at fixed
+//! dose, and take the `ρ` iso-contour as the target shape. By construction
+//! the target is writable with exactly those `K` shots (zero failing
+//! pixels), so `K` is an upper bound on — and is treated as — the optimal
+//! shot count. The thresholding produces the characteristic *wavy*
+//! boundary the paper remarks on in Table 3's discussion.
+//!
+//! Two families mirror the suite's naming:
+//!
+//! * **AGB** (aligned generated benchmarks): rectangle corners snapped to a
+//!   coarse grid, so shots share edge coordinates;
+//! * **RGB** (random generated benchmarks): unconstrained placement.
+
+use maskfrac_ebeam::{ExposureModel, IntensityMap};
+use maskfrac_geom::{label_components, Bitmap, Frame, Polygon, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Rectangle-placement style for generated benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Alignment {
+    /// Corners snapped to a coarse grid (`AGB` shapes).
+    Aligned {
+        /// Snap pitch in nm.
+        pitch: i64,
+    },
+    /// Unconstrained random placement (`RGB` shapes).
+    Random,
+}
+
+/// Parameters of the generated-benchmark constructor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedParams {
+    /// Number of generating rectangles (the known achievable shot count).
+    pub shots: usize,
+    /// Minimum side of a generating rectangle, nm.
+    pub min_side: i64,
+    /// Maximum side of a generating rectangle, nm.
+    pub max_side: i64,
+    /// Placement style.
+    pub alignment: Alignment,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratedParams {
+    fn default() -> Self {
+        GeneratedParams {
+            shots: 5,
+            min_side: 22,
+            max_side: 70,
+            alignment: Alignment::Random,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated benchmark: the target polygon plus its provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedShape {
+    /// The target shape (the thresholded iso-contour, digitized at 1 nm).
+    pub polygon: Polygon,
+    /// The generating shots — a feasible solution with zero failing pixels.
+    pub generating_shots: Vec<Rect>,
+    /// The known achievable (treated-as-optimal) shot count.
+    pub optimal: usize,
+}
+
+/// Constructs a generated benchmark shape.
+///
+/// Rectangles are placed as an overlapping chain (each intersects the
+/// union of its predecessors) so the thresholded region is connected, and
+/// placement is retried until every rectangle contributes uncovered area
+/// (otherwise the generating count would overstate the optimum).
+///
+/// # Panics
+///
+/// Panics if `params.shots == 0` or the side bounds are inverted.
+pub fn generate_benchmark(model: &ExposureModel, params: &GeneratedParams) -> GeneratedShape {
+    assert!(params.shots > 0, "need at least one generating shot");
+    assert!(
+        0 < params.min_side && params.min_side <= params.max_side,
+        "side bounds must satisfy 0 < min <= max"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xA6B_0BEC5);
+    // Retry placement until every rect contributes; the acceptance test is
+    // cheap and rejection is rare for sane parameters.
+    for _attempt in 0..200 {
+        let shots = place_chain(&mut rng, params);
+        if !every_shot_contributes(&shots) {
+            continue;
+        }
+        let shape = threshold_shape(model, &shots);
+        if let Some(polygon) = shape {
+            return GeneratedShape {
+                polygon,
+                generating_shots: shots,
+                optimal: params.shots,
+            };
+        }
+    }
+    panic!(
+        "generated-benchmark placement failed to converge for params {params:?}; \
+         widen the side bounds or reduce the shot count"
+    );
+}
+
+/// Places `shots` rectangles as an overlapping chain.
+fn place_chain(rng: &mut StdRng, params: &GeneratedParams) -> Vec<Rect> {
+    let snap = |v: i64| -> i64 {
+        match params.alignment {
+            Alignment::Aligned { pitch } => (v / pitch) * pitch,
+            Alignment::Random => v,
+        }
+    };
+    let side = |rng: &mut StdRng| -> i64 {
+        let s = rng.gen_range(params.min_side..=params.max_side);
+        match params.alignment {
+            Alignment::Aligned { pitch } => ((s + pitch - 1) / pitch * pitch).max(pitch),
+            Alignment::Random => s,
+        }
+    };
+
+    let mut rects: Vec<Rect> = Vec::with_capacity(params.shots);
+    let mut x = 0i64;
+    let mut y = 0i64;
+    for _ in 0..params.shots {
+        let w = side(rng);
+        let h = side(rng);
+        let (x0, y0) = (snap(x), snap(y));
+        rects.push(Rect::new(x0, y0, x0 + w, y0 + h).expect("positive sides"));
+        // Next anchor: inside the current rect so the chain overlaps, with
+        // a random outward drift.
+        x = x0 + rng.gen_range(w / 3..=w) - w / 4;
+        y = y0 + rng.gen_range(h / 3..=h) - h / 4;
+    }
+    rects
+}
+
+/// Whether each rectangle has area not covered by the union of the others
+/// (a geometric proxy for "removing it changes the target").
+fn every_shot_contributes(shots: &[Rect]) -> bool {
+    let union_bbox = shots
+        .iter()
+        .skip(1)
+        .fold(shots[0], |acc, r| acc.union_bbox(r));
+    let frame = Frame::covering(union_bbox, 1);
+    for (i, r) in shots.iter().enumerate() {
+        let mut others = Bitmap::new(frame.width(), frame.height());
+        for (j, o) in shots.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for iy in frame.clamp_y_range(o.y0() as f64, o.y1() as f64) {
+                for ix in frame.clamp_x_range(o.x0() as f64, o.x1() as f64) {
+                    others.set(ix, iy, true);
+                }
+            }
+        }
+        let mut contributes = false;
+        'scan: for iy in frame.clamp_y_range(r.y0() as f64, r.y1() as f64) {
+            for ix in frame.clamp_x_range(r.x0() as f64, r.x1() as f64) {
+                if !others.get(ix, iy) {
+                    contributes = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !contributes {
+            return false;
+        }
+    }
+    true
+}
+
+/// Thresholds the summed intensity of `shots` at `ρ` and extracts the
+/// largest connected region as a polygon. Returns `None` if the region is
+/// disconnected in a way that loses a generating shot (caller retries).
+fn threshold_shape(model: &ExposureModel, shots: &[Rect]) -> Option<Polygon> {
+    let union_bbox = shots
+        .iter()
+        .skip(1)
+        .fold(shots[0], |acc, r| acc.union_bbox(r));
+    let frame = Frame::covering(union_bbox, model.support_radius_px() + 2);
+    let mut map = IntensityMap::new(model.clone(), frame);
+    for s in shots {
+        map.add_shot(s);
+    }
+    let mut printed = Bitmap::new(frame.width(), frame.height());
+    for iy in 0..frame.height() {
+        for ix in 0..frame.width() {
+            if map.value(ix, iy) >= model.rho() {
+                printed.set(ix, iy, true);
+            }
+        }
+    }
+    // The union must be a single component (otherwise the "shape" would be
+    // several shapes and the per-shape optimum would not be `shots.len()`).
+    let comps = label_components(&printed);
+    if comps.len() != 1 {
+        return None;
+    }
+    let contour = printed.largest_outer_contour()?;
+    // Keep the polygon in absolute nm (frame-local -> absolute).
+    Some(contour.translate(frame.origin()))
+}
+
+/// Verifies that the generating shots reproduce the target with zero
+/// failing pixels under the given CD tolerance — the defining property of
+/// these benchmarks. Exposed for tests and the experiment harness.
+pub fn verify_generating_solution(
+    model: &ExposureModel,
+    shape: &GeneratedShape,
+    gamma: f64,
+) -> bool {
+    use maskfrac_ebeam::{evaluate, Classification};
+    let cls = Classification::build(&shape.polygon, gamma, model.support_radius_px() + 2);
+    let mut map = IntensityMap::new(model.clone(), cls.frame());
+    for s in &shape.generating_shots {
+        map.add_shot(s);
+    }
+    evaluate(&cls, &map).is_feasible()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ExposureModel {
+        ExposureModel::paper_default()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = GeneratedParams {
+            seed: 9,
+            ..GeneratedParams::default()
+        };
+        let a = generate_benchmark(&model(), &p);
+        let b = generate_benchmark(&model(), &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generating_solution_is_feasible() {
+        for seed in [1u64, 2, 3] {
+            let p = GeneratedParams {
+                shots: 4,
+                seed,
+                ..GeneratedParams::default()
+            };
+            let shape = generate_benchmark(&model(), &p);
+            assert_eq!(shape.optimal, 4);
+            assert_eq!(shape.generating_shots.len(), 4);
+            assert!(
+                verify_generating_solution(&model(), &shape, 2.0),
+                "seed {seed}: generating shots must have zero failing pixels"
+            );
+        }
+    }
+
+    #[test]
+    fn aligned_shapes_snap_to_pitch() {
+        let p = GeneratedParams {
+            shots: 5,
+            alignment: Alignment::Aligned { pitch: 10 },
+            seed: 4,
+            ..GeneratedParams::default()
+        };
+        let shape = generate_benchmark(&model(), &p);
+        for s in &shape.generating_shots {
+            assert_eq!(s.x0() % 10, 0);
+            assert_eq!(s.y0() % 10, 0);
+            assert_eq!(s.width() % 10, 0);
+            assert_eq!(s.height() % 10, 0);
+        }
+    }
+
+    #[test]
+    fn single_shot_benchmark_is_rounded_rect() {
+        let p = GeneratedParams {
+            shots: 1,
+            seed: 6,
+            ..GeneratedParams::default()
+        };
+        let shape = generate_benchmark(&model(), &p);
+        let r = shape.generating_shots[0];
+        // The printed contour of one shot hugs the shot (corner rounding
+        // pulls corners in; edges print on the shot edge).
+        let bbox = shape.polygon.bbox();
+        assert!((bbox.width() - r.width()).abs() <= 2);
+        assert!((bbox.height() - r.height()).abs() <= 2);
+        assert!(shape.polygon.area() < r.area() as f64 + 4.0);
+    }
+
+    #[test]
+    fn wavy_boundary_has_many_vertices() {
+        let p = GeneratedParams {
+            shots: 8,
+            seed: 12,
+            ..GeneratedParams::default()
+        };
+        let shape = generate_benchmark(&model(), &p);
+        assert!(
+            shape.polygon.len() > 12,
+            "thresholded union is wavy, got {} vertices",
+            shape.polygon.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_shots() {
+        generate_benchmark(
+            &model(),
+            &GeneratedParams {
+                shots: 0,
+                ..GeneratedParams::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,466 @@
+//! Synthetic ILT-like curvilinear mask clips.
+//!
+//! Inverse lithography produces smooth, blob-like mask openings whose
+//! boundaries carry no rectilinear structure; mask data prep receives them
+//! digitized on the writing grid. This generator reproduces that character:
+//! one or more smooth lobes, each a star-convex region whose radius is a
+//! random low-order Fourier series of the polar angle, unioned and then
+//! digitized at 1 nm. The resulting polygons exhibit exactly the features
+//! that make ILT fracturing hard — long near-diagonal boundary runs, convex
+//! and concave sweeps, and no preferred axis.
+
+use maskfrac_geom::{morph, Bitmap, Frame, Point, Polygon};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the ILT clip generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IltParams {
+    /// Mean lobe radius in nm.
+    pub base_radius: f64,
+    /// Relative radial modulation amplitude (0 = circle; 0.5 = very wiggly).
+    pub irregularity: f64,
+    /// Number of Fourier harmonics in the radial modulation.
+    pub harmonics: usize,
+    /// Number of overlapping lobes unioned into the clip.
+    pub lobes: usize,
+    /// Anisotropy: lobes are stretched by up to this factor along a random
+    /// direction (1 = isotropic).
+    pub elongation: f64,
+    /// RNG seed; equal seeds give identical clips.
+    pub seed: u64,
+}
+
+impl Default for IltParams {
+    fn default() -> Self {
+        IltParams {
+            base_radius: 45.0,
+            irregularity: 0.25,
+            harmonics: 4,
+            lobes: 2,
+            elongation: 1.6,
+            seed: 0,
+        }
+    }
+}
+
+/// One star-convex lobe: radius as a Fourier series of angle.
+struct Lobe {
+    cx: f64,
+    cy: f64,
+    /// Stretch factors along x/y after rotation.
+    sx: f64,
+    sy: f64,
+    /// Rotation angle of the stretch axes.
+    rot: f64,
+    base: f64,
+    coefficients: Vec<(f64, f64, f64)>, // (amplitude, frequency, phase)
+}
+
+impl Lobe {
+    fn radius(&self, theta: f64) -> f64 {
+        let mut r = 1.0;
+        for &(a, k, phi) in &self.coefficients {
+            r += a * (k * theta + phi).cos();
+        }
+        (self.base * r).max(self.base * 0.2)
+    }
+
+    fn contains(&self, x: f64, y: f64) -> bool {
+        // Undo rotation and stretch, then star-convex test.
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        let (s, c) = self.rot.sin_cos();
+        let rx = (c * dx + s * dy) / self.sx;
+        let ry = (-s * dx + c * dy) / self.sy;
+        let rho = (rx * rx + ry * ry).sqrt();
+        if rho == 0.0 {
+            return true;
+        }
+        rho <= self.radius(ry.atan2(rx))
+    }
+}
+
+/// Generates a digitized ILT-like clip.
+///
+/// The clip is a single connected polygon on the integer grid (the largest
+/// connected component of the union of lobes), normalized so its bounding
+/// box is anchored near the origin.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_shapes::ilt::{generate_ilt_clip, IltParams};
+///
+/// let a = generate_ilt_clip(&IltParams::default());
+/// let b = generate_ilt_clip(&IltParams::default());
+/// assert_eq!(a, b, "same seed, same clip");
+/// ```
+pub fn generate_ilt_clip(params: &IltParams) -> Polygon {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x1517_C11F);
+    let mut lobes = Vec::with_capacity(params.lobes.max(1));
+    let spread = params.base_radius * 0.9;
+    for i in 0..params.lobes.max(1) {
+        let (cx, cy) = if i == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                rng.gen_range(-spread..spread),
+                rng.gen_range(-spread..spread),
+            )
+        };
+        let stretch = rng.gen_range(1.0..params.elongation.max(1.0 + 1e-9));
+        let coefficients = (1..=params.harmonics.max(1))
+            .map(|k| {
+                // Higher harmonics get smaller amplitudes: smooth boundary.
+                let amp = if params.irregularity > 0.0 {
+                    rng.gen_range(0.0..params.irregularity) / (k as f64).sqrt()
+                } else {
+                    0.0
+                };
+                let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+                (amp, k as f64, phase)
+            })
+            .collect();
+        lobes.push(Lobe {
+            cx,
+            cy,
+            sx: stretch,
+            sy: 1.0 / stretch.sqrt(),
+            rot: rng.gen_range(0.0..std::f64::consts::TAU),
+            base: params.base_radius * rng.gen_range(0.55..1.0),
+            coefficients,
+        });
+    }
+
+    // Conservative frame: max stretched radius around all lobe centres.
+    let max_r = lobes
+        .iter()
+        .map(|l| l.base * (1.0 + params.irregularity * params.harmonics as f64) * l.sx.max(l.sy))
+        .fold(0.0, f64::max);
+    // Extra margin so the closing dilation below never clips at the frame.
+    let half = (spread + max_r).ceil() as i64 + 6;
+    let frame = Frame::new(Point::new(-half, -half), (2 * half) as usize, (2 * half) as usize);
+
+    let mut bitmap = Bitmap::new(frame.width(), frame.height());
+    for iy in 0..frame.height() {
+        for ix in 0..frame.width() {
+            let (x, y) = frame.pixel_center(ix, iy);
+            if lobes.iter().any(|l| l.contains(x, y)) {
+                bitmap.set(ix, iy, true);
+            }
+        }
+    }
+    // Manufacturability smoothing: real ILT output respects mask rules, so
+    // its curvature radius is bounded well above the writing blur. Closing
+    // then opening with a disc of ~σ/1.5 removes concave/convex features
+    // too sharp for any fixed-dose shot set to print. Blobs smaller than
+    // the opening disc would vanish entirely — fall back to the closed
+    // (still hole-free) version for those.
+    let r = 5;
+    let closed = morph::erode(&morph::dilate(&bitmap, r), r);
+    let opened = morph::dilate(&morph::erode(&closed, r), r);
+    let bitmap = if opened.count_ones() > 0 { opened } else { closed };
+
+    let contour = bitmap
+        .largest_outer_contour()
+        .expect("lobe union is non-empty");
+    // Contour is in frame-local coordinates; shift so the clip sits in the
+    // first quadrant with a small margin.
+    let bbox = contour.bbox();
+    contour.translate(Point::new(-bbox.x0(), -bbox.y0()))
+}
+
+/// An ILT clip with sub-resolution assist features: the main feature plus
+/// detached satellite shapes (paper §1: SRAFs are among the aggressive
+/// RET shapes that model-based fracturing must handle; matching pursuit
+/// was proposed specifically for them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IltClipWithSrafs {
+    /// The main ILT feature.
+    pub main: Polygon,
+    /// Detached assist features, each fractured independently.
+    pub srafs: Vec<Polygon>,
+}
+
+impl IltClipWithSrafs {
+    /// Every shape of the clip: main feature first, then the SRAFs.
+    pub fn shapes(&self) -> impl Iterator<Item = &Polygon> {
+        std::iter::once(&self.main).chain(self.srafs.iter())
+    }
+}
+
+/// Generates an ILT clip with `sraf_count` assist features placed on a
+/// ring around the main feature.
+///
+/// SRAFs are elongated bar-like blobs (as printed assist features are),
+/// scaled to roughly a third of the main feature's radius, and guaranteed
+/// disjoint from the main feature and from each other by construction
+/// (ring placement with angular spacing).
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_shapes::ilt::{generate_ilt_clip_with_srafs, IltParams};
+///
+/// let clip = generate_ilt_clip_with_srafs(&IltParams::default(), 4);
+/// assert_eq!(clip.srafs.len(), 4);
+/// let main_bbox = clip.main.bbox();
+/// for sraf in &clip.srafs {
+///     assert!(!main_bbox.intersects(&sraf.bbox()), "SRAFs are detached");
+/// }
+/// ```
+pub fn generate_ilt_clip_with_srafs(params: &IltParams, sraf_count: usize) -> IltClipWithSrafs {
+    let main = generate_ilt_clip(params);
+    let main_bbox = main.bbox();
+    let center = (
+        (main_bbox.x0() + main_bbox.x1()) / 2,
+        (main_bbox.y0() + main_bbox.y1()) / 2,
+    );
+    let ring_radius = (main_bbox.width().max(main_bbox.height()) as f64) * 0.95
+        + params.base_radius * 0.8;
+
+    let mut srafs = Vec::with_capacity(sraf_count);
+    for k in 0..sraf_count {
+        let angle = std::f64::consts::TAU * k as f64 / sraf_count.max(1) as f64;
+        let sraf = generate_ilt_clip(&IltParams {
+            base_radius: (params.base_radius * 0.33).max(9.0),
+            irregularity: params.irregularity * 0.6,
+            harmonics: 2,
+            lobes: 1,
+            elongation: 2.2,
+            seed: params.seed ^ (0x5AF_0000 + k as u64),
+        });
+        let sraf_bbox = sraf.bbox();
+        let offset = Point::new(
+            center.0 + (ring_radius * angle.cos()) as i64 - sraf_bbox.width() / 2,
+            center.1 + (ring_radius * angle.sin()) as i64 - sraf_bbox.height() / 2,
+        );
+        srafs.push(sraf.translate(offset));
+    }
+    IltClipWithSrafs { main, srafs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srafs_are_detached_and_deterministic() {
+        let p = IltParams {
+            seed: 21,
+            ..IltParams::default()
+        };
+        let a = generate_ilt_clip_with_srafs(&p, 5);
+        let b = generate_ilt_clip_with_srafs(&p, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.srafs.len(), 5);
+        assert_eq!(a.shapes().count(), 6);
+        // Pairwise disjoint bounding boxes.
+        let boxes: Vec<_> = a.shapes().map(|s| s.bbox()).collect();
+        for i in 0..boxes.len() {
+            for j in (i + 1)..boxes.len() {
+                assert!(
+                    !boxes[i].intersects(&boxes[j]),
+                    "shapes {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn srafs_are_small_features() {
+        let clip = generate_ilt_clip_with_srafs(&IltParams::default(), 3);
+        let main_area = clip.main.area();
+        for sraf in &clip.srafs {
+            let bbox = sraf.bbox();
+            assert!(bbox.width().max(bbox.height()) < 80, "SRAFs are small: {bbox}");
+            assert!(
+                sraf.area() < main_area / 3.0,
+                "assist features are sub-resolution relative to the main feature"
+            );
+            assert!(sraf.area() > 50.0, "but still printable shapes");
+        }
+    }
+
+    #[test]
+    fn donut_has_a_printable_rim() {
+        let donut = generate_ilt_donut(&IltParams::default());
+        assert_eq!(donut.holes().len(), 1);
+        let outer = donut.outer();
+        for v in donut.holes()[0].vertices() {
+            let d = outer.distance_to_boundary_f64(v.x as f64, v.y as f64);
+            assert!(d >= 13.0, "rim {d:.1} nm at {v}");
+        }
+        assert!(donut.area() < outer.area());
+    }
+
+    #[test]
+    fn donut_is_deterministic() {
+        let p = IltParams {
+            seed: 4,
+            ..IltParams::default()
+        };
+        assert_eq!(generate_ilt_donut(&p), generate_ilt_donut(&p));
+    }
+
+    #[test]
+    fn zero_srafs_is_just_the_main_feature() {
+        let clip = generate_ilt_clip_with_srafs(&IltParams::default(), 0);
+        assert!(clip.srafs.is_empty());
+        assert_eq!(clip.main, generate_ilt_clip(&IltParams::default()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = IltParams {
+            seed: 42,
+            ..IltParams::default()
+        };
+        assert_eq!(generate_ilt_clip(&p), generate_ilt_clip(&p));
+        let q = IltParams {
+            seed: 43,
+            ..IltParams::default()
+        };
+        assert_ne!(generate_ilt_clip(&p), generate_ilt_clip(&q));
+    }
+
+    #[test]
+    fn clip_is_digitized_and_anchored() {
+        let clip = generate_ilt_clip(&IltParams::default());
+        assert!(clip.is_rectilinear());
+        let bbox = clip.bbox();
+        assert_eq!(bbox.x0(), 0);
+        assert_eq!(bbox.y0(), 0);
+        assert!(bbox.width() > 40, "default clip is tens of nm across");
+    }
+
+    #[test]
+    fn curvilinear_boundary_has_many_vertices() {
+        let clip = generate_ilt_clip(&IltParams::default());
+        // A circle-ish blob of radius ~45 nm digitized at 1 nm has a
+        // staircase with hundreds of corners.
+        assert!(clip.len() > 50, "{} vertices", clip.len());
+    }
+
+    #[test]
+    fn irregularity_zero_gives_smooth_ellipse() {
+        let p = IltParams {
+            irregularity: 0.0,
+            lobes: 1,
+            seed: 3,
+            ..IltParams::default()
+        };
+        let clip = generate_ilt_clip(&p);
+        // Area within the ellipse ballpark: π·a·b with stretch ∈ [1, 1.6].
+        let area = clip.area();
+        let r = p.base_radius;
+        assert!(area > 0.2 * std::f64::consts::PI * r * r);
+        assert!(area < 2.0 * std::f64::consts::PI * r * r);
+    }
+
+    #[test]
+    fn radius_clamped_positive() {
+        // Extreme irregularity must not produce a degenerate lobe.
+        let p = IltParams {
+            irregularity: 0.9,
+            harmonics: 8,
+            seed: 11,
+            ..IltParams::default()
+        };
+        let clip = generate_ilt_clip(&p);
+        assert!(clip.area() > 100.0);
+    }
+
+    #[test]
+    fn lobe_count_grows_size() {
+        let small = generate_ilt_clip(&IltParams {
+            lobes: 1,
+            seed: 5,
+            ..IltParams::default()
+        });
+        let large = generate_ilt_clip(&IltParams {
+            lobes: 4,
+            seed: 5,
+            ..IltParams::default()
+        });
+        assert!(large.bbox().area() >= small.bbox().area());
+    }
+}
+
+/// Generates a donut-like ILT region: the main blob with a smaller blob
+/// carved out of its centre (aggressive ILT output is not always simply
+/// connected).
+///
+/// The hole is shrunk until it fits strictly inside the outer blob with a
+/// printable rim (≥ 2σ-scale margin), so the region is always valid.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_shapes::ilt::{generate_ilt_donut, IltParams};
+///
+/// let donut = generate_ilt_donut(&IltParams::default());
+/// assert_eq!(donut.holes().len(), 1);
+/// assert!(donut.area() < donut.outer().area());
+/// ```
+pub fn generate_ilt_donut(params: &IltParams) -> maskfrac_geom::Region {
+    use maskfrac_geom::Region;
+
+    let outer = generate_ilt_clip(&IltParams {
+        // One lobe keeps the outer blob star-convex-ish so a centred hole
+        // always has a rim.
+        lobes: 1,
+        irregularity: params.irregularity.min(0.2),
+        ..params.clone()
+    });
+    // Centre the hole at the blob's interior pole — the point farthest
+    // from the boundary — so the rim is as wide as the blob allows (the
+    // bounding-box centre can sit on a narrow waist).
+    let bbox = outer.bbox();
+    let mut center = Point::new((bbox.x0() + bbox.x1()) / 2, (bbox.y0() + bbox.y1()) / 2);
+    let mut best_depth = -1.0f64;
+    let mut y = bbox.y0();
+    while y <= bbox.y1() {
+        let mut x = bbox.x0();
+        while x <= bbox.x1() {
+            if outer.contains_f64(x as f64, y as f64) {
+                let d = outer.distance_to_boundary_f64(x as f64, y as f64);
+                if d > best_depth {
+                    best_depth = d;
+                    center = Point::new(x, y);
+                }
+            }
+            x += 3;
+        }
+        y += 3;
+    }
+
+    let mut scale = 0.34;
+    for _ in 0..6 {
+        let hole = generate_ilt_clip(&IltParams {
+            base_radius: params.base_radius * scale,
+            irregularity: params.irregularity.min(0.15),
+            harmonics: 2,
+            lobes: 1,
+            elongation: 1.2,
+            seed: params.seed ^ 0xD0_4071,
+        });
+        let hole_bbox = hole.bbox();
+        let hole = hole.translate(Point::new(
+            center.x - (hole_bbox.x0() + hole_bbox.x1()) / 2,
+            center.y - (hole_bbox.y0() + hole_bbox.y1()) / 2,
+        ));
+        // Printable rim: every hole vertex at least ~13 nm (2σ) inside.
+        let rim_ok = hole.vertices().iter().all(|v| {
+            outer.contains_f64(v.x as f64, v.y as f64)
+                && outer.distance_to_boundary_f64(v.x as f64, v.y as f64) >= 13.0
+        });
+        if rim_ok {
+            return Region::new(outer, vec![hole]).expect("hole verified inside");
+        }
+        scale *= 0.8;
+    }
+    // Pathologically small outer blob: fall back to no hole.
+    Region::simple(outer)
+}

@@ -1,0 +1,160 @@
+//! JSON (de)serialization of shapes and shot lists.
+//!
+//! The paper's implementation read mask shapes through the OpenAccess API;
+//! this reproduction replaces that plumbing with a minimal JSON format so
+//! benchmark instances and fracturing results can be saved, diffed and
+//! re-loaded by the experiment harness.
+
+use maskfrac_geom::{Polygon, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// A saved fracturing case: target shape plus (optionally) a shot list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeFile {
+    /// Identifier of the instance (e.g. `"Clip-3"`).
+    pub id: String,
+    /// The target polygon.
+    pub polygon: Polygon,
+    /// Shot list, e.g. a generating or computed solution.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub shots: Vec<Rect>,
+}
+
+/// Error reading or writing a [`ShapeFile`].
+#[derive(Debug)]
+pub enum ShapeIoError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for ShapeIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeIoError::Io(e) => write!(f, "shape file i/o failed: {e}"),
+            ShapeIoError::Parse(e) => write!(f, "shape file is not valid json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShapeIoError::Io(e) => Some(e),
+            ShapeIoError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ShapeIoError {
+    fn from(e: std::io::Error) -> Self {
+        ShapeIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ShapeIoError {
+    fn from(e: serde_json::Error) -> Self {
+        ShapeIoError::Parse(e)
+    }
+}
+
+impl ShapeFile {
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("shape file serialization cannot fail")
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeIoError::Parse`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, ShapeIoError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes the file to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeIoError::Io`] on filesystem failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), ShapeIoError> {
+        fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Reads a file previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on filesystem failure or malformed JSON.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, ShapeIoError> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::Point;
+
+    fn sample() -> ShapeFile {
+        ShapeFile {
+            id: "test".into(),
+            polygon: Polygon::new(vec![
+                Point::new(0, 0),
+                Point::new(10, 0),
+                Point::new(10, 10),
+                Point::new(0, 10),
+            ])
+            .unwrap(),
+            shots: vec![Rect::new(0, 0, 10, 10).unwrap()],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let f = sample();
+        let json = f.to_json();
+        let back = ShapeFile::from_json(&json).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let f = sample();
+        let dir = std::env::temp_dir().join("maskfrac_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shape.json");
+        f.save(&path).unwrap();
+        let back = ShapeFile::load(&path).unwrap();
+        assert_eq!(f, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_shots_field_is_optional() {
+        let json = r#"{"id":"x","polygon":{"vertices":[
+            {"x":0,"y":0},{"x":4,"y":0},{"x":4,"y":4},{"x":0,"y":4}]}}"#;
+        let f = ShapeFile::from_json(json).unwrap();
+        assert!(f.shots.is_empty());
+        assert_eq!(f.polygon.len(), 4);
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let err = ShapeFile::from_json("{not json").unwrap_err();
+        assert!(matches!(err, ShapeIoError::Parse(_)));
+        assert!(err.to_string().contains("not valid json"));
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = ShapeFile::load("/nonexistent/definitely/missing.json").unwrap_err();
+        assert!(matches!(err, ShapeIoError::Io(_)));
+    }
+}

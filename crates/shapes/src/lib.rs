@@ -1,0 +1,39 @@
+//! Synthetic benchmark mask shapes.
+//!
+//! The paper evaluates on (a) ten **real ILT mask clips** and (b) ten
+//! **generated benchmark shapes with known optimal shot count**, both from
+//! the UCLA/UCSD mask-fracturing benchmark suite. The real clips are
+//! proprietary layout excerpts that cannot be redistributed, so this crate
+//! builds the closest synthetic equivalents (see `DESIGN.md` §5):
+//!
+//! * [`ilt`] — curvilinear ILT-like clips: smooth random blobs produced by
+//!   a radial Fourier series, digitized on the 1 nm mask grid exactly the
+//!   way real ILT output is digitized before mask data prep;
+//! * [`generated`] — benchmarks with a *known achievable* shot count,
+//!   constructed by the ICCAD'14 methodology: place `K` rectangles,
+//!   simulate their summed proximity-blurred intensity, and threshold at
+//!   `ρ` — the resulting target is writable with exactly those `K` shots;
+//! * [`suite`] — the named fixed-seed instances (`Clip-1…10`, `AGB-1…5`,
+//!   `RGB-1…5`) used by the table-reproduction harness;
+//! * [`io`] — JSON (de)serialization of shapes and shot lists.
+//!
+//! # Example
+//!
+//! ```
+//! use maskfrac_shapes::ilt::{generate_ilt_clip, IltParams};
+//!
+//! let clip = generate_ilt_clip(&IltParams { seed: 7, ..IltParams::default() });
+//! assert!(clip.len() > 20, "digitized curvilinear boundary has many vertices");
+//! assert!(clip.is_rectilinear(), "mask shapes live on the writing grid");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generated;
+pub mod ilt;
+pub mod io;
+pub mod suite;
+
+pub use generated::{generate_benchmark, Alignment, GeneratedParams, GeneratedShape};
+pub use ilt::{generate_ilt_clip, generate_ilt_clip_with_srafs, generate_ilt_donut, IltClipWithSrafs, IltParams};
+pub use suite::{generated_suite, ilt_suite, ClipReference, GeneratedClip, SuiteClip};

@@ -1,0 +1,61 @@
+//! Generate a benchmark shape with a known achievable shot count (the
+//! ICCAD'14 methodology the paper's Table 3 uses), verify the generating
+//! solution, and fracture it back.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_generation
+//! ```
+
+use maskfrac::ebeam::ExposureModel;
+use maskfrac::fracture::{FractureConfig, ModelBasedFracturer};
+use maskfrac::shapes::generated::{
+    generate_benchmark, verify_generating_solution, Alignment, GeneratedParams,
+};
+use maskfrac::shapes::io::ShapeFile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ExposureModel::paper_default();
+    let params = GeneratedParams {
+        shots: 6,
+        alignment: Alignment::Random,
+        seed: 99,
+        ..GeneratedParams::default()
+    };
+    let shape = generate_benchmark(&model, &params);
+    println!(
+        "generated benchmark: {} generating shots, target has {} vertices, area {:.0} nm²",
+        shape.optimal,
+        shape.polygon.len(),
+        shape.polygon.area()
+    );
+    for (i, s) in shape.generating_shots.iter().enumerate() {
+        println!("  generating shot {i}: {s}");
+    }
+
+    // The defining property: the generating shots print the target with
+    // zero failing pixels.
+    assert!(verify_generating_solution(&model, &shape, 2.0));
+    println!("generating solution verified feasible (gamma = 2 nm)");
+
+    // Round-trip through the JSON shape format.
+    let file = ShapeFile {
+        id: "example-generated".into(),
+        polygon: shape.polygon.clone(),
+        shots: shape.generating_shots.clone(),
+    };
+    let json = file.to_json();
+    let back = ShapeFile::from_json(&json)?;
+    assert_eq!(file, back);
+    println!("shape file round-trips through JSON ({} bytes)", json.len());
+
+    // Now fracture the thresholded target and compare to the known count.
+    let fracturer = ModelBasedFracturer::new(FractureConfig::default());
+    let result = fracturer.fracture(&shape.polygon);
+    println!(
+        "\nmodel-based fracturing found {} shots (known achievable: {}), {} failing pixels",
+        result.shot_count(),
+        shape.optimal,
+        result.summary.fail_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Explore the e-beam proximity model: edge profiles, corner rounding,
+//! the printable 45° segment length `Lth`, and how they move with `σ` —
+//! the physics that makes model-based fracturing possible.
+//!
+//! ```sh
+//! cargo run --release --example proximity_explorer
+//! ```
+
+use maskfrac::ebeam::lth::{compute_lth, compute_lth_staircase, corner_inset_diagonal};
+use maskfrac::ebeam::ExposureModel;
+use maskfrac::geom::Rect;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ExposureModel::paper_default();
+    let shot = Rect::new(0, 0, 200, 200).ok_or("rect")?;
+
+    println!("exposure model: sigma = {} nm, rho = {}", model.sigma(), model.rho());
+    println!("\nedge profile of a large shot (edge at x = 0):");
+    println!("{:>8} {:>10}", "x (nm)", "intensity");
+    for dx in [-15i64, -10, -6, -3, -1, 0, 1, 3, 6, 10, 15] {
+        let v = model.shot_intensity(&shot, dx as f64, 100.0);
+        let bar = "#".repeat((v * 40.0) as usize);
+        println!("{dx:>8} {v:>10.4}  {bar}");
+    }
+
+    println!("\ncorner rounding: intensity along the diagonal from the corner (0, 0):");
+    for d in [-8.0f64, -5.0, -3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 5.0, 8.0] {
+        let v = model.shot_intensity(&shot, d / 2f64.sqrt(), d / 2f64.sqrt());
+        println!("{d:>8.1} {v:>10.4}");
+    }
+    println!(
+        "printed corner sits {:.2} nm inside the geometric corner (diagonal)",
+        corner_inset_diagonal(&model)
+    );
+
+    println!("\nLth vs CD tolerance (single-corner definition, paper Fig. 2):");
+    println!("{:>12} {:>12} {:>14}", "gamma (nm)", "Lth (nm)", "staircase Lth");
+    for gamma in [0.5, 1.0, 2.0, 3.0, 4.0] {
+        println!(
+            "{gamma:>12.1} {:>12.2} {:>14.2}",
+            compute_lth(&model, gamma),
+            compute_lth_staircase(&model, gamma)
+        );
+    }
+
+    println!("\nLth vs sigma (gamma = 2 nm):");
+    for sigma in [3.0, 5.0, 6.25, 8.0, 12.0] {
+        let m = ExposureModel::new(sigma, 0.5);
+        println!("  sigma {sigma:>5.2} nm -> Lth {:>6.2} nm", compute_lth(&m, 2.0));
+    }
+
+    println!("\nbackscatter (eta = 0.6): effective forward threshold vs pattern density:");
+    for density in [0.1, 0.3, 0.5, 0.7] {
+        let m = ExposureModel::paper_default().with_backscatter(0.6, density);
+        println!(
+            "  density {density:.1} -> rho_eff {:.3} (Lth {:.2} nm)",
+            m.rho(),
+            compute_lth(&m, 2.0)
+        );
+    }
+    Ok(())
+}

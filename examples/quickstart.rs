@@ -1,0 +1,59 @@
+//! Quickstart: fracture one mask shape and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use maskfrac::fracture::{FractureConfig, ModelBasedFracturer};
+use maskfrac::geom::{Point, Polygon};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A T-shaped mask target on the 1 nm writing grid.
+    let target = Polygon::new(vec![
+        Point::new(0, 60),
+        Point::new(110, 60),
+        Point::new(110, 90),
+        Point::new(70, 90),
+        Point::new(70, 150),
+        Point::new(40, 150),
+        Point::new(40, 90),
+        Point::new(0, 90),
+    ])?;
+
+    // Paper defaults: gamma = 2 nm, sigma = 6.25 nm, rho = 0.5, 1 nm pixels.
+    let config = FractureConfig::default();
+    let fracturer = ModelBasedFracturer::new(config);
+    println!(
+        "model: sigma = {} nm, Lth = {:.2} nm",
+        fracturer.model().sigma(),
+        fracturer.lth()
+    );
+
+    let result = fracturer.fracture(&target);
+
+    println!("\ntarget: {} ({} vertices)", target, target.len());
+    println!(
+        "fractured into {} shots in {:.1} ms ({} refinement iterations):",
+        result.shot_count(),
+        result.runtime.as_secs_f64() * 1e3,
+        result.iterations
+    );
+    for (i, shot) in result.shots.iter().enumerate() {
+        println!("  shot {i}: {shot}  ({} x {} nm)", shot.width(), shot.height());
+    }
+    println!(
+        "\nviolations: {} failing pixels (feasible: {})",
+        result.summary.fail_count(),
+        result.summary.is_feasible()
+    );
+
+    // Re-verify the solution from scratch with the impartial referee.
+    let verdict = maskfrac::fracture::verify_shots(
+        &target,
+        &result.shots,
+        &FractureConfig::default(),
+    );
+    assert_eq!(verdict.fail_count(), result.summary.fail_count());
+    println!("independent re-simulation agrees: {verdict:?}");
+    Ok(())
+}

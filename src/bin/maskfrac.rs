@@ -1,0 +1,293 @@
+//! `maskfrac` — command-line mask fracturing.
+//!
+//! ```text
+//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json]
+//! maskfrac generate-ilt <out.json> [--seed N] [--radius NM]
+//! maskfrac generate-benchmark <out.json> [--shots K] [--seed N]
+//! maskfrac verify <shape.json>
+//! maskfrac export-suite [dir]
+//! maskfrac suite
+//! ```
+//!
+//! Shapes travel as the JSON format of
+//! [`maskfrac::shapes::io::ShapeFile`]; methods are `ours` (default),
+//! `gsc`, `mp`, `proto-eda`, `conventional`, `exact`.
+
+use maskfrac::baselines::{
+    Conventional, ExhaustiveOptimal, GreedySetCover, MaskFracturer, MatchingPursuit, Ours,
+    ProtoEda,
+};
+use maskfrac::fracture::FractureConfig;
+use maskfrac::geom::svg::{Style, SvgCanvas};
+use maskfrac::shapes::generated::{generate_benchmark, GeneratedParams};
+use maskfrac::shapes::ilt::{generate_ilt_clip, IltParams};
+use maskfrac::shapes::io::ShapeFile;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("fracture") => cmd_fracture(&args[1..]),
+        Some("fracture-layout") => cmd_fracture_layout(&args[1..]),
+        Some("generate-ilt") => cmd_generate_ilt(&args[1..]),
+        Some("generate-benchmark") => cmd_generate_benchmark(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("export-suite") => cmd_export_suite(&args[1..]),
+        Some("suite") => cmd_suite(),
+        _ => {
+            eprintln!(
+                "usage: maskfrac <fracture|fracture-layout|generate-ilt|generate-benchmark|verify|export-suite|suite> [args]\n\
+                 run with a subcommand; see crate docs for details"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Finds `--flag value` in an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("fracture needs a shape.json path")?;
+    let file = ShapeFile::load(path)?;
+    let method = flag_value(args, "--method").unwrap_or("ours");
+    let cfg = FractureConfig::default();
+
+    let fracturer: Box<dyn MaskFracturer> = match method {
+        "ours" => Box::new(Ours::new(cfg.clone())),
+        "gsc" => Box::new(GreedySetCover::new(cfg.clone())),
+        "mp" => Box::new(MatchingPursuit::new(cfg.clone())),
+        "proto-eda" => Box::new(ProtoEda::new(cfg.clone())),
+        "conventional" => Box::new(Conventional::new(cfg.clone())),
+        "exact" => {
+            // Exhaustive search is not a MaskFracturer-by-default; wrap it.
+            let exact = ExhaustiveOptimal::new(cfg.clone());
+            let result = exact.run(&file.polygon);
+            report(&file.id, "exact", &result, args, &file)?;
+            return Ok(());
+        }
+        other => return Err(format!("unknown method {other:?}").into()),
+    };
+    let result = fracturer.fracture(&file.polygon);
+    report(&file.id, method, &result, args, &file)
+}
+
+fn report(
+    id: &str,
+    method: &str,
+    result: &maskfrac::fracture::FractureResult,
+    args: &[String],
+    file: &ShapeFile,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{id}: {method} -> {} shots, {} failing pixels, {:.2} s",
+        result.shot_count(),
+        result.summary.fail_count(),
+        result.runtime.as_secs_f64()
+    );
+    if let Some(out) = flag_value(args, "--out") {
+        let saved = ShapeFile {
+            id: format!("{id}:{method}"),
+            polygon: file.polygon.clone(),
+            shots: result.shots.clone(),
+        };
+        saved.save(out)?;
+        println!("wrote {out}");
+    }
+    if let Some(svg_path) = flag_value(args, "--svg") {
+        let view = file
+            .polygon
+            .bbox()
+            .expand(20)
+            .ok_or("shape bbox cannot grow")?;
+        let mut canvas = SvgCanvas::new(view, 5.0);
+        canvas.polygon(&file.polygon, &Style::filled("#dde6f2"));
+        for shot in &result.shots {
+            canvas.rect(shot, &Style::outline("#d62728", 0.8));
+        }
+        std::fs::write(svg_path, canvas.finish())?;
+        println!("wrote {svg_path}");
+    }
+    Ok(())
+}
+
+fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("fracture-layout needs a layout.txt path")?;
+    let threads: usize = flag_value(args, "--threads").unwrap_or("4").parse()?;
+    let layout = maskfrac::mdp::load_layout(path)?;
+    println!(
+        "layout {:?}: {} shapes, {} instances",
+        layout.name,
+        layout.shape_count(),
+        layout.instance_count()
+    );
+    let cfg = FractureConfig::default();
+    let report = maskfrac::mdp::fracture_layout(&layout, &cfg, threads.max(1));
+    for s in &report.per_shape {
+        println!(
+            "  {:16} {:>4} shots/instance x {:>5} instances ({} failing px, {:.2} s)",
+            s.shape, s.shots_per_instance, s.instances, s.fail_pixels, s.runtime_s
+        );
+    }
+    let total = report.total_shots() as u64;
+    let wt = maskfrac::mdp::WriteTimeModel::default().estimate(total);
+    println!(
+        "total {total} shots -> estimated write time {:.2} s beam + {:.2} s stage",
+        wt.beam_s, wt.stage_s
+    );
+    Ok(())
+}
+
+fn cmd_generate_ilt(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("generate-ilt needs an output path")?;
+    let seed: u64 = flag_value(args, "--seed").unwrap_or("0").parse()?;
+    let radius: f64 = flag_value(args, "--radius").unwrap_or("45").parse()?;
+    let clip = generate_ilt_clip(&IltParams {
+        base_radius: radius,
+        seed,
+        ..IltParams::default()
+    });
+    let file = ShapeFile {
+        id: format!("ilt-seed{seed}"),
+        polygon: clip,
+        shots: Vec::new(),
+    };
+    file.save(path)?;
+    println!(
+        "wrote {path} ({} vertices, bbox {})",
+        file.polygon.len(),
+        file.polygon.bbox()
+    );
+    Ok(())
+}
+
+fn cmd_generate_benchmark(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("generate-benchmark needs an output path")?;
+    let seed: u64 = flag_value(args, "--seed").unwrap_or("0").parse()?;
+    let shots: usize = flag_value(args, "--shots").unwrap_or("5").parse()?;
+    let cfg = FractureConfig::default();
+    let shape = generate_benchmark(
+        &cfg.model(),
+        &GeneratedParams {
+            shots,
+            seed,
+            ..GeneratedParams::default()
+        },
+    );
+    let file = ShapeFile {
+        id: format!("generated-k{shots}-seed{seed}"),
+        polygon: shape.polygon,
+        shots: shape.generating_shots,
+    };
+    file.save(path)?;
+    println!("wrote {path} (known achievable shot count: {shots})");
+    Ok(())
+}
+
+/// Independently re-simulates the shots stored in a shape file.
+fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("verify needs a shape.json path containing shots")?;
+    let file = ShapeFile::load(path)?;
+    if file.shots.is_empty() {
+        return Err(format!("{path} carries no shots to verify").into());
+    }
+    let cfg = FractureConfig::default();
+    let summary = maskfrac::fracture::verify_shots(&file.polygon, &file.shots, &cfg);
+    println!(
+        "{}: {} shots -> {} failing pixels ({} on, {} off), cost {:.4} => {}",
+        file.id,
+        file.shots.len(),
+        summary.fail_count(),
+        summary.on_fails,
+        summary.off_fails,
+        summary.cost,
+        if summary.is_feasible() { "FEASIBLE" } else { "INFEASIBLE" }
+    );
+    Ok(())
+}
+
+/// Writes every suite instance as a shape JSON under a directory — the
+/// repository's equivalent of the benchmarking website's downloads.
+fn cmd_export_suite(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("benchmarks");
+    std::fs::create_dir_all(dir)?;
+    let mut count = 0;
+    for clip in maskfrac::shapes::ilt_suite() {
+        let file = ShapeFile {
+            id: clip.id.clone(),
+            polygon: clip.polygon,
+            shots: Vec::new(),
+        };
+        file.save(format!("{dir}/{}.json", clip.id.to_lowercase()))?;
+        count += 1;
+    }
+    let model = FractureConfig::default().model();
+    for clip in maskfrac::shapes::generated_suite(&model) {
+        let file = ShapeFile {
+            id: clip.id.clone(),
+            polygon: clip.polygon,
+            shots: clip.generating_shots, // the known-feasible solution
+        };
+        file.save(format!("{dir}/{}.json", clip.id.to_lowercase()))?;
+        count += 1;
+    }
+    println!("wrote {count} suite instances under {dir}/");
+    Ok(())
+}
+
+fn cmd_suite() -> Result<(), Box<dyn std::error::Error>> {
+    println!("ILT suite:");
+    for clip in maskfrac::shapes::ilt_suite() {
+        println!(
+            "  {:8} {:4} vertices, bbox {} (paper LB/UB {}/{})",
+            clip.id,
+            clip.polygon.len(),
+            clip.polygon.bbox(),
+            clip.reference.lower_bound,
+            clip.reference.upper_bound
+        );
+    }
+    println!("generated suite:");
+    let model = FractureConfig::default().model();
+    for clip in maskfrac::shapes::generated_suite(&model) {
+        println!(
+            "  {:8} optimal {:3}, {:4} vertices, bbox {}",
+            clip.id,
+            clip.optimal,
+            clip.polygon.len(),
+            clip.polygon.bbox()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # maskfrac — model-based mask fracturing
+//!
+//! A from-scratch Rust reproduction of *"Effective Model-Based Mask
+//! Fracturing for Mask Cost Reduction"* (Kagalwalla & Gupta, DAC 2015).
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! * [`geom`] — planar geometry substrate (polygons, rasterization, RDP,
+//!   partitioning).
+//! * [`ebeam`] — e-beam proximity-effect exposure model (Gaussian PSF, shot
+//!   intensity, intensity maps, pixel classification).
+//! * [`graph`] — graph coloring and clique partition.
+//! * [`shapes`] — synthetic benchmark shapes (ILT-like clips, generated
+//!   benchmarks with known optimal shot counts).
+//! * [`fracture`] — the paper's method: graph-coloring approximate
+//!   fracturing plus iterative shot refinement.
+//! * [`baselines`] — comparison heuristics (greedy set cover, matching
+//!   pursuit, PROTO-EDA surrogate, conventional partitioning).
+//! * [`mdp`] — the surrounding mask-data-prep flow: layouts of many
+//!   shapes, write-time estimation, and the mask cost model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use maskfrac::fracture::{FractureConfig, ModelBasedFracturer};
+//! use maskfrac::geom::{Point, Polygon};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small L-shaped target on the 1 nm grid.
+//! let target = Polygon::new(vec![
+//!     Point::new(0, 0), Point::new(60, 0), Point::new(60, 30),
+//!     Point::new(30, 30), Point::new(30, 60), Point::new(0, 60),
+//! ])?;
+//! let config = FractureConfig::default();
+//! let result = ModelBasedFracturer::new(config).fracture(&target);
+//! assert!(!result.shots.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use maskfrac_baselines as baselines;
+pub use maskfrac_ebeam as ebeam;
+pub use maskfrac_fracture as fracture;
+pub use maskfrac_geom as geom;
+pub use maskfrac_graph as graph;
+pub use maskfrac_mdp as mdp;
+pub use maskfrac_shapes as shapes;

@@ -1,0 +1,47 @@
+//! The checked-in `benchmarks/` directory must stay in sync with the
+//! generators (the suite is fixed-seed, so drift means someone changed a
+//! generator without re-exporting).
+
+use maskfrac::fracture::FractureConfig;
+use maskfrac::shapes::io::ShapeFile;
+use maskfrac::shapes::{generated_suite, ilt_suite};
+use std::path::Path;
+
+fn benchmarks_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/benchmarks"))
+}
+
+#[test]
+fn checked_in_suite_matches_generators() {
+    let dir = benchmarks_dir();
+    assert!(dir.exists(), "run `maskfrac export-suite benchmarks` first");
+    for clip in ilt_suite() {
+        let path = dir.join(format!("{}.json", clip.id.to_lowercase()));
+        let file = ShapeFile::load(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(file.polygon, clip.polygon, "{} drifted", clip.id);
+    }
+    let model = FractureConfig::default().model();
+    for clip in generated_suite(&model) {
+        let path = dir.join(format!("{}.json", clip.id.to_lowercase()));
+        let file = ShapeFile::load(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(file.polygon, clip.polygon, "{} drifted", clip.id);
+        assert_eq!(
+            file.shots, clip.generating_shots,
+            "{} generating shots drifted",
+            clip.id
+        );
+    }
+}
+
+#[test]
+fn checked_in_generated_solutions_are_feasible() {
+    let cfg = FractureConfig::default();
+    for id in ["agb-1", "rgb-3", "agb-4"] {
+        let path = benchmarks_dir().join(format!("{id}.json"));
+        let file = ShapeFile::load(&path).expect("suite file exists");
+        let summary = maskfrac::fracture::verify_shots(&file.polygon, &file.shots, &cfg);
+        assert!(summary.is_feasible(), "{id}: {summary:?}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration tests: the full fracturing pipeline against
+//! the benchmark suite, verified by independent re-simulation.
+
+use maskfrac::baselines::{MaskFracturer, Ours, ProtoEda};
+use maskfrac::fracture::{verify_shots, FractureConfig, ModelBasedFracturer};
+use maskfrac::shapes::{generated_suite, ilt_suite};
+
+/// A trimmed config keeps CI latency low without changing the physics.
+fn fast_config() -> FractureConfig {
+    FractureConfig {
+        max_iterations: 600,
+        ..FractureConfig::default()
+    }
+}
+
+#[test]
+fn small_ilt_clips_fracture_feasibly() {
+    let fracturer = ModelBasedFracturer::new(fast_config());
+    for clip in ilt_suite() {
+        // The three smallest clips keep this test quick.
+        if !["Clip-1", "Clip-3", "Clip-6"].contains(&clip.id.as_str()) {
+            continue;
+        }
+        let result = fracturer.fracture(&clip.polygon);
+        assert!(
+            result.summary.is_feasible(),
+            "{}: {:?}",
+            clip.id,
+            result.summary
+        );
+        // The returned summary must agree with an independent referee.
+        let verdict = verify_shots(&clip.polygon, &result.shots, fracturer.config());
+        assert_eq!(verdict.fail_count(), 0, "{}", clip.id);
+        // Shot counts land in the ballpark of the paper's per-clip bounds.
+        assert!(
+            result.shot_count() <= 2 * clip.reference.upper_bound as usize + 4,
+            "{}: {} shots vs paper UB {}",
+            clip.id,
+            result.shot_count(),
+            clip.reference.upper_bound
+        );
+    }
+}
+
+#[test]
+fn generated_benchmarks_close_to_known_optimal() {
+    let cfg = fast_config();
+    let model = cfg.model();
+    let fracturer = ModelBasedFracturer::new(cfg);
+    for clip in generated_suite(&model) {
+        if !["AGB-1", "AGB-5", "RGB-1", "RGB-3"].contains(&clip.id.as_str()) {
+            continue;
+        }
+        let result = fracturer.fracture(&clip.polygon);
+        assert!(
+            result.summary.is_feasible(),
+            "{}: {:?}",
+            clip.id,
+            result.summary
+        );
+        assert!(
+            result.shot_count() <= 2 * clip.optimal,
+            "{}: {} shots vs optimal {}",
+            clip.id,
+            result.shot_count(),
+            clip.optimal
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let clip = ilt_suite().swap_remove(0);
+    let fracturer = ModelBasedFracturer::new(fast_config());
+    let a = fracturer.fracture(&clip.polygon);
+    let b = fracturer.fracture(&clip.polygon);
+    assert_eq!(a.shots, b.shots);
+    assert_eq!(a.summary, b.summary);
+}
+
+#[test]
+fn every_shot_respects_min_size_across_suite() {
+    let cfg = fast_config();
+    let fracturer = ModelBasedFracturer::new(cfg.clone());
+    for clip in ilt_suite().into_iter().take(4) {
+        let result = fracturer.fracture(&clip.polygon);
+        for s in &result.shots {
+            assert!(
+                s.min_side() >= cfg.min_shot_size,
+                "{}: {s} below Lmin",
+                clip.id
+            );
+        }
+    }
+}
+
+#[test]
+fn ours_beats_proto_surrogate_on_suite_total() {
+    // The paper's headline: the proposed method needs fewer shots than the
+    // partition-seeded tool surrogate, summed over the suite.
+    let cfg = fast_config();
+    let ours = Ours::new(cfg.clone());
+    let proto = ProtoEda::new(cfg);
+    let mut ours_total = 0usize;
+    let mut proto_total = 0usize;
+    for clip in ilt_suite() {
+        if !["Clip-1", "Clip-3", "Clip-6", "Clip-7"].contains(&clip.id.as_str()) {
+            continue;
+        }
+        ours_total += ours.fracture(&clip.polygon).shot_count();
+        proto_total += proto.fracture(&clip.polygon).shot_count();
+    }
+    assert!(
+        ours_total <= proto_total,
+        "ours {ours_total} vs proto {proto_total}"
+    );
+}

@@ -1,0 +1,110 @@
+//! Property-based integration tests: random rectilinear targets are
+//! fractured and the solutions re-verified from scratch.
+
+use maskfrac::ebeam::{evaluate, Classification, IntensityMap};
+use maskfrac::fracture::{FractureConfig, ModelBasedFracturer};
+use maskfrac::geom::{Bitmap, Frame, Polygon, Rect};
+use proptest::prelude::*;
+
+/// Strategy: a connected union of 1–3 chained rectangles on a 12 nm
+/// placement grid, so every feature and every step between rects is
+/// comfortably printable (≥ 24 nm sides, jogs of 0 or ≥ 12 nm — nearly
+/// aligned edges would create few-nm ledges that are physically
+/// unfixable at fixed dose within γ = 2 nm at σ = 6.25).
+fn target_strategy() -> impl Strategy<Value = Polygon> {
+    proptest::collection::vec((0i64..4, 0i64..4, 2i64..5, 2i64..5), 1..4).prop_filter_map(
+        "chained rect union must trace",
+        |specs| {
+            const GRID: i64 = 12;
+            let mut bm = Bitmap::new(140, 140);
+            let mut cursor = (24i64, 24i64);
+            for (dx, dy, w, h) in specs {
+                let (w, h) = (w * GRID, h * GRID);
+                let x0 = (cursor.0 + (dx - 2) * GRID).clamp(0, 84);
+                let y0 = (cursor.1 + (dy - 2) * GRID).clamp(0, 84);
+                for iy in y0..(y0 + h).min(139) {
+                    for ix in x0..(x0 + w).min(139) {
+                        bm.set(ix as usize, iy as usize, true);
+                    }
+                }
+                cursor = (x0 + w / 2 / GRID * GRID, y0 + h / 2 / GRID * GRID);
+            }
+            // Keep only the largest connected region (chaining usually
+            // connects them; if not, the contour picks the biggest).
+            bm.largest_outer_contour()
+                .filter(|p| p.area() >= 24.0 * 24.0)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fracture_solutions_verify_independently(target in target_strategy()) {
+        let cfg = FractureConfig { max_iterations: 400, ..FractureConfig::default() };
+        let fracturer = ModelBasedFracturer::new(cfg.clone());
+        let result = fracturer.fracture(&target);
+
+        // Re-simulate from scratch.
+        let cls = Classification::build(&target, cfg.gamma, 22);
+        let mut map = IntensityMap::new(cfg.model(), cls.frame());
+        for s in &result.shots {
+            map.add_shot(s);
+        }
+        let summary = evaluate(&cls, &map);
+        prop_assert_eq!(summary.fail_count(), result.summary.fail_count());
+
+        // Invariants: min shot size; all shots near the target.
+        let bbox = target.bbox().expand(30).expect("bbox grows");
+        for s in &result.shots {
+            prop_assert!(s.min_side() >= cfg.min_shot_size);
+            prop_assert!(bbox.contains_rect(s), "shot {} strays far from target", s);
+        }
+        // Chained-rect targets are near-ideal inputs, but the union can
+        // still form bumps shorter than 2σ whose corners are physically
+        // marginal at fixed dose (the paper reports the same residual
+        // failing pixels on its wavy shapes). Demand at-most-marginal
+        // residues: a handful of pixels, all within a hair of threshold.
+        prop_assert!(
+            summary.fail_count() <= 4 && summary.cost < 0.25,
+            "{:?}",
+            summary
+        );
+    }
+
+    #[test]
+    fn single_rectangles_fracture_to_one_shot(
+        w in 16i64..120,
+        h in 16i64..120,
+    ) {
+        let target = Polygon::from_rect(Rect::new(0, 0, w, h).expect("rect"));
+        let fracturer = ModelBasedFracturer::new(FractureConfig::default());
+        let result = fracturer.fracture(&target);
+        prop_assert!(result.summary.is_feasible());
+        prop_assert_eq!(result.shot_count(), 1, "shots: {:?}", result.shots);
+        // The single shot hugs the rectangle within the corner overhang.
+        let s = result.shots[0];
+        prop_assert!(s.x0().abs() <= 4 && s.y0().abs() <= 4);
+        prop_assert!((s.x1() - w).abs() <= 4 && (s.y1() - h).abs() <= 4);
+    }
+}
+
+#[test]
+fn classification_frames_cover_model_support() {
+    // The frame margin used by the pipeline must cover 3 sigma, or Poff
+    // constraints would silently vanish at the frame edge.
+    let cfg = FractureConfig::default();
+    let model = cfg.model();
+    let target = Polygon::from_rect(Rect::new(0, 0, 30, 30).expect("rect"));
+    let fracturer = ModelBasedFracturer::new(cfg.clone());
+    let cls = fracturer.classify(&target);
+    let margin_x = -cls.frame().origin().x;
+    assert!(margin_x as f64 >= model.support_radius());
+    // And the frame is anchored consistently with pixel mapping.
+    let f: Frame = cls.frame();
+    assert_eq!(
+        f.pixel_of(0.5, 0.5).map(|(ix, iy)| f.pixel_center(ix, iy)),
+        Some((0.5, 0.5))
+    );
+}
