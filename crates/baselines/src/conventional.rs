@@ -71,6 +71,7 @@ impl Conventional {
         let summary = evaluate(&cls, &map);
         FractureResult {
             approx_shot_count: shots.len(),
+            status: crate::status_of(&summary),
             shots,
             summary,
             iterations: 0,
@@ -110,7 +111,7 @@ mod tests {
         for (i, a) in r.shots.iter().enumerate() {
             for b in &r.shots[i + 1..] {
                 let inter = a.intersection(b);
-                assert!(inter.map_or(true, |r| r.is_degenerate()));
+                assert!(inter.is_none_or(|r| r.is_degenerate()));
             }
         }
     }

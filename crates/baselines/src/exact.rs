@@ -112,8 +112,16 @@ impl ExhaustiveOptimal {
         let outcome = self.search(target, 6);
         let shots = outcome.shots.unwrap_or_default();
         let summary = maskfrac_fracture::verify_shots(target, &shots, &self.config);
+        let status = if summary.is_feasible() {
+            maskfrac_fracture::FractureStatus::Ok
+        } else if shots.is_empty() {
+            maskfrac_fracture::FractureStatus::Failed
+        } else {
+            maskfrac_fracture::FractureStatus::Degraded
+        };
         FractureResult {
             approx_shot_count: shots.len(),
+            status,
             shots,
             summary,
             iterations: outcome.nodes,

@@ -1,0 +1,260 @@
+//! Crash-proof fracturing with a fallback ladder.
+//!
+//! Production mask data prep cannot afford to lose a whole layout because
+//! one pathological shape panics the optimizer. [`FallbackFracturer`]
+//! wraps the paper's model-based method in a ladder of increasingly
+//! conservative attempts, each isolated behind `catch_unwind`:
+//!
+//! 1. **model-based** — [`ModelBasedFracturer::try_fracture`], the
+//!    validating front door;
+//! 2. **model-based retry** — once more under a perturbed configuration
+//!    (one extra refinement iteration allowed), which also draws a fresh
+//!    fault-injection decision for transient injected faults;
+//! 3. **proto-eda** — the tolerant-slab-seeded surrogate baseline,
+//!    tagged [`FractureStatus::Fallback`];
+//! 4. **conventional** — plain geometric partitioning, the method of
+//!    last resort, also tagged `Fallback`.
+//!
+//! Only when every rung fails does the outcome carry
+//! [`FractureStatus::Failed`] — with an empty shot list and the collected
+//! failure causes, never a propagated panic.
+
+use crate::conventional::Conventional;
+use crate::proto::ProtoEda;
+use maskfrac_ebeam::FailureSummary;
+use maskfrac_fracture::{
+    FractureConfig, FractureError, FractureResult, FractureStatus, ModelBasedFracturer,
+};
+use maskfrac_geom::Polygon;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// What the fallback ladder delivered for one shape.
+#[derive(Debug, Clone)]
+pub struct FallbackOutcome {
+    /// The delivered result. Status is the rung's own tag for the
+    /// model-based rungs (`Ok`/`Degraded`), [`FractureStatus::Fallback`]
+    /// when a baseline produced the shots, and [`FractureStatus::Failed`]
+    /// (empty shot list) when every rung failed.
+    pub result: FractureResult,
+    /// Which rung delivered: `"ours"`, `"ours-retry"`, `"proto-eda"`,
+    /// `"conventional"`, or `"none"`.
+    pub method: &'static str,
+    /// Rungs attempted (1 when the first attempt succeeded).
+    pub attempts: u32,
+    /// Failure causes of the rungs that did not deliver, oldest first;
+    /// `None` when the first attempt succeeded.
+    pub error: Option<String>,
+}
+
+/// A fracturer that never panics and never returns without a verdict.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_baselines::FallbackFracturer;
+/// use maskfrac_fracture::{FractureConfig, FractureStatus};
+/// use maskfrac_geom::{Polygon, Rect};
+///
+/// let f = FallbackFracturer::new(FractureConfig::default());
+/// let out = f.fracture(&Polygon::from_rect(Rect::new(0, 0, 50, 50).expect("rect")));
+/// assert_eq!(out.result.status, FractureStatus::Ok);
+/// assert_eq!(out.method, "ours");
+/// assert_eq!(out.attempts, 1);
+/// ```
+pub struct FallbackFracturer {
+    config: FractureConfig,
+    primary: Result<ModelBasedFracturer, String>,
+    relaxed: Result<ModelBasedFracturer, String>,
+}
+
+impl FallbackFracturer {
+    /// Builds the ladder. An invalid `config` is not an error here — the
+    /// model-based rungs will report it and the ladder falls through to
+    /// the baselines (whose own constructors are also guarded).
+    pub fn new(config: FractureConfig) -> Self {
+        let primary = ModelBasedFracturer::try_new(config.clone()).map_err(|e| e.to_string());
+        // One extra refinement iteration: a harmless perturbation that
+        // changes the per-(shape, config) fault-injection fingerprint, so
+        // the retry draws an independent decision under injected faults.
+        let relaxed_cfg = FractureConfig {
+            max_iterations: config.max_iterations.saturating_add(1),
+            ..config.clone()
+        };
+        let relaxed = ModelBasedFracturer::try_new(relaxed_cfg).map_err(|e| e.to_string());
+        FallbackFracturer {
+            config,
+            primary,
+            relaxed,
+        }
+    }
+
+    /// The configuration the ladder runs with.
+    pub fn config(&self) -> &FractureConfig {
+        &self.config
+    }
+
+    /// Fractures one shape, descending the ladder until a rung delivers.
+    /// Panics in any rung are caught and recorded, not propagated.
+    pub fn fracture(&self, target: &Polygon) -> FallbackOutcome {
+        let start = Instant::now();
+        let mut errors: Vec<String> = Vec::new();
+        let mut attempts = 0u32;
+
+        for (method, fracturer) in [("ours", &self.primary), ("ours-retry", &self.relaxed)] {
+            attempts += 1;
+            match fracturer {
+                Ok(f) => match guarded(|| f.try_fracture(target)) {
+                    Ok(result) => {
+                        return FallbackOutcome {
+                            result,
+                            method,
+                            attempts,
+                            error: join_errors(&errors),
+                        }
+                    }
+                    Err(cause) => errors.push(format!("{method}: {cause}")),
+                },
+                Err(cause) => errors.push(format!("{method}: {cause}")),
+            }
+        }
+
+        type Rung<'a> = Box<dyn FnOnce() -> FractureResult + 'a>;
+        let proto_cfg = self.config.clone();
+        let conv_cfg = self.config.clone();
+        let rungs: [(&'static str, Rung<'_>); 2] = [
+            ("proto-eda", Box::new(move || ProtoEda::new(proto_cfg).run(target))),
+            ("conventional", Box::new(move || Conventional::new(conv_cfg).run(target))),
+        ];
+        for (method, rung) in rungs {
+            attempts += 1;
+            match guarded(|| Ok(rung())) {
+                Ok(mut result) => {
+                    result.status = FractureStatus::Fallback;
+                    return FallbackOutcome {
+                        result,
+                        method,
+                        attempts,
+                        error: join_errors(&errors),
+                    };
+                }
+                Err(cause) => errors.push(format!("{method}: {cause}")),
+            }
+        }
+
+        FallbackOutcome {
+            result: FractureResult {
+                shots: Vec::new(),
+                summary: FailureSummary {
+                    on_fails: 0,
+                    off_fails: 0,
+                    cost: 0.0,
+                },
+                iterations: 0,
+                approx_shot_count: 0,
+                runtime: start.elapsed(),
+                status: FractureStatus::Failed,
+            },
+            method: "none",
+            attempts,
+            error: join_errors(&errors),
+        }
+    }
+}
+
+/// Runs one rung, converting both typed errors and panics into a cause
+/// string.
+fn guarded<F>(rung: F) -> Result<FractureResult, String>
+where
+    F: FnOnce() -> Result<FractureResult, FractureError>,
+{
+    match catch_unwind(AssertUnwindSafe(rung)) {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!("panicked: {}", panic_text(payload.as_ref()))),
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn join_errors(errors: &[String]) -> Option<String> {
+    if errors.is_empty() {
+        None
+    } else {
+        Some(errors.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_fracture::{faults, Fault, FaultPlan};
+    use maskfrac_geom::Rect;
+
+    #[test]
+    fn clean_shape_takes_the_first_rung() {
+        let f = FallbackFracturer::new(FractureConfig::default());
+        let out = f.fracture(&Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap()));
+        assert_eq!(out.method, "ours");
+        assert_eq!(out.attempts, 1);
+        assert!(out.error.is_none());
+        assert_eq!(out.result.status, FractureStatus::Ok);
+        assert_eq!(out.result.shot_count(), 1);
+    }
+
+    #[test]
+    fn degenerate_sliver_falls_back_to_a_baseline() {
+        // Thinner than min_shot_size: the validating front door rejects
+        // it, both model-based rungs fail, a baseline still delivers.
+        let f = FallbackFracturer::new(FractureConfig::default());
+        let out = f.fracture(&Polygon::from_rect(Rect::new(0, 0, 60, 4).unwrap()));
+        assert_eq!(out.result.status, FractureStatus::Fallback);
+        assert!(out.attempts >= 3, "attempts: {}", out.attempts);
+        let cause = out.error.expect("causes recorded");
+        assert!(cause.contains("ours:"), "{cause}");
+        assert!(!out.result.shots.is_empty(), "fallback must deliver shots");
+    }
+
+    #[test]
+    fn invalid_config_still_yields_a_verdict() {
+        let f = FallbackFracturer::new(FractureConfig {
+            gamma: -1.0,
+            ..FractureConfig::default()
+        });
+        let out = f.fracture(&Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap()));
+        // The baselines may panic on the invalid config too; either way
+        // the ladder returns instead of aborting.
+        assert!(out.result.status >= FractureStatus::Fallback);
+        assert!(out.error.expect("causes").contains("ours:"));
+    }
+
+    #[test]
+    fn injected_panic_is_caught_and_ridden_out() {
+        let _scope = faults::arm_scoped(FaultPlan::only(7, Fault::Panic, 1.0));
+        let f = FallbackFracturer::new(FractureConfig::default());
+        let out = f.fracture(&Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap()));
+        // Both model-based rungs panic (rate 1.0); proto-eda delivers.
+        assert_eq!(out.result.status, FractureStatus::Fallback);
+        assert!(out.error.expect("causes").contains("panicked"));
+        assert!(!out.result.shots.is_empty());
+    }
+
+    #[test]
+    fn injected_timeout_keeps_the_model_based_rung() {
+        let _scope = faults::arm_scoped(FaultPlan::only(13, Fault::Timeout, 1.0));
+        let f = FallbackFracturer::new(FractureConfig::default());
+        let out = f.fracture(&Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap()));
+        // Timeouts return best-so-far from the model-based rung — no
+        // fallback needed, though the result may be Degraded.
+        assert_eq!(out.method, "ours");
+        assert!(out.result.status.is_usable());
+    }
+}

@@ -85,6 +85,7 @@ impl GreedySetCover {
 
         FractureResult {
             approx_shot_count: cover_shots,
+            status: crate::status_of(&polished.summary),
             shots: polished.shots,
             summary: polished.summary,
             iterations: iterations + polished.iterations,

@@ -36,6 +36,7 @@
 pub mod candidates;
 pub mod conventional;
 pub mod exact;
+pub mod fallback;
 pub mod minpartition;
 pub mod gsc;
 pub mod mp;
@@ -43,13 +44,25 @@ pub mod proto;
 
 pub use conventional::{Conventional, PartitionStrategy};
 pub use exact::ExhaustiveOptimal;
+pub use fallback::{FallbackFracturer, FallbackOutcome};
 pub use minpartition::{minimum_rect_count, partition_min};
 pub use gsc::GreedySetCover;
 pub use mp::MatchingPursuit;
 pub use proto::ProtoEda;
 
-use maskfrac_fracture::{FractureResult, ModelBasedFracturer};
+use maskfrac_fracture::{FractureResult, FractureStatus, ModelBasedFracturer};
 use maskfrac_geom::Polygon;
+
+/// Status tag for a baseline run: feasible is `Ok`, anything else is
+/// `Degraded` (every baseline returns its best-effort shot list rather
+/// than aborting).
+pub fn status_of(summary: &maskfrac_ebeam::FailureSummary) -> FractureStatus {
+    if summary.is_feasible() {
+        FractureStatus::Ok
+    } else {
+        FractureStatus::Degraded
+    }
+}
 
 /// A mask-fracturing method, as the experiment harness sees it.
 pub trait MaskFracturer {

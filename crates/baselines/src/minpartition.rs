@@ -453,27 +453,24 @@ mod tests {
 
     #[test]
     fn min_count_never_exceeds_slabs() {
-        for poly in [
-            Polygon::new(vec![
-                Point::new(0, 0),
-                Point::new(50, 0),
-                Point::new(50, 30),
-                Point::new(30, 30),
-                Point::new(30, 50),
-                Point::new(10, 50),
-                Point::new(10, 20),
-                Point::new(0, 20),
-            ])
-            .unwrap(),
-        ] {
-            let frame = Frame::covering(poly.bbox(), 1);
-            let inside = Bitmap::rasterize(&poly, frame);
-            let slabs = partition_slabs(&inside, frame);
-            let min = partition_min(&poly).unwrap();
-            assert!(min.len() <= slabs.len(), "{} > {}", min.len(), slabs.len());
-            assert_eq!(Some(min.len()), minimum_rect_count(&poly));
-            verify_partition(&poly, &min);
-        }
+        let poly = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(50, 0),
+            Point::new(50, 30),
+            Point::new(30, 30),
+            Point::new(30, 50),
+            Point::new(10, 50),
+            Point::new(10, 20),
+            Point::new(0, 20),
+        ])
+        .unwrap();
+        let frame = Frame::covering(poly.bbox(), 1);
+        let inside = Bitmap::rasterize(&poly, frame);
+        let slabs = partition_slabs(&inside, frame);
+        let min = partition_min(&poly).unwrap();
+        assert!(min.len() <= slabs.len(), "{} > {}", min.len(), slabs.len());
+        assert_eq!(Some(min.len()), minimum_rect_count(&poly));
+        verify_partition(&poly, &min);
     }
 
     #[test]

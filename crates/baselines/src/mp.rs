@@ -149,6 +149,7 @@ impl MatchingPursuit {
 
         FractureResult {
             approx_shot_count: pursuit_shots,
+            status: crate::status_of(&polished.summary),
             shots: polished.shots,
             summary: polished.summary,
             iterations: iterations + polished.iterations,

@@ -73,6 +73,7 @@ impl ProtoEda {
         // method, but on partition seeds.
         let outcome = refine(&cls, &model, &self.config, seeds);
         FractureResult {
+            status: crate::status_of(&outcome.summary),
             shots: outcome.shots,
             summary: outcome.summary,
             iterations: outcome.iterations,

@@ -16,6 +16,8 @@ use maskfrac_fracture::dose::{polish_doses, DoseOptions};
 use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
 use serde::Serialize;
 
+// Fields are consumed through Serialize (JSON rows), not read in Rust.
+#[allow(dead_code)]
 #[derive(Debug, Serialize)]
 struct DoseRow {
     clip: String,

@@ -1,19 +1,35 @@
-//! Extension experiment: statistical robustness of the Table 2 ranking.
+//! Extension experiment: statistical robustness of the Table 2 ranking,
+//! plus the fault-injection hardening harness.
 //!
-//! The paper (and our Table 2) evaluates ten fixed clips. This study
-//! draws twenty *fresh* random ILT clips and reports the distribution of
-//! the per-clip shot-count ratio ours / PROTO-EDA and ours / GSC, so the
-//! headline comparison is not an artifact of the suite's particular
-//! seeds.
+//! The paper (and our Table 2) evaluates ten fixed clips. The default
+//! mode draws twenty *fresh* random ILT clips and reports the
+//! distribution of the per-clip shot-count ratio ours / PROTO-EDA and
+//! ours / GSC, so the headline comparison is not an artifact of the
+//! suite's particular seeds.
 //!
-//! Run with `cargo run -p maskfrac-bench --release --bin robustness`.
+//! `--inject [--seed N] [--rate R]` instead runs the benchmark suite
+//! through the crash-proof fallback ladder with deterministic faults
+//! (panics, timeouts, infeasible residues) armed at rate `R` (default
+//! 0.3), asserting that the process never aborts, every shape comes back
+//! with a [`FractureStatus`], and every non-`Failed` outcome carries
+//! shots. It finishes with a deadline-bounded layout run that must
+//! return within twice the configured deadline. Exit code is non-zero if
+//! any invariant is violated.
+//!
+//! Run with `cargo run -p maskfrac-bench --release --bin robustness
+//! [-- --inject]`.
 
-use maskfrac_baselines::{GreedySetCover, MaskFracturer, Ours, ProtoEda};
+use maskfrac_baselines::{FallbackFracturer, GreedySetCover, MaskFracturer, Ours, ProtoEda};
 use maskfrac_bench::save_json;
-use maskfrac_fracture::FractureConfig;
+use maskfrac_fracture::{faults, FaultPlan, FractureConfig, FractureStatus};
 use maskfrac_shapes::ilt::{generate_ilt_clip, IltParams};
 use serde::Serialize;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
+// Fields are consumed through Serialize (JSON rows), not read in Rust.
+#[allow(dead_code)]
 #[derive(Debug, Serialize)]
 struct RobustnessRow {
     seed: u64,
@@ -30,7 +46,146 @@ fn mean_and_std(values: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--inject") {
+        let seed = flag_value(&args, "--seed").unwrap_or(0xF417);
+        let rate = flag_value(&args, "--rate").unwrap_or(0.3);
+        return injection_harness(seed, rate);
+    }
+    ranking_study();
+    ExitCode::SUCCESS
+}
+
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Runs the benchmark suite through the fallback ladder under armed
+/// deterministic faults, then a deadline-bounded layout run. Returns a
+/// non-zero exit code if any robustness invariant is violated.
+fn injection_harness(seed: u64, rate: f64) -> ExitCode {
+    println!("== Fault injection: suite under panics/timeouts/infeasible residues ==");
+    println!("plan: seed {seed}, per-kind rate {rate:.2}");
+    let cfg = FractureConfig::default();
+    let mut violations = Vec::new();
+    let mut status_counts: BTreeMap<FractureStatus, usize> = BTreeMap::new();
+
+    {
+        let _scope = faults::arm_scoped(FaultPlan::uniform(seed, rate));
+        let ladder = FallbackFracturer::new(cfg.clone());
+        let mut clips: Vec<(String, maskfrac_geom::Polygon)> = maskfrac_shapes::ilt_suite()
+            .into_iter()
+            .map(|c| (c.id, c.polygon))
+            .collect();
+        // Degenerate inputs ride along: the harness must survive them too.
+        clips.push((
+            "sliver".into(),
+            maskfrac_geom::Polygon::from_rect(
+                maskfrac_geom::Rect::new(0, 0, 60, 4).expect("rect"),
+            ),
+        ));
+        for (id, polygon) in &clips {
+            let out = ladder.fracture(polygon);
+            *status_counts.entry(out.result.status).or_insert(0) += 1;
+            println!(
+                "  {:10} [{} via {}] {} shots in {} attempt(s){}",
+                id,
+                out.result.status,
+                out.method,
+                out.result.shot_count(),
+                out.attempts,
+                out.error.as_deref().map(|e| format!(" — {e}")).unwrap_or_default()
+            );
+            if out.result.status != FractureStatus::Failed && out.result.shots.is_empty() {
+                violations.push(format!("{id}: usable status but empty shot list"));
+            }
+            if out.result.status == FractureStatus::Failed && out.error.is_none() {
+                violations.push(format!("{id}: Failed without a recorded cause"));
+            }
+        }
+
+        // The multi-threaded layout driver under the same plan.
+        let mut layout = maskfrac_mdp::Layout::new("inject-demo");
+        for (i, (id, polygon)) in clips.iter().enumerate() {
+            layout.add_shape(id, polygon.clone());
+            layout.place(id, maskfrac_mdp::Placement::at(i as i64 * 1000, 0));
+        }
+        let report = maskfrac_mdp::fracture_layout(&layout, &cfg, 4);
+        if report.per_shape.len() != clips.len() {
+            violations.push(format!(
+                "layout run lost shapes: {} of {} reported",
+                report.per_shape.len(),
+                clips.len()
+            ));
+        }
+        println!(
+            "layout run: {} shapes, worst status {}, status counts {:?}",
+            report.per_shape.len(),
+            report.worst_status(),
+            report
+                .status_counts()
+                .iter()
+                .map(|(k, v)| (k.label(), *v))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    println!(
+        "suite statuses: {:?}",
+        status_counts
+            .iter()
+            .map(|(k, v)| (k.label(), *v))
+            .collect::<Vec<_>>()
+    );
+
+    // Deadline demo, faults disarmed: a bounded run must come back within
+    // twice the budget (slack for the unbounded classification stage).
+    let deadline = Duration::from_millis(500);
+    let bounded = FallbackFracturer::new(FractureConfig {
+        deadline: Some(deadline),
+        ..cfg
+    });
+    let clip = generate_ilt_clip(&IltParams {
+        base_radius: 46.0,
+        irregularity: 0.22,
+        lobes: 3,
+        seed: 0x00DE_AD11,
+        ..IltParams::default()
+    });
+    let started = Instant::now();
+    let out = bounded.fracture(&clip);
+    let elapsed = started.elapsed();
+    println!(
+        "deadline demo: {} ms budget -> {} shots [{}] in {} ms",
+        deadline.as_millis(),
+        out.result.shot_count(),
+        out.result.status,
+        elapsed.as_millis()
+    );
+    if elapsed > 2 * deadline {
+        violations.push(format!(
+            "deadline-bounded run took {} ms against a {} ms budget",
+            elapsed.as_millis(),
+            deadline.as_millis()
+        ));
+    }
+
+    if violations.is_empty() {
+        println!("fault injection: zero aborts, all invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn ranking_study() {
     let cfg = FractureConfig::default();
     let ours = Ours::new(cfg.clone());
     let proto = ProtoEda::new(cfg.clone());

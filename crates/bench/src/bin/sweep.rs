@@ -12,6 +12,8 @@ use maskfrac_bench::save_json;
 use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
 use serde::Serialize;
 
+// Fields are consumed through Serialize (JSON rows), not read in Rust.
+#[allow(dead_code)]
 #[derive(Debug, Serialize)]
 struct SweepRow {
     gamma: f64,

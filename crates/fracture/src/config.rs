@@ -57,6 +57,22 @@ pub struct FractureConfig {
     /// ([`crate::refine::reduce_shots`], an extension beyond the paper's
     /// Algorithm 1) at the end of the pipeline.
     pub reduction_sweep: bool,
+    /// Wall-clock budget for one shape. When it expires mid-refinement the
+    /// pipeline stops and returns the best solution seen so far, tagged
+    /// [`crate::FractureStatus::Degraded`] if that solution is not
+    /// feasible. `None` (the default) means unbounded, as in the paper.
+    #[serde(default)]
+    pub deadline: Option<std::time::Duration>,
+    /// Largest allowed side of a target's bounding box in nm; the
+    /// validation front-door ([`crate::validate::validate_target`])
+    /// rejects bigger shapes, which belong to clip-level partitioning, not
+    /// the per-shape pipeline (whose intensity map is dense in the bbox).
+    #[serde(default = "default_max_extent")]
+    pub max_extent: i64,
+}
+
+fn default_max_extent() -> i64 {
+    4096
 }
 
 fn default_coloring() -> ColoringStrategy {
@@ -78,6 +94,8 @@ impl Default for FractureConfig {
             merge_overlap_fraction: 0.9,
             lth_override: None,
             reduction_sweep: true,
+            deadline: None,
+            max_extent: default_max_extent(),
         }
     }
 }
@@ -125,6 +143,9 @@ impl FractureConfig {
         }
         if self.max_plateau_restarts == 0 {
             return Err("max_plateau_restarts must be at least 1".into());
+        }
+        if self.max_extent < self.min_shot_size {
+            return Err("max_extent must be at least min_shot_size".into());
         }
         Ok(())
     }
@@ -181,6 +202,7 @@ mod tests {
             FractureConfig { merge_overlap_fraction: -0.1, ..base.clone() },
             FractureConfig { stall_window: 0, ..base.clone() },
             FractureConfig { max_plateau_restarts: 0, ..base.clone() },
+            FractureConfig { max_extent: 5, ..base.clone() },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?} should fail validation");

@@ -147,6 +147,45 @@ pub fn extract_shot_corners_from_ring(
         axis_shift >= 0.0 && perp_shift >= 0.0,
         "shifts must be nonnegative"
     );
+    match try_extract_shot_corners_from_ring(ring, lth, axis_shift, perp_shift) {
+        Ok(corners) => corners,
+        // The asserts above already rejected every error case.
+        Err(e) => panic!("corner extraction failed: {e}"),
+    }
+}
+
+/// Non-panicking variant of [`extract_shot_corners_from_ring`].
+///
+/// # Errors
+///
+/// [`crate::FractureError::InvalidOptions`] when `lth` is not strictly
+/// positive or a shift is negative.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` also rejects NaN
+pub fn try_extract_shot_corners_from_ring(
+    ring: &[Point],
+    lth: f64,
+    axis_shift: f64,
+    perp_shift: f64,
+) -> Result<Vec<ShotCorner>, crate::FractureError> {
+    if !(lth > 0.0) {
+        return Err(crate::FractureError::InvalidOptions {
+            message: format!("lth {lth} must be positive"),
+        });
+    }
+    if !(axis_shift >= 0.0 && perp_shift >= 0.0) {
+        return Err(crate::FractureError::InvalidOptions {
+            message: format!("shifts ({axis_shift}, {perp_shift}) must be nonnegative"),
+        });
+    }
+    Ok(extract_ring_corners_unchecked(ring, lth, axis_shift, perp_shift))
+}
+
+fn extract_ring_corners_unchecked(
+    ring: &[Point],
+    lth: f64,
+    axis_shift: f64,
+    perp_shift: f64,
+) -> Vec<ShotCorner> {
     let n = ring.len();
     let mut raw: Vec<RawCorner> = Vec::new();
 

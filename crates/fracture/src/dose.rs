@@ -10,6 +10,7 @@
 //! single-pixel violations that 1 nm edge moves cannot express.
 
 use crate::config::FractureConfig;
+use crate::error::FractureError;
 use maskfrac_ebeam::violations::{cost_delta_for_strip, evaluate};
 use maskfrac_ebeam::{Classification, ExposureModel, FailureSummary, IntensityMap};
 use maskfrac_geom::Rect;
@@ -90,14 +91,43 @@ pub struct DoseOutcome {
 pub fn polish_doses(
     cls: &Classification,
     model: &ExposureModel,
-    _cfg: &FractureConfig,
+    cfg: &FractureConfig,
     shots: &[Rect],
     options: &DoseOptions,
 ) -> DoseOutcome {
-    assert!(
-        options.min_dose <= options.max_dose && options.step > 0.0,
-        "inconsistent dose options"
-    );
+    match try_polish_doses(cls, model, cfg, shots, options) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("inconsistent dose options: {e}"),
+    }
+}
+
+/// Non-panicking variant of [`polish_doses`].
+///
+/// # Errors
+///
+/// [`FractureError::InvalidOptions`] when `min_dose > max_dose` or `step`
+/// is not strictly positive.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` also rejects NaN
+pub fn try_polish_doses(
+    cls: &Classification,
+    model: &ExposureModel,
+    _cfg: &FractureConfig,
+    shots: &[Rect],
+    options: &DoseOptions,
+) -> Result<DoseOutcome, FractureError> {
+    if options.min_dose > options.max_dose {
+        return Err(FractureError::InvalidOptions {
+            message: format!(
+                "min_dose {} exceeds max_dose {}",
+                options.min_dose, options.max_dose
+            ),
+        });
+    }
+    if !(options.step > 0.0) {
+        return Err(FractureError::InvalidOptions {
+            message: format!("step {} must be strictly positive", options.step),
+        });
+    }
     let mut dosed: Vec<DosedShot> = shots
         .iter()
         .map(|&rect| DosedShot { rect, dose: 1.0 })
@@ -144,20 +174,20 @@ pub fn polish_doses(
     if (tuned_summary.fail_count(), tuned_summary.cost)
         > (nominal_summary.fail_count(), nominal_summary.cost)
     {
-        return DoseOutcome {
+        return Ok(DoseOutcome {
             summary: nominal_summary,
             shots: shots
                 .iter()
                 .map(|&rect| DosedShot { rect, dose: 1.0 })
                 .collect(),
             moves: 0,
-        };
+        });
     }
-    DoseOutcome {
+    Ok(DoseOutcome {
         summary: tuned_summary,
         shots: dosed,
         moves,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -36,19 +36,27 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod approx;
 pub mod config;
 pub mod dose;
 pub mod corner;
+pub mod error;
+pub mod faults;
 pub mod pipeline;
 pub mod refine;
 pub mod report;
+pub mod validate;
 
 pub use approx::{approximate_fracture, approximate_fracture_region, ApproxFracture};
 pub use config::FractureConfig;
 pub use corner::{CornerType, ShotCorner};
-pub use dose::{polish_doses, DoseOptions, DoseOutcome, DosedShot};
+pub use dose::{polish_doses, try_polish_doses, DoseOptions, DoseOutcome, DosedShot};
+pub use error::{FractureError, FractureStatus, Stage, TargetDefect};
+pub use faults::{Fault, FaultPlan, FaultScope};
 pub use pipeline::{FractureResult, ModelBasedFracturer};
 pub use refine::{reduce_shots, refine, IterationRecord, RefineOutcome};
 pub use report::{verify_shots, FractureReport};
+pub use validate::{repair_target, validate_target, RepairedTarget};

@@ -2,7 +2,10 @@
 
 use crate::approx::{approximate_fracture_region, ApproxFracture};
 use crate::config::FractureConfig;
-use crate::refine::{refine, RefineOutcome};
+use crate::error::{FractureError, FractureStatus, Stage};
+use crate::faults::{self, Fault};
+use crate::refine::{refine_until, RefineOutcome};
+use crate::validate::validate_target;
 use maskfrac_ebeam::{Classification, ExposureModel, FailureSummary};
 use maskfrac_geom::{Polygon, Rect, Region};
 use std::time::{Duration, Instant};
@@ -20,6 +23,11 @@ pub struct FractureResult {
     pub approx_shot_count: usize,
     /// Wall-clock time of the whole run.
     pub runtime: Duration,
+    /// Outcome tag: `Ok` when feasible, `Degraded` when the shot list is
+    /// best-effort (deadline expired or the refinement budget ran out on
+    /// an infeasible residue). The `Fallback`/`Failed` tags are assigned
+    /// by batch drivers such as `maskfrac_mdp::fracture_layout`.
+    pub status: FractureStatus,
 }
 
 impl FractureResult {
@@ -69,12 +77,25 @@ impl ModelBasedFracturer {
     ///
     /// Panics if `config` fails [`FractureConfig::validate`].
     pub fn new(config: FractureConfig) -> Self {
-        if let Err(msg) = config.validate() {
-            panic!("invalid fracture config: {msg}");
+        match Self::try_new(config) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking variant of [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// [`FractureError::InvalidConfig`] when `config` fails
+    /// [`FractureConfig::validate`].
+    pub fn try_new(config: FractureConfig) -> Result<Self, FractureError> {
+        if let Err(message) = config.validate() {
+            return Err(FractureError::InvalidConfig { message });
         }
         let model = config.model();
         let lth = config.resolve_lth();
-        ModelBasedFracturer { config, model, lth }
+        Ok(ModelBasedFracturer { config, model, lth })
     }
 
     /// The configuration this fracturer runs with.
@@ -118,6 +139,70 @@ impl ModelBasedFracturer {
         result
     }
 
+    /// Validating front-door variant of [`fracture`](Self::fracture):
+    /// rejects degenerate targets with a typed error instead of feeding
+    /// them to the pipeline, and honours an armed
+    /// [fault-injection plan](crate::faults).
+    ///
+    /// # Errors
+    ///
+    /// [`FractureError::InvalidTarget`] for targets rejected by
+    /// [`validate_target`]; [`FractureError::Internal`] when a pipeline
+    /// stage fails (including injected faults).
+    pub fn try_fracture(&self, target: &Polygon) -> Result<FractureResult, FractureError> {
+        self.try_fracture_region(&Region::simple(target.clone()))
+    }
+
+    /// Region variant of [`try_fracture`](Self::try_fracture).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_fracture`](Self::try_fracture).
+    pub fn try_fracture_region(&self, target: &Region) -> Result<FractureResult, FractureError> {
+        validate_target(target, &self.config)?;
+        match faults::fire("pipeline", self.fault_key(target)) {
+            Some(Fault::Panic) => {
+                panic!("injected fault: pipeline panic (fault-injection harness)")
+            }
+            Some(Fault::Timeout) => {
+                // Act out an already-expired budget: refinement returns
+                // its best-so-far immediately.
+                let (result, _, _) =
+                    self.fracture_region_traced_until(target, Some(Instant::now()));
+                return Ok(result);
+            }
+            Some(Fault::Infeasible) => {
+                return Err(FractureError::Internal {
+                    stage: Stage::Refine,
+                    message: "injected infeasible residue (fault-injection harness)".into(),
+                });
+            }
+            None => {}
+        }
+        let (result, _, _) = self.fracture_region_traced(target);
+        Ok(result)
+    }
+
+    /// Deterministic per-(shape, config) fingerprint for fault-injection
+    /// probes: a retry under a different config draws a fresh decision.
+    fn fault_key(&self, target: &Region) -> u64 {
+        let b = target.bbox();
+        let mut bytes = Vec::with_capacity(8 * 8);
+        for v in [
+            b.x0(),
+            b.y0(),
+            b.x1(),
+            b.y1(),
+            target.outer().len() as i64,
+            target.holes().len() as i64,
+            self.config.max_iterations as i64,
+            self.config.gamma.to_bits() as i64,
+        ] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        faults::fingerprint(&bytes)
+    }
+
     /// Fractures one target shape, also returning the intermediate
     /// approximate solution and the refinement trace (used by the figure
     /// harness and ablations).
@@ -133,11 +218,23 @@ impl ModelBasedFracturer {
         &self,
         target: &Region,
     ) -> (FractureResult, ApproxFracture, RefineOutcome) {
+        let deadline = self.config.deadline.map(|d| Instant::now() + d);
+        self.fracture_region_traced_until(target, deadline)
+    }
+
+    /// Core of the pipeline, against an absolute deadline covering every
+    /// stage (classification, approximation, refinement, reduction).
+    fn fracture_region_traced_until(
+        &self,
+        target: &Region,
+        deadline: Option<Instant>,
+    ) -> (FractureResult, ApproxFracture, RefineOutcome) {
         let start = Instant::now();
         let cls = self.classify_region(target);
         let approx = approximate_fracture_region(target, &cls, &self.model, &self.config, self.lth);
-        let mut outcome = refine(&cls, &self.model, &self.config, approx.shots.clone());
-        if !outcome.summary.is_feasible() {
+        let mut outcome = refine_until(&cls, &self.model, &self.config, approx.shots.clone(), deadline);
+        let deadline_over = || deadline.is_some_and(|d| Instant::now() >= d);
+        if !outcome.summary.is_feasible() && !deadline_over() {
             // Robustness restart: the coloring seed occasionally lands in a
             // basin Algorithm 1 cannot leave (offset staircase arms where
             // every single-edge move trades on- for off-violations).
@@ -153,18 +250,17 @@ impl ModelBasedFracturer {
             )
             .into_iter()
             .filter(|r| r.min_side() >= self.config.min_shot_size / 2)
-            .map(|r| {
+            .filter_map(|r| {
                 Rect::new(
                     r.x0(),
                     r.y0(),
                     r.x1().max(r.x0() + self.config.min_shot_size),
                     r.y1().max(r.y0() + self.config.min_shot_size),
                 )
-                .expect("grown seed ordered")
             })
             .collect();
             if !seeds.is_empty() {
-                let restarted = refine(&cls, &self.model, &self.config, seeds);
+                let restarted = refine_until(&cls, &self.model, &self.config, seeds, deadline);
                 if (restarted.summary.fail_count(), restarted.shots.len())
                     < (outcome.summary.fail_count(), outcome.shots.len())
                 {
@@ -177,12 +273,13 @@ impl ModelBasedFracturer {
                 }
             }
         }
-        if self.config.reduction_sweep && outcome.summary.is_feasible() {
-            let reduced = crate::refine::reduce_shots(
+        if self.config.reduction_sweep && outcome.summary.is_feasible() && !deadline_over() {
+            let reduced = crate::refine::reduce_shots_until(
                 &cls,
                 &self.model,
                 &self.config,
                 outcome.shots.clone(),
+                deadline,
             );
             if reduced.shots.len() < outcome.shots.len() {
                 outcome.iterations += reduced.iterations;
@@ -190,12 +287,20 @@ impl ModelBasedFracturer {
                 outcome.summary = reduced.summary;
             }
         }
+        // Feasible is Ok even when the deadline cut the run short — the
+        // deliverable is proven. Infeasible best-effort is Degraded.
+        let status = if outcome.summary.is_feasible() {
+            FractureStatus::Ok
+        } else {
+            FractureStatus::Degraded
+        };
         let result = FractureResult {
             shots: outcome.shots.clone(),
             summary: outcome.summary,
             iterations: outcome.iterations,
             approx_shot_count: approx.shots.len(),
             runtime: start.elapsed(),
+            status,
         };
         (result, approx, outcome)
     }
@@ -268,6 +373,102 @@ mod tests {
             gamma: -1.0,
             ..FractureConfig::default()
         });
+    }
+
+    #[test]
+    fn try_new_reports_typed_config_error() {
+        let err = ModelBasedFracturer::try_new(FractureConfig {
+            rho: 2.0,
+            ..FractureConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, crate::FractureError::InvalidConfig { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn feasible_run_is_tagged_ok() {
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let r = f.try_fracture(&Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap())).unwrap();
+        assert!(r.summary.is_feasible());
+        assert_eq!(r.status, crate::FractureStatus::Ok);
+    }
+
+    #[test]
+    fn try_fracture_rejects_sliver_with_typed_error() {
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let sliver = Polygon::from_rect(Rect::new(0, 0, 60, 4).unwrap());
+        let err = f.try_fracture(&sliver).unwrap_err();
+        assert!(
+            matches!(err, crate::FractureError::InvalidTarget(_)),
+            "expected InvalidTarget, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_returns_best_effort_fast() {
+        use std::time::Duration;
+        // A deadline of zero: the pipeline must return the approximate
+        // stage's best-so-far immediately instead of burning Nmax
+        // iterations, and must tag an infeasible deliverable Degraded.
+        let f = ModelBasedFracturer::new(FractureConfig {
+            deadline: Some(Duration::ZERO),
+            ..FractureConfig::default()
+        });
+        let target = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(80, 0),
+            Point::new(80, 30),
+            Point::new(30, 30),
+            Point::new(30, 80),
+            Point::new(0, 80),
+        ])
+        .unwrap();
+        let started = std::time::Instant::now();
+        let r = f.fracture(&target);
+        assert!(started.elapsed() < Duration::from_secs(5), "must not run the full budget");
+        if !r.summary.is_feasible() {
+            assert_eq!(r.status, crate::FractureStatus::Degraded);
+        }
+    }
+
+    #[test]
+    fn injected_infeasible_fault_is_a_typed_error() {
+        let _scope = crate::faults::arm_scoped(crate::FaultPlan::only(
+            99,
+            crate::Fault::Infeasible,
+            1.0,
+        ));
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let err = f.try_fracture(&Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap()))
+            .unwrap_err();
+        match err {
+            crate::FractureError::Internal { stage, message } => {
+                assert_eq!(stage, crate::Stage::Refine);
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_panic_fault_unwinds() {
+        let _scope =
+            crate::faults::arm_scoped(crate::FaultPlan::only(7, crate::Fault::Panic, 1.0));
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let target = Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f.try_fracture(&target)
+        }));
+        assert!(caught.is_err(), "panic fault must unwind");
+    }
+
+    #[test]
+    fn injected_timeout_fault_still_returns_a_result() {
+        let _scope =
+            crate::faults::arm_scoped(crate::FaultPlan::only(13, crate::Fault::Timeout, 1.0));
+        let f = ModelBasedFracturer::new(FractureConfig::default());
+        let r = f.try_fracture(&Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap())).unwrap();
+        assert!(r.status.is_usable());
     }
 }
 

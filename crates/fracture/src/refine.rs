@@ -49,17 +49,35 @@ pub struct RefineOutcome {
     pub iterations: usize,
     /// Per-iteration trace.
     pub history: Vec<IterationRecord>,
+    /// Whether a wall-clock deadline cut the run short; `shots` is the
+    /// best solution seen before expiry.
+    pub deadline_hit: bool,
 }
 
 /// Runs Algorithm 1 on an initial shot list.
 ///
 /// `cls` must have been built for the same target and with a margin of at
-/// least the model's support radius.
+/// least the model's support radius. A deadline configured via
+/// [`FractureConfig::deadline`] is measured from this call.
 pub fn refine(
     cls: &Classification,
     model: &ExposureModel,
     cfg: &FractureConfig,
     initial: Vec<Rect>,
+) -> RefineOutcome {
+    let deadline = cfg.deadline.map(|d| std::time::Instant::now() + d);
+    refine_until(cls, model, cfg, initial, deadline)
+}
+
+/// [`refine`] against an absolute deadline (already-started clock), used
+/// by the pipeline so validation and the approximate stage count against
+/// the same budget.
+pub fn refine_until(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    initial: Vec<Rect>,
+    deadline: Option<std::time::Instant>,
 ) -> RefineOutcome {
     let mut shots = initial;
     let mut map = IntensityMap::new(model.clone(), cls.frame());
@@ -78,8 +96,13 @@ pub fn refine(
     let mut restarts_without_progress = 0usize;
     let mut best_fails_at_last_restart = usize::MAX;
     let mut best_cost_at_last_restart = f64::INFINITY;
+    let mut deadline_hit = false;
 
     while iterations < cfg.max_iterations {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            deadline_hit = true;
+            break;
+        }
         let summary = evaluate(cls, &map);
         history.push(IterationRecord {
             cost: summary.cost,
@@ -162,6 +185,7 @@ pub fn refine(
         summary: best_summary,
         iterations,
         history,
+        deadline_hit,
     }
 }
 
@@ -188,8 +212,14 @@ pub fn polish_edges(
     let mut iterations = 0usize;
     let mut history = Vec::new();
     let mut bias_budget = 6usize; // bias can ping-pong; bound it
+    let deadline = cfg.deadline.map(|d| std::time::Instant::now() + d);
+    let mut deadline_hit = false;
 
     while iterations < max_iterations {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            deadline_hit = true;
+            break;
+        }
         let summary = evaluate(cls, &map);
         history.push(IterationRecord {
             cost: summary.cost,
@@ -224,6 +254,7 @@ pub fn polish_edges(
         summary: best_summary,
         iterations,
         history,
+        deadline_hit,
     }
 }
 
@@ -244,10 +275,24 @@ pub fn reduce_shots(
     cfg: &FractureConfig,
     shots: Vec<Rect>,
 ) -> RefineOutcome {
+    let deadline = cfg.deadline.map(|d| std::time::Instant::now() + d);
+    reduce_shots_until(cls, model, cfg, shots, deadline)
+}
+
+/// [`reduce_shots`] against an absolute deadline; the sweep stops between
+/// candidate removals once the deadline passes.
+pub fn reduce_shots_until(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    shots: Vec<Rect>,
+    deadline: Option<std::time::Instant>,
+) -> RefineOutcome {
     const SWEEP_CANDIDATES: usize = 6;
     let budget_cfg = FractureConfig {
         max_iterations: 120,
         max_plateau_restarts: 2,
+        deadline: None, // the absolute deadline below governs
         ..cfg.clone()
     };
 
@@ -262,17 +307,23 @@ pub fn reduce_shots(
     let mut current = shots;
     let mut summary = summarize(&current);
     let mut total_iterations = 0usize;
+    let mut deadline_hit = false;
     if !summary.is_feasible() {
         return RefineOutcome {
             shots: current,
             summary,
             iterations: 0,
             history: Vec::new(),
+            deadline_hit: false,
         };
     }
 
     loop {
         if current.len() <= 1 {
+            break;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            deadline_hit = true;
             break;
         }
         // Screen: cost incurred by removing each shot from the current map.
@@ -285,13 +336,13 @@ pub fn reduce_shots(
             .enumerate()
             .map(|(i, s)| (cost_delta_for_strip(cls, &map, s, -1.0), i))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut improved = false;
         for &(_, i) in scored.iter().take(SWEEP_CANDIDATES) {
             let mut candidate = current.clone();
             candidate.remove(i);
-            let outcome = refine(cls, model, &budget_cfg, candidate);
+            let outcome = refine_until(cls, model, &budget_cfg, candidate, deadline);
             total_iterations += outcome.iterations;
             if outcome.summary.is_feasible() && outcome.shots.len() < current.len() {
                 current = outcome.shots;
@@ -310,6 +361,7 @@ pub fn reduce_shots(
         summary,
         iterations: total_iterations,
         history: Vec::new(),
+        deadline_hit,
     }
 }
 
@@ -386,11 +438,7 @@ fn greedy_shot_edge_adjustment(
             }
         }
     }
-    candidates.sort_by(|a, b| {
-        a.delta_cost
-            .partial_cmp(&b.delta_cost)
-            .expect("costs are finite")
-    });
+    candidates.sort_by(|a, b| a.delta_cost.total_cmp(&b.delta_cost));
 
     // Accept best-first; block any edge whose strip comes within 2σ of an
     // accepted strip (paper §4.1: avoids cycling and keeps the
@@ -470,34 +518,40 @@ pub fn add_shot(
 
     let mut best: Option<(usize, Rect)> = None;
     for comp in &comps {
-        // Component bbox in pixel space -> absolute nm.
-        let mut rect = Rect::new(
+        // Component bbox in pixel space -> absolute nm. A malformed bbox
+        // cannot name a placement; skip the component rather than panic.
+        let Some(mut rect) = Rect::new(
             origin.x + comp.bbox.x0(),
             origin.y + comp.bbox.y0(),
             origin.x + comp.bbox.x1(),
             origin.y + comp.bbox.y1(),
-        )
-        .expect("component bbox is well-formed");
+        ) else {
+            continue;
+        };
         // Grow to the minimum shot size, centred.
         if rect.width() < cfg.min_shot_size {
             let grow = cfg.min_shot_size - rect.width();
-            rect = Rect::new(
+            let Some(grown) = Rect::new(
                 rect.x0() - grow / 2,
                 rect.y0(),
                 rect.x0() - grow / 2 + cfg.min_shot_size,
                 rect.y1(),
-            )
-            .expect("growing keeps order");
+            ) else {
+                continue;
+            };
+            rect = grown;
         }
         if rect.height() < cfg.min_shot_size {
             let grow = cfg.min_shot_size - rect.height();
-            rect = Rect::new(
+            let Some(grown) = Rect::new(
                 rect.x0(),
                 rect.y0() - grow / 2,
                 rect.x1(),
                 rect.y0() - grow / 2 + cfg.min_shot_size,
-            )
-            .expect("growing keeps order");
+            ) else {
+                continue;
+            };
+            rect = grown;
         }
         // Count failing Pon pixels the grown bbox covers.
         let frame = cls.frame();
@@ -545,13 +599,14 @@ pub fn add_shot(
                 cls.frame(),
                 sigma_px,
             ) {
-                let grown = Rect::new(
+                let Some(grown) = Rect::new(
                     slab.x0(),
                     slab.y0(),
                     slab.x1().max(slab.x0() + cfg.min_shot_size),
                     slab.y1().max(slab.y0() + cfg.min_shot_size),
-                )
-                .expect("slab grown in place");
+                ) else {
+                    continue;
+                };
                 let dc = cost_delta_for_strip(cls, map, &grown, 1.0);
                 if dc < best_dc {
                     best_dc = dc;
@@ -582,7 +637,7 @@ fn remove_shot(cls: &Classification, map: &mut IntensityMap, shots: &mut Vec<Rec
         .iter_set()
         .map(|(ix, iy)| frame.pixel_center(ix, iy))
         .collect();
-    let (worst, _) = shots
+    let Some((worst, _)) = shots
         .iter()
         .enumerate()
         .map(|(i, s)| {
@@ -593,7 +648,9 @@ fn remove_shot(cls: &Classification, map: &mut IntensityMap, shots: &mut Vec<Rec
             (i, near)
         })
         .max_by_key(|&(i, near)| (near, usize::MAX - i)) // ties: earliest
-        .expect("shots is non-empty");
+    else {
+        return;
+    };
     let removed = shots.remove(worst);
     map.remove_shot(&removed);
 }

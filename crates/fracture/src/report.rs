@@ -23,6 +23,9 @@ pub struct FractureReport {
     pub runtime_s: f64,
     /// Refinement iterations (0 for methods without refinement).
     pub iterations: usize,
+    /// Outcome tag of the run ([`crate::FractureStatus`]).
+    #[serde(default)]
+    pub status: crate::FractureStatus,
 }
 
 impl FractureReport {
@@ -36,6 +39,7 @@ impl FractureReport {
             cost: result.summary.cost,
             runtime_s: result.runtime.as_secs_f64(),
             iterations: result.iterations,
+            status: result.status,
         }
     }
 }
@@ -88,11 +92,13 @@ mod tests {
             iterations: 17,
             approx_shot_count: 3,
             runtime: Duration::from_millis(250),
+            status: crate::FractureStatus::Degraded,
         };
         let r = FractureReport::from_result("Clip-1", "ours", &result);
         assert_eq!(r.shot_count, 1);
         assert_eq!(r.fail_pixels, 2);
         assert_eq!(r.iterations, 17);
+        assert_eq!(r.status, crate::FractureStatus::Degraded);
         assert!((r.runtime_s - 0.25).abs() < 1e-9);
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"Clip-1\""));

@@ -1,0 +1,206 @@
+//! Input validation and repair front-door.
+//!
+//! Mask layouts arrive from external tools and are not trustworthy:
+//! sub-resolution slivers, self-touching rings and clip-sized outlines
+//! all occur in practice. Feeding them to the pipeline used to produce
+//! panics or pathological runtimes deep inside refinement; the
+//! front-door rejects them up front with a typed
+//! [`FractureError::InvalidTarget`], and [`repair_target`] additionally
+//! fixes what can be fixed (dropping sub-resolution holes) before
+//! validating the rest.
+
+use crate::config::FractureConfig;
+use crate::error::{FractureError, TargetDefect};
+use maskfrac_geom::Region;
+
+/// Validates a target region against `cfg`.
+///
+/// Checks, in order:
+///
+/// 1. the region encloses positive area;
+/// 2. the bounding box is at least `Lmin` (`cfg.min_shot_size`) on its
+///    smaller side — thinner targets admit no legal shot;
+/// 3. the bounding box does not exceed `cfg.max_extent` on its larger
+///    side — the per-shape intensity map is dense in the bbox, so
+///    clip-scale geometry must be partitioned upstream;
+/// 4. the outer ring and every hole ring are simple polygons.
+///
+/// # Errors
+///
+/// The first failing check, as [`FractureError::InvalidTarget`].
+pub fn validate_target(target: &Region, cfg: &FractureConfig) -> Result<(), FractureError> {
+    if target.area() <= 0.0 {
+        return Err(FractureError::InvalidTarget(TargetDefect::Empty));
+    }
+    let bbox = target.bbox();
+    if bbox.min_side() < cfg.min_shot_size {
+        return Err(FractureError::InvalidTarget(TargetDefect::TooSmall {
+            min_side: bbox.min_side(),
+            lmin: cfg.min_shot_size,
+        }));
+    }
+    let extent = bbox.width().max(bbox.height());
+    if extent > cfg.max_extent {
+        return Err(FractureError::InvalidTarget(TargetDefect::TooLarge {
+            extent,
+            max_extent: cfg.max_extent,
+        }));
+    }
+    if let Err(detail) = target.outer().check_simple() {
+        return Err(FractureError::InvalidTarget(TargetDefect::NonSimple {
+            hole: None,
+            detail,
+        }));
+    }
+    for (i, hole) in target.holes().iter().enumerate() {
+        if let Err(detail) = hole.check_simple() {
+            return Err(FractureError::InvalidTarget(TargetDefect::NonSimple {
+                hole: Some(i),
+                detail,
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// A repaired target plus a log of what was changed.
+#[derive(Debug, Clone)]
+pub struct RepairedTarget {
+    /// The (possibly rebuilt) region to fracture.
+    pub target: Region,
+    /// Human-readable description of each repair applied; empty when the
+    /// input was already clean.
+    pub repairs: Vec<String>,
+}
+
+/// Repairs what is repairable, then validates.
+///
+/// Currently one repair is applied: holes whose bounding box is thinner
+/// than `Lmin / 2` are dropped — they are below the writing resolution,
+/// and the don't-care band absorbs the residual error. Defects of the
+/// outer ring are never repaired.
+///
+/// # Errors
+///
+/// Whatever [`validate_target`] reports on the repaired region.
+pub fn repair_target(
+    target: &Region,
+    cfg: &FractureConfig,
+) -> Result<RepairedTarget, FractureError> {
+    let mut repairs = Vec::new();
+    let kept: Vec<_> = target
+        .holes()
+        .iter()
+        .filter(|hole| {
+            let keep = hole.bbox().min_side() >= cfg.min_shot_size / 2;
+            if !keep {
+                repairs.push(format!(
+                    "dropped sub-resolution hole ({} nm < Lmin/2 = {} nm)",
+                    hole.bbox().min_side(),
+                    cfg.min_shot_size / 2
+                ));
+            }
+            keep
+        })
+        .cloned()
+        .collect();
+    let repaired = if repairs.is_empty() {
+        target.clone()
+    } else {
+        Region::new(target.outer().clone(), kept).map_err(|e| {
+            FractureError::InvalidTarget(TargetDefect::NonSimple {
+                hole: None,
+                detail: format!("region rebuild failed after hole repair: {e}"),
+            })
+        })?
+    };
+    validate_target(&repaired, cfg)?;
+    Ok(RepairedTarget {
+        target: repaired,
+        repairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maskfrac_geom::{Point, Polygon, Rect};
+
+    fn cfg() -> FractureConfig {
+        FractureConfig::default()
+    }
+
+    fn square(side: i64) -> Region {
+        Region::simple(Polygon::from_rect(Rect::new(0, 0, side, side).unwrap()))
+    }
+
+    #[test]
+    fn clean_square_passes() {
+        assert!(validate_target(&square(50), &cfg()).is_ok());
+    }
+
+    #[test]
+    fn sliver_is_too_small() {
+        let sliver = Region::simple(Polygon::from_rect(Rect::new(0, 0, 50, 4).unwrap()));
+        match validate_target(&sliver, &cfg()) {
+            Err(FractureError::InvalidTarget(TargetDefect::TooSmall { min_side, lmin })) => {
+                assert_eq!(min_side, 4);
+                assert_eq!(lmin, 10);
+            }
+            other => panic!("expected TooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clip_scale_outline_is_too_large() {
+        let huge = Region::simple(Polygon::from_rect(Rect::new(0, 0, 100_000, 60).unwrap()));
+        match validate_target(&huge, &cfg()) {
+            Err(FractureError::InvalidTarget(TargetDefect::TooLarge { extent, .. })) => {
+                assert_eq!(extent, 100_000);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bowtie_is_non_simple() {
+        let bowtie = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(40, 40),
+            Point::new(40, 0),
+            Point::new(0, 40),
+        ])
+        .unwrap();
+        match validate_target(&Region::simple(bowtie), &cfg()) {
+            Err(FractureError::InvalidTarget(TargetDefect::NonSimple { hole: None, .. })) => {}
+            other => panic!("expected NonSimple, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_drops_sub_resolution_hole() {
+        let outer = Polygon::from_rect(Rect::new(0, 0, 80, 80).unwrap());
+        let pinhole = Polygon::from_rect(Rect::new(40, 40, 43, 43).unwrap());
+        let region = Region::new(outer, vec![pinhole]).unwrap();
+        let repaired = repair_target(&region, &cfg()).unwrap();
+        assert!(repaired.target.holes().is_empty());
+        assert_eq!(repaired.repairs.len(), 1);
+        assert!(repaired.repairs[0].contains("sub-resolution"), "{:?}", repaired.repairs);
+    }
+
+    #[test]
+    fn repair_keeps_writable_holes() {
+        let outer = Polygon::from_rect(Rect::new(0, 0, 90, 90).unwrap());
+        let hole = Polygon::from_rect(Rect::new(30, 30, 60, 60).unwrap());
+        let region = Region::new(outer, vec![hole]).unwrap();
+        let repaired = repair_target(&region, &cfg()).unwrap();
+        assert_eq!(repaired.target.holes().len(), 1);
+        assert!(repaired.repairs.is_empty());
+    }
+
+    #[test]
+    fn repair_does_not_mask_outer_defects() {
+        let sliver = Region::simple(Polygon::from_rect(Rect::new(0, 0, 50, 4).unwrap()));
+        assert!(repair_target(&sliver, &cfg()).is_err());
+    }
+}

@@ -124,3 +124,101 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Robustness: the validating front door either fractures a rectangle
+    // or rejects it with a typed error — it never panics, whatever the
+    // dimensions.
+    #[test]
+    fn try_fracture_never_panics_on_rect_targets(w in 1i64..70, h in 1i64..70) {
+        let f = maskfrac_fracture::ModelBasedFracturer::new(FractureConfig::default());
+        let poly = Polygon::from_rect(Rect::new(0, 0, w, h).expect("rect"));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.try_fracture(&poly)));
+        prop_assert!(outcome.is_ok(), "panicked on {}x{}", w, h);
+        if let Ok(Ok(r)) = outcome {
+            prop_assert!(r.status.is_usable());
+        }
+    }
+}
+
+mod degenerate_inputs {
+    use maskfrac_fracture::{FractureConfig, FractureError, ModelBasedFracturer, TargetDefect};
+    use maskfrac_geom::{Point, Polygon, Rect};
+
+    fn fracturer() -> ModelBasedFracturer {
+        ModelBasedFracturer::new(FractureConfig::default())
+    }
+
+    #[test]
+    fn empty_or_flat_rings_are_typed_construction_errors() {
+        assert!(Polygon::new(vec![]).is_err());
+        assert!(Polygon::new(vec![Point::new(0, 0), Point::new(10, 0)]).is_err());
+        // Collinear ring: zero area.
+        assert!(
+            Polygon::new(vec![Point::new(0, 0), Point::new(10, 0), Point::new(20, 0)]).is_err()
+        );
+    }
+
+    #[test]
+    fn single_pixel_target_is_rejected_not_panicked() {
+        let err = fracturer()
+            .try_fracture(&Polygon::from_rect(Rect::new(0, 0, 1, 1).unwrap()))
+            .unwrap_err();
+        assert!(
+            matches!(err, FractureError::InvalidTarget(TargetDefect::TooSmall { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn sub_lmin_sliver_is_rejected() {
+        let cfg = FractureConfig::default();
+        let sliver =
+            Polygon::from_rect(Rect::new(0, 0, 60, cfg.min_shot_size - 1).unwrap());
+        let err = fracturer().try_fracture(&sliver).unwrap_err();
+        match err {
+            FractureError::InvalidTarget(TargetDefect::TooSmall { min_side, lmin }) => {
+                assert_eq!(min_side, cfg.min_shot_size - 1);
+                assert_eq!(lmin, cfg.min_shot_size);
+            }
+            other => panic!("expected TooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_touching_ring_is_rejected() {
+        // Two squares pinched together at (10, 10).
+        let pinch = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(10, 10),
+            Point::new(20, 10),
+            Point::new(20, 20),
+            Point::new(10, 20),
+            Point::new(10, 10),
+            Point::new(0, 10),
+        ])
+        .unwrap();
+        let err = fracturer().try_fracture(&pinch).unwrap_err();
+        assert!(
+            matches!(err, FractureError::InvalidTarget(TargetDefect::NonSimple { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_target_is_rejected_before_gridding() {
+        // Far beyond max_extent: must be rejected by arithmetic on the
+        // bbox, long before an intensity-map grid could be allocated.
+        let huge = Polygon::from_rect(Rect::new(0, 0, 1_000_000, 1_000_000).unwrap());
+        let started = std::time::Instant::now();
+        let err = fracturer().try_fracture(&huge).unwrap_err();
+        assert!(started.elapsed() < std::time::Duration::from_secs(1));
+        assert!(
+            matches!(err, FractureError::InvalidTarget(TargetDefect::TooLarge { .. })),
+            "{err:?}"
+        );
+    }
+}

@@ -156,6 +156,57 @@ impl Polygon {
         self.edges().all(|(a, b)| a.x == b.x || a.y == b.y)
     }
 
+    /// Whether the ring is simple: no two non-adjacent edges intersect or
+    /// touch, and no vertex is a spike (consecutive edges doubling back).
+    ///
+    /// [`Polygon::new`] does not check this — rasterized contours are
+    /// simple by construction — but externally supplied layouts are not,
+    /// so the fracturing front-door validates with this test. `O(n²)` in
+    /// the vertex count, which is fine at mask-shape sizes (simplified
+    /// boundaries run tens of vertices).
+    pub fn is_simple(&self) -> bool {
+        self.check_simple().is_ok()
+    }
+
+    /// [`Polygon::is_simple`] with a defect description on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first defect found:
+    /// a spiked vertex, two crossing edges, or a self-touch.
+    pub fn check_simple(&self) -> Result<(), String> {
+        let v = &self.vertices;
+        let n = v.len();
+        // Spikes: collinear consecutive edges that reverse direction.
+        for i in 0..n {
+            let a = v[i];
+            let b = v[(i + 1) % n];
+            let c = v[(i + 2) % n];
+            let ab = b - a;
+            let bc = c - b;
+            if ab.x * bc.y - ab.y * bc.x == 0 && ab.x * bc.x + ab.y * bc.y < 0 {
+                return Err(format!("spike at vertex {b}"));
+            }
+        }
+        // Non-adjacent edge pairs may not intersect or touch.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+                if adjacent {
+                    continue;
+                }
+                let (p1, p2) = (v[i], v[(i + 1) % n]);
+                let (q1, q2) = (v[j], v[(j + 1) % n]);
+                if segments_intersect(p1, p2, q1, q2) {
+                    return Err(format!(
+                        "edge {p1}->{p2} intersects edge {q1}->{q2}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Even-odd (ray casting) point-in-polygon test for a continuous point.
     ///
     /// Points exactly on the boundary may report either side; the fracturing
@@ -236,6 +287,33 @@ impl fmt::Display for Polygon {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "polygon[{} vertices, area {}]", self.len(), self.area())
     }
+}
+
+/// Orientation of `c` relative to the directed line `a -> b`:
+/// positive = left, negative = right, zero = collinear.
+fn orient(a: Point, b: Point, c: Point) -> i64 {
+    (b - a).cross(c - a)
+}
+
+/// Whether collinear point `p` lies within the closed bbox of `a -> b`.
+fn on_segment_bbox(a: Point, b: Point, p: Point) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+/// Whether closed segments `p1-p2` and `q1-q2` share any point (proper
+/// crossing, endpoint touch, or collinear overlap). Exact in integers.
+fn segments_intersect(p1: Point, p2: Point, q1: Point, q2: Point) -> bool {
+    let d1 = orient(q1, q2, p1);
+    let d2 = orient(q1, q2, p2);
+    let d3 = orient(p1, p2, q1);
+    let d4 = orient(p1, p2, q2);
+    if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) && ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+        return true;
+    }
+    (d1 == 0 && on_segment_bbox(q1, q2, p1))
+        || (d2 == 0 && on_segment_bbox(q1, q2, p2))
+        || (d3 == 0 && on_segment_bbox(p1, p2, q1))
+        || (d4 == 0 && on_segment_bbox(p1, p2, q2))
 }
 
 fn signed_area2(vertices: &[Point]) -> i64 {
@@ -384,5 +462,68 @@ mod tests {
         let edges: Vec<_> = s.edges().collect();
         assert_eq!(edges.len(), 4);
         assert_eq!(edges[3].1, edges[0].0);
+    }
+}
+
+#[cfg(test)]
+mod simplicity_tests {
+    use super::*;
+
+    fn poly(pts: &[(i64, i64)]) -> Polygon {
+        Polygon::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn convex_and_rectilinear_rings_are_simple() {
+        assert!(poly(&[(0, 0), (10, 0), (10, 10), (0, 10)]).is_simple());
+        assert!(poly(&[(0, 0), (20, 0), (20, 10), (10, 10), (10, 20), (0, 20)]).is_simple());
+    }
+
+    #[test]
+    fn bowtie_is_not_simple() {
+        // Hourglass: edges (0,0)-(10,10) and (10,0)-(0,10) cross.
+        let p = poly(&[(0, 0), (10, 10), (10, 0), (0, 10)]);
+        let err = p.check_simple().unwrap_err();
+        assert!(err.contains("intersects"), "{err}");
+    }
+
+    #[test]
+    fn self_touching_ring_is_not_simple() {
+        // A figure that pinches to a single shared vertex at (10, 10).
+        let p = poly(&[
+            (0, 0),
+            (10, 0),
+            (10, 10),
+            (20, 10),
+            (20, 20),
+            (10, 20),
+            (10, 10),
+            (0, 10),
+        ]);
+        assert!(!p.is_simple());
+    }
+
+    #[test]
+    fn spike_is_not_simple() {
+        // Zero-width antenna along the top edge.
+        let p = poly(&[(0, 0), (10, 0), (10, 10), (5, 10), (5, 15), (5, 10), (0, 10)]);
+        let err = p.check_simple().unwrap_err();
+        assert!(err.contains("spike"), "{err}");
+    }
+
+    #[test]
+    fn collinear_continuation_is_simple() {
+        // A redundant midpoint on an edge is not a defect.
+        assert!(poly(&[(0, 0), (5, 0), (10, 0), (10, 10), (0, 10)]).is_simple());
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let p = |x, y| Point::new(x, y);
+        assert!(segments_intersect(p(0, 0), p(10, 10), p(0, 10), p(10, 0)));
+        assert!(segments_intersect(p(0, 0), p(10, 0), p(5, 0), p(5, 5)), "T-touch");
+        assert!(segments_intersect(p(0, 0), p(10, 0), p(5, 0), p(15, 0)), "overlap");
+        assert!(!segments_intersect(p(0, 0), p(10, 0), p(0, 1), p(10, 1)));
+        assert!(!segments_intersect(p(0, 0), p(10, 0), p(11, 0), p(20, 0)));
     }
 }

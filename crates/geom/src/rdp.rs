@@ -166,7 +166,7 @@ mod tests {
     fn polyline_respects_tolerance_bound() {
         // Noisy sine-ish chain.
         let pts: Vec<Point> = (0..50)
-            .map(|i| Point::new(i * 4, ((i * 7919) % 5) as i64 - 2))
+            .map(|i| Point::new(i * 4, (i * 7919) % 5 - 2))
             .collect();
         let tol = 2.5;
         let s = simplify_polyline(&pts, tol);

@@ -71,7 +71,7 @@ mod tests {
             ColoringStrategy::Dsatur,
         ] {
             let classes = clique_partition(&g, strategy);
-            let mut seen = vec![false; 6];
+            let mut seen = [false; 6];
             for class in &classes {
                 for (i, &u) in class.iter().enumerate() {
                     assert!(!seen[u]);

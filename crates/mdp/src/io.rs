@@ -14,11 +14,16 @@
 //! ```
 //!
 //! Lines starting with `#` are comments; blank lines are ignored.
+//!
+//! Files whose extension is `.json` are read and written as the JSON
+//! serialization of [`Layout`] instead (handy for tooling); both formats
+//! go through [`load_layout`] / [`save_layout`], which dispatch on the
+//! extension and report errors with the offending path and cause.
 
 use crate::layout::{Layout, Placement};
 use maskfrac_geom::{Point, Polygon};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Error parsing a layout file.
 #[derive(Debug)]
@@ -41,6 +46,73 @@ fn err(line: usize, message: impl Into<String>) -> ParseLayoutError {
     ParseLayoutError {
         line,
         message: message.into(),
+    }
+}
+
+/// Error loading or saving a layout file. Every variant names the
+/// offending path, so a batch job over many layouts can report exactly
+/// which file broke and why.
+#[derive(Debug)]
+pub enum LayoutIoError {
+    /// The file could not be read.
+    Read {
+        /// Offending path.
+        path: PathBuf,
+        /// Underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// The file could not be written.
+    Write {
+        /// Offending path.
+        path: PathBuf,
+        /// Underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// The text format did not parse.
+    Parse {
+        /// Offending path.
+        path: PathBuf,
+        /// Parse error with the offending line.
+        source: ParseLayoutError,
+    },
+    /// The JSON form did not (de)serialize, or violated a layout
+    /// invariant (e.g. a placement referencing an unknown shape).
+    Json {
+        /// Offending path.
+        path: PathBuf,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for LayoutIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutIoError::Read { path, source } => {
+                write!(f, "cannot read layout {}: {source}", path.display())
+            }
+            LayoutIoError::Write { path, source } => {
+                write!(f, "cannot write layout {}: {source}", path.display())
+            }
+            LayoutIoError::Parse { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            LayoutIoError::Json { path, message } => {
+                write!(f, "{}: invalid JSON layout: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LayoutIoError::Read { source, .. } | LayoutIoError::Write { source, .. } => {
+                Some(source)
+            }
+            LayoutIoError::Parse { source, .. } => Some(source),
+            LayoutIoError::Json { .. } => None,
+        }
     }
 }
 
@@ -158,24 +230,71 @@ pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
     layout.ok_or_else(|| err(0, "no layout directive found"))
 }
 
-/// Writes the layout to a file.
-///
-/// # Errors
-///
-/// Propagates filesystem errors.
-pub fn save_layout<P: AsRef<Path>>(layout: &Layout, path: P) -> std::io::Result<()> {
-    std::fs::write(path, write_layout(layout))
+fn is_json(path: &Path) -> bool {
+    path.extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.eq_ignore_ascii_case("json"))
 }
 
-/// Reads a layout file.
+/// Writes the layout to a file — the text format by default, JSON when
+/// the extension is `.json`.
 ///
 /// # Errors
 ///
-/// Returns filesystem errors (wrapped as `line 0`) or parse errors.
-pub fn load_layout<P: AsRef<Path>>(path: P) -> Result<Layout, ParseLayoutError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| err(0, format!("cannot read layout file: {e}")))?;
-    parse_layout(&text)
+/// [`LayoutIoError`] naming the path on filesystem or serialization
+/// failure.
+pub fn save_layout<P: AsRef<Path>>(layout: &Layout, path: P) -> Result<(), LayoutIoError> {
+    let path = path.as_ref();
+    let text = if is_json(path) {
+        serde_json::to_string_pretty(layout).map_err(|e| LayoutIoError::Json {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })?
+    } else {
+        write_layout(layout)
+    };
+    std::fs::write(path, text).map_err(|e| LayoutIoError::Write {
+        path: path.to_owned(),
+        source: e,
+    })
+}
+
+/// Reads a layout file — the text format by default, JSON when the
+/// extension is `.json`.
+///
+/// # Errors
+///
+/// [`LayoutIoError`] naming the path on filesystem, parse, or
+/// deserialization failure, including JSON layouts whose placements
+/// reference shapes missing from the library.
+pub fn load_layout<P: AsRef<Path>>(path: P) -> Result<Layout, LayoutIoError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| LayoutIoError::Read {
+        path: path.to_owned(),
+        source: e,
+    })?;
+    if is_json(path) {
+        let layout: Layout = serde_json::from_str(&text).map_err(|e| LayoutIoError::Json {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })?;
+        // serde bypasses `Layout::place`'s check; re-establish the
+        // invariant before handing the layout to the fracturing layer.
+        for (name, _) in layout.placements() {
+            if !layout.shapes().any(|(n, _)| n == name) {
+                return Err(LayoutIoError::Json {
+                    path: path.to_owned(),
+                    message: format!("placement references unknown shape {name:?}"),
+                });
+            }
+        }
+        Ok(layout)
+    } else {
+        parse_layout(&text).map_err(|e| LayoutIoError::Parse {
+            path: path.to_owned(),
+            source: e,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +372,43 @@ mod tests {
                 "{text:?}: got {e}, wanted {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let layout = demo();
+        let path = std::env::temp_dir().join("maskfrac_layout_test.json");
+        save_layout(&layout, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('{'), "JSON on .json paths");
+        let back = load_layout(&path).unwrap();
+        assert_eq!(layout, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn io_errors_name_the_path() {
+        let missing = std::env::temp_dir().join("maskfrac_no_such_layout.txt");
+        let e = load_layout(&missing).unwrap_err();
+        assert!(matches!(e, LayoutIoError::Read { .. }));
+        assert!(e.to_string().contains("maskfrac_no_such_layout.txt"), "{e}");
+
+        let bad = std::env::temp_dir().join("maskfrac_bad_layout.txt");
+        std::fs::write(&bad, "frobnicate\n").unwrap();
+        let e = load_layout(&bad).unwrap_err();
+        assert!(e.to_string().contains("maskfrac_bad_layout.txt"), "{e}");
+        assert!(e.to_string().contains("layout parse error"), "{e}");
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn json_layout_with_dangling_placement_is_rejected() {
+        let path = std::env::temp_dir().join("maskfrac_dangling_layout.json");
+        let text = r#"{"name":"bad","shapes":{},"placements":[["ghost",{"offset":{"x":0,"y":0}}]]}"#;
+        std::fs::write(&path, text).unwrap();
+        let e = load_layout(&path).unwrap_err();
+        assert!(e.to_string().contains("unknown shape"), "{e}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -7,11 +7,16 @@
 //! fracturing cost scales with distinct shapes while shot statistics
 //! scale with placements.
 
-use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
+use maskfrac_baselines::FallbackFracturer;
+use maskfrac_fracture::{FractureConfig, FractureStatus};
 use maskfrac_geom::{Point, Polygon, Rect};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+/// Upper bound on worker threads a layout run will spawn; requests above
+/// it are clamped (and a request of 0 is treated as 1).
+pub const MAX_LAYOUT_THREADS: usize = 256;
 
 /// A placement (translation) of a library shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -124,8 +129,23 @@ pub struct ShapeFractureStats {
     pub instances: usize,
     /// Failing pixels for one instance.
     pub fail_pixels: usize,
-    /// Fracturing runtime for this shape, seconds.
+    /// Fracturing runtime for this shape (all fallback attempts), seconds.
     pub runtime_s: f64,
+    /// Outcome tag: `Ok`/`Degraded` from the model-based rungs,
+    /// `Fallback` when a baseline delivered the shots, `Failed` when
+    /// every rung of the ladder failed (empty shot list).
+    #[serde(default)]
+    pub status: FractureStatus,
+    /// Which method delivered: `"ours"`, `"ours-retry"`, `"proto-eda"`,
+    /// `"conventional"`, or `"none"`.
+    #[serde(default)]
+    pub method: String,
+    /// Failure causes of rungs that did not deliver, if any.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// Fallback-ladder rungs attempted (1 = first try succeeded).
+    #[serde(default)]
+    pub attempts: u32,
 }
 
 /// Result of fracturing a whole layout.
@@ -159,21 +179,58 @@ impl LayoutFractureReport {
     pub fn total_runtime_s(&self) -> f64 {
         self.per_shape.iter().map(|s| s.runtime_s).sum()
     }
+
+    /// Worst per-shape status in the report (`Ok` for an empty layout):
+    /// the layout-level health verdict.
+    pub fn worst_status(&self) -> FractureStatus {
+        self.per_shape
+            .iter()
+            .map(|s| s.status)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Shape count per status, for the run summary.
+    pub fn status_counts(&self) -> BTreeMap<FractureStatus, usize> {
+        let mut counts = BTreeMap::new();
+        for s in &self.per_shape {
+            *counts.entry(s.status).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Names of shapes whose status needs review (anything not `Ok`),
+    /// sorted worst first.
+    pub fn shapes_needing_review(&self) -> Vec<&ShapeFractureStats> {
+        let mut flagged: Vec<&ShapeFractureStats> = self
+            .per_shape
+            .iter()
+            .filter(|s| s.status.needs_review())
+            .collect();
+        flagged.sort_by(|a, b| b.status.cmp(&a.status).then_with(|| a.shape.cmp(&b.shape)));
+        flagged
+    }
 }
 
 /// Fractures every distinct shape of a layout, spreading shapes over
 /// `threads` worker threads (each shape is independent, exactly as the
 /// paper notes). Results are deterministic regardless of thread count.
 ///
-/// # Panics
+/// Each shape runs through the crash-proof
+/// [`FallbackFracturer`] ladder: model-based, a
+/// relaxed model-based retry, then the `proto-eda` and `conventional`
+/// baselines. A shape that panics or errors never takes the run down —
+/// it lands in the report as `Fallback` (baseline shots) or `Failed`
+/// (empty shot list plus the recorded causes).
 ///
-/// Panics if `threads == 0`.
+/// `threads` is clamped to `1..=`[`MAX_LAYOUT_THREADS`]; a request of 0
+/// runs single-threaded instead of panicking.
 pub fn fracture_layout(
     layout: &Layout,
     config: &FractureConfig,
     threads: usize,
 ) -> LayoutFractureReport {
-    assert!(threads > 0, "need at least one worker thread");
+    let threads = threads.clamp(1, MAX_LAYOUT_THREADS);
     let counts = layout.placement_counts();
     let work: Vec<(&str, &Polygon)> = layout
         .shapes()
@@ -186,29 +243,41 @@ pub fn fracture_layout(
     std::thread::scope(|scope| {
         for _ in 0..threads.min(work.len().max(1)) {
             scope.spawn(|| {
-                // One fracturer per worker: Lth derivation is shared per
+                // One ladder per worker: Lth derivation is shared per
                 // thread, shapes pull work-stealing style off the queue.
-                let fracturer = ModelBasedFracturer::new(config.clone());
+                let fracturer = FallbackFracturer::new(config.clone());
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(&(name, polygon)) = work.get(i) else {
                         break;
                     };
-                    let result = fracturer.fracture(polygon);
+                    let started = std::time::Instant::now();
+                    let outcome = fracturer.fracture(polygon);
                     let stats = ShapeFractureStats {
                         shape: name.to_owned(),
-                        shots_per_instance: result.shot_count(),
+                        shots_per_instance: outcome.result.shot_count(),
                         instances: counts[name],
-                        fail_pixels: result.summary.fail_count(),
-                        runtime_s: result.runtime.as_secs_f64(),
+                        fail_pixels: outcome.result.summary.fail_count(),
+                        runtime_s: started.elapsed().as_secs_f64(),
+                        status: outcome.result.status,
+                        method: outcome.method.to_owned(),
+                        error: outcome.error,
+                        attempts: outcome.attempts,
                     };
-                    results.lock().expect("no poisoned lock").push(stats);
+                    // A worker that somehow dies mid-push must not strand
+                    // the run: recover the data from a poisoned lock.
+                    results
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push(stats);
                 }
             });
         }
     });
 
-    let mut per_shape = results.into_inner().expect("no poisoned lock");
+    let mut per_shape = results
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     per_shape.sort_by(|a, b| a.shape.cmp(&b.shape));
     LayoutFractureReport {
         layout: layout.name.clone(),
@@ -290,5 +359,91 @@ mod tests {
         assert!(layout.bbox().is_none());
         let report = fracture_layout(&layout, &FractureConfig::default(), 2);
         assert_eq!(report.total_shots(), 0);
+        assert_eq!(report.worst_status(), FractureStatus::Ok);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_not_fatal() {
+        let report = fracture_layout(&demo_layout(), &FractureConfig::default(), 0);
+        assert_eq!(report.per_shape.len(), 2);
+        assert_eq!(report.total_shots(), 7);
+    }
+
+    #[test]
+    fn clean_layout_is_all_ok_on_the_first_attempt() {
+        let report = fracture_layout(&demo_layout(), &FractureConfig::default(), 2);
+        assert_eq!(report.worst_status(), FractureStatus::Ok);
+        assert!(report.shapes_needing_review().is_empty());
+        for s in &report.per_shape {
+            assert_eq!(s.status, FractureStatus::Ok);
+            assert_eq!(s.method, "ours");
+            assert_eq!(s.attempts, 1);
+            assert!(s.error.is_none());
+        }
+    }
+
+    #[test]
+    fn degenerate_shape_lands_as_fallback_not_abort() {
+        let mut layout = demo_layout();
+        // Thinner than min_shot_size: rejected by the validating front
+        // door, delivered by a baseline rung instead.
+        layout.add_shape("sliver", Polygon::from_rect(Rect::new(0, 0, 60, 4).unwrap()));
+        layout.place("sliver", Placement::at(0, 400));
+        let report = fracture_layout(&layout, &FractureConfig::default(), 2);
+        let sliver = report
+            .per_shape
+            .iter()
+            .find(|s| s.shape == "sliver")
+            .expect("sliver reported");
+        assert_eq!(sliver.status, FractureStatus::Fallback);
+        assert!(sliver.shots_per_instance > 0, "fallback must deliver shots");
+        assert!(sliver.error.as_deref().unwrap_or("").contains("ours:"));
+        assert!(sliver.attempts >= 3);
+        assert_eq!(report.worst_status(), FractureStatus::Fallback);
+        let counts = report.status_counts();
+        assert_eq!(counts[&FractureStatus::Ok], 2);
+        assert_eq!(counts[&FractureStatus::Fallback], 1);
+        let review = report.shapes_needing_review();
+        assert_eq!(review.len(), 1);
+        assert_eq!(review[0].shape, "sliver");
+    }
+
+    #[test]
+    fn injected_panics_never_abort_a_layout_run() {
+        use maskfrac_fracture::{faults, Fault, FaultPlan};
+        let _scope = faults::arm_scoped(FaultPlan::only(42, Fault::Panic, 1.0));
+        let report = fracture_layout(&demo_layout(), &FractureConfig::default(), 2);
+        assert_eq!(report.per_shape.len(), 2);
+        for s in &report.per_shape {
+            assert_eq!(s.status, FractureStatus::Fallback, "{s:?}");
+            assert!(s.shots_per_instance > 0);
+            assert!(s.attempts >= 3);
+            assert!(s.error.as_deref().unwrap_or("").contains("panicked"));
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_with_status_fields() {
+        let stats = ShapeFractureStats {
+            shape: "sq".into(),
+            shots_per_instance: 3,
+            instances: 2,
+            fail_pixels: 0,
+            runtime_s: 0.01,
+            status: FractureStatus::Fallback,
+            method: "proto-eda".into(),
+            error: Some("ours: injected".into()),
+            attempts: 3,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ShapeFractureStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        // Pre-ladder reports (no status fields) still parse.
+        let legacy = r#"{"shape":"sq","shots_per_instance":1,"instances":1,
+                         "fail_pixels":0,"runtime_s":0.1}"#;
+        let back: ShapeFractureStats = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.status, FractureStatus::Ok);
+        assert_eq!(back.attempts, 0);
+        assert!(back.error.is_none());
     }
 }

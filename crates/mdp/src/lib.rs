@@ -10,7 +10,9 @@
 //!
 //! * [`layout`] — a [`layout::Layout`] of named shapes with
 //!   placement, plus deterministic multi-threaded fracturing of all
-//!   shapes ([`layout::fracture_layout`]);
+//!   shapes ([`layout::fracture_layout`]), crash-proofed by a per-shape
+//!   fallback ladder (model-based → relaxed retry → baselines) so one
+//!   pathological shape degrades its own report row instead of the run;
 //! * [`writetime`] — a VSB write-time estimator (shot flash time, stage
 //!   settling, dose) in the spirit of the write-time-estimation work the
 //!   paper cites;
@@ -34,6 +36,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cost;
 pub mod io;
@@ -43,6 +47,11 @@ pub mod writetime;
 
 pub use cost::{CostModel, MaskCostReport};
 pub use ordering::{order_shots, OrderingReport};
-pub use io::{load_layout, parse_layout, save_layout, write_layout};
-pub use layout::{fracture_layout, Layout, LayoutFractureReport, Placement};
+pub use io::{
+    load_layout, parse_layout, save_layout, write_layout, LayoutIoError, ParseLayoutError,
+};
+pub use layout::{
+    fracture_layout, Layout, LayoutFractureReport, Placement, ShapeFractureStats,
+    MAX_LAYOUT_THREADS,
+};
 pub use writetime::{WriteTimeModel, WriteTimeReport};

@@ -87,14 +87,14 @@ pub fn order_shots(shots: &[Rect], max_rounds: usize) -> OrderingReport {
     used[0] = true;
     order.push(0);
     for _ in 1..n {
-        let next = (0..n)
+        let Some(next) = (0..n)
             .filter(|&i| !used[i])
             .min_by(|&a, &b| {
-                dist(centers[current], centers[a])
-                    .partial_cmp(&dist(centers[current], centers[b]))
-                    .expect("finite distances")
+                dist(centers[current], centers[a]).total_cmp(&dist(centers[current], centers[b]))
             })
-            .expect("an unused shot remains");
+        else {
+            break;
+        };
         used[next] = true;
         order.push(next);
         current = next;

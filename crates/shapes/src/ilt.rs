@@ -241,6 +241,84 @@ pub fn generate_ilt_clip_with_srafs(params: &IltParams, sraf_count: usize) -> Il
     IltClipWithSrafs { main, srafs }
 }
 
+
+/// Generates a donut-like ILT region: the main blob with a smaller blob
+/// carved out of its centre (aggressive ILT output is not always simply
+/// connected).
+///
+/// The hole is shrunk until it fits strictly inside the outer blob with a
+/// printable rim (≥ 2σ-scale margin), so the region is always valid.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_shapes::ilt::{generate_ilt_donut, IltParams};
+///
+/// let donut = generate_ilt_donut(&IltParams::default());
+/// assert_eq!(donut.holes().len(), 1);
+/// assert!(donut.area() < donut.outer().area());
+/// ```
+pub fn generate_ilt_donut(params: &IltParams) -> maskfrac_geom::Region {
+    use maskfrac_geom::Region;
+
+    let outer = generate_ilt_clip(&IltParams {
+        // One lobe keeps the outer blob star-convex-ish so a centred hole
+        // always has a rim.
+        lobes: 1,
+        irregularity: params.irregularity.min(0.2),
+        ..params.clone()
+    });
+    // Centre the hole at the blob's interior pole — the point farthest
+    // from the boundary — so the rim is as wide as the blob allows (the
+    // bounding-box centre can sit on a narrow waist).
+    let bbox = outer.bbox();
+    let mut center = Point::new((bbox.x0() + bbox.x1()) / 2, (bbox.y0() + bbox.y1()) / 2);
+    let mut best_depth = -1.0f64;
+    let mut y = bbox.y0();
+    while y <= bbox.y1() {
+        let mut x = bbox.x0();
+        while x <= bbox.x1() {
+            if outer.contains_f64(x as f64, y as f64) {
+                let d = outer.distance_to_boundary_f64(x as f64, y as f64);
+                if d > best_depth {
+                    best_depth = d;
+                    center = Point::new(x, y);
+                }
+            }
+            x += 3;
+        }
+        y += 3;
+    }
+
+    let mut scale = 0.34;
+    for _ in 0..6 {
+        let hole = generate_ilt_clip(&IltParams {
+            base_radius: params.base_radius * scale,
+            irregularity: params.irregularity.min(0.15),
+            harmonics: 2,
+            lobes: 1,
+            elongation: 1.2,
+            seed: params.seed ^ 0xD0_4071,
+        });
+        let hole_bbox = hole.bbox();
+        let hole = hole.translate(Point::new(
+            center.x - (hole_bbox.x0() + hole_bbox.x1()) / 2,
+            center.y - (hole_bbox.y0() + hole_bbox.y1()) / 2,
+        ));
+        // Printable rim: every hole vertex at least ~13 nm (2σ) inside.
+        let rim_ok = hole.vertices().iter().all(|v| {
+            outer.contains_f64(v.x as f64, v.y as f64)
+                && outer.distance_to_boundary_f64(v.x as f64, v.y as f64) >= 13.0
+        });
+        if rim_ok {
+            return Region::new(outer, vec![hole]).expect("hole verified inside");
+        }
+        scale *= 0.8;
+    }
+    // Pathologically small outer blob: fall back to no hole.
+    Region::simple(outer)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,81 +464,4 @@ mod tests {
         });
         assert!(large.bbox().area() >= small.bbox().area());
     }
-}
-
-/// Generates a donut-like ILT region: the main blob with a smaller blob
-/// carved out of its centre (aggressive ILT output is not always simply
-/// connected).
-///
-/// The hole is shrunk until it fits strictly inside the outer blob with a
-/// printable rim (≥ 2σ-scale margin), so the region is always valid.
-///
-/// # Example
-///
-/// ```
-/// use maskfrac_shapes::ilt::{generate_ilt_donut, IltParams};
-///
-/// let donut = generate_ilt_donut(&IltParams::default());
-/// assert_eq!(donut.holes().len(), 1);
-/// assert!(donut.area() < donut.outer().area());
-/// ```
-pub fn generate_ilt_donut(params: &IltParams) -> maskfrac_geom::Region {
-    use maskfrac_geom::Region;
-
-    let outer = generate_ilt_clip(&IltParams {
-        // One lobe keeps the outer blob star-convex-ish so a centred hole
-        // always has a rim.
-        lobes: 1,
-        irregularity: params.irregularity.min(0.2),
-        ..params.clone()
-    });
-    // Centre the hole at the blob's interior pole — the point farthest
-    // from the boundary — so the rim is as wide as the blob allows (the
-    // bounding-box centre can sit on a narrow waist).
-    let bbox = outer.bbox();
-    let mut center = Point::new((bbox.x0() + bbox.x1()) / 2, (bbox.y0() + bbox.y1()) / 2);
-    let mut best_depth = -1.0f64;
-    let mut y = bbox.y0();
-    while y <= bbox.y1() {
-        let mut x = bbox.x0();
-        while x <= bbox.x1() {
-            if outer.contains_f64(x as f64, y as f64) {
-                let d = outer.distance_to_boundary_f64(x as f64, y as f64);
-                if d > best_depth {
-                    best_depth = d;
-                    center = Point::new(x, y);
-                }
-            }
-            x += 3;
-        }
-        y += 3;
-    }
-
-    let mut scale = 0.34;
-    for _ in 0..6 {
-        let hole = generate_ilt_clip(&IltParams {
-            base_radius: params.base_radius * scale,
-            irregularity: params.irregularity.min(0.15),
-            harmonics: 2,
-            lobes: 1,
-            elongation: 1.2,
-            seed: params.seed ^ 0xD0_4071,
-        });
-        let hole_bbox = hole.bbox();
-        let hole = hole.translate(Point::new(
-            center.x - (hole_bbox.x0() + hole_bbox.x1()) / 2,
-            center.y - (hole_bbox.y0() + hole_bbox.y1()) / 2,
-        ));
-        // Printable rim: every hole vertex at least ~13 nm (2σ) inside.
-        let rim_ok = hole.vertices().iter().all(|v| {
-            outer.contains_f64(v.x as f64, v.y as f64)
-                && outer.distance_to_boundary_f64(v.x as f64, v.y as f64) >= 13.0
-        });
-        if rim_ok {
-            return Region::new(outer, vec![hole]).expect("hole verified inside");
-        }
-        scale *= 0.8;
-    }
-    // Pathologically small outer blob: fall back to no hole.
-    Region::simple(outer)
 }

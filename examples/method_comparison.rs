@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if m.name() != "conventional"
             && best
                 .as_ref()
-                .map_or(true, |(s, _)| r.shot_count() < *s)
+                .is_none_or(|(s, _)| r.shot_count() < *s)
         {
             best = Some((r.shot_count(), m.name().to_owned()));
         }

@@ -1,7 +1,8 @@
 //! `maskfrac` — command-line mask fracturing.
 //!
 //! ```text
-//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json]
+//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS]
+//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--deadline-ms MS]
 //! maskfrac generate-ilt <out.json> [--seed N] [--radius NM]
 //! maskfrac generate-benchmark <out.json> [--shots K] [--seed N]
 //! maskfrac verify <shape.json>
@@ -11,7 +12,11 @@
 //!
 //! Shapes travel as the JSON format of
 //! [`maskfrac::shapes::io::ShapeFile`]; methods are `ours` (default),
-//! `gsc`, `mp`, `proto-eda`, `conventional`, `exact`.
+//! `gsc`, `mp`, `proto-eda`, `conventional`, `exact`. Unknown flags,
+//! malformed numbers, and degenerate shapes are reported with a typed
+//! message and a non-zero exit instead of a panic; `--deadline-ms`
+//! bounds the refinement wall clock (best-so-far results are tagged
+//! `degraded`).
 
 use maskfrac::baselines::{
     Conventional, ExhaustiveOptimal, GreedySetCover, MaskFracturer, MatchingPursuit, Ours,
@@ -59,17 +64,72 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Rejects flags the subcommand does not know, so a typo like
+/// `--thread 4` fails loudly instead of being silently ignored.
+fn check_flags(args: &[String], allowed: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
+    for a in args.iter().filter(|a| a.starts_with("--")) {
+        if !allowed.contains(&a.as_str()) {
+            return Err(if allowed.is_empty() {
+                format!("unknown flag {a} (this subcommand takes no flags)").into()
+            } else {
+                format!("unknown flag {a} (expected one of: {})", allowed.join(", ")).into()
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Parses an optional numeric flag, naming the flag and the offending
+/// value in the error.
+fn parsed_flag<T>(args: &[String], flag: &str) -> Result<Option<T>, Box<dyn std::error::Error>>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<T>()
+            .map(Some)
+            .map_err(|e| format!("{flag} {raw:?}: {e}").into()),
+    }
+}
+
+/// Builds the fracture configuration shared by the fracture subcommands,
+/// honouring `--deadline-ms`.
+fn config_from_flags(args: &[String]) -> Result<FractureConfig, Box<dyn std::error::Error>> {
+    let mut cfg = FractureConfig::default();
+    if let Some(ms) = parsed_flag::<u64>(args, "--deadline-ms")? {
+        if ms == 0 {
+            return Err("--deadline-ms must be positive".into());
+        }
+        cfg.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    Ok(cfg)
+}
+
 fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    check_flags(args, &["--method", "--svg", "--out", "--deadline-ms"])?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("fracture needs a shape.json path")?;
     let file = ShapeFile::load(path)?;
     let method = flag_value(args, "--method").unwrap_or("ours");
-    let cfg = FractureConfig::default();
+    let cfg = config_from_flags(args)?;
 
     let fracturer: Box<dyn MaskFracturer> = match method {
-        "ours" => Box::new(Ours::new(cfg.clone())),
+        "ours" => {
+            // The validating front door: degenerate shapes come back as a
+            // typed error naming the shape, not a panic.
+            let ours = Ours::new(cfg.clone());
+            let result = ours
+                .inner()
+                .try_fracture(&file.polygon)
+                .map_err(|e| format!("shape {:?}: {e}", file.id))?;
+            report(&file.id, "ours", &result, args, &file)?;
+            return Ok(());
+        }
         "gsc" => Box::new(GreedySetCover::new(cfg.clone())),
         "mp" => Box::new(MatchingPursuit::new(cfg.clone())),
         "proto-eda" => Box::new(ProtoEda::new(cfg.clone())),
@@ -95,10 +155,11 @@ fn report(
     file: &ShapeFile,
 ) -> Result<(), Box<dyn std::error::Error>> {
     println!(
-        "{id}: {method} -> {} shots, {} failing pixels, {:.2} s",
+        "{id}: {method} -> {} shots, {} failing pixels, {:.2} s [{}]",
         result.shot_count(),
         result.summary.fail_count(),
-        result.runtime.as_secs_f64()
+        result.runtime.as_secs_f64(),
+        result.status
     );
     if let Some(out) = flag_value(args, "--out") {
         let saved = ShapeFile {
@@ -127,11 +188,22 @@ fn report(
 }
 
 fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    check_flags(args, &["--threads", "--deadline-ms"])?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
-        .ok_or("fracture-layout needs a layout.txt path")?;
-    let threads: usize = flag_value(args, "--threads").unwrap_or("4").parse()?;
+        .ok_or("fracture-layout needs a layout.txt or layout.json path")?;
+    let threads = parsed_flag::<usize>(args, "--threads")?.unwrap_or(4);
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if threads > maskfrac::mdp::MAX_LAYOUT_THREADS {
+        return Err(format!(
+            "--threads {threads} exceeds the cap of {}",
+            maskfrac::mdp::MAX_LAYOUT_THREADS
+        )
+        .into());
+    }
     let layout = maskfrac::mdp::load_layout(path)?;
     println!(
         "layout {:?}: {} shapes, {} instances",
@@ -139,13 +211,17 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
         layout.shape_count(),
         layout.instance_count()
     );
-    let cfg = FractureConfig::default();
-    let report = maskfrac::mdp::fracture_layout(&layout, &cfg, threads.max(1));
+    let cfg = config_from_flags(args)?;
+    let report = maskfrac::mdp::fracture_layout(&layout, &cfg, threads);
     for s in &report.per_shape {
         println!(
-            "  {:16} {:>4} shots/instance x {:>5} instances ({} failing px, {:.2} s)",
-            s.shape, s.shots_per_instance, s.instances, s.fail_pixels, s.runtime_s
+            "  {:16} {:>4} shots/instance x {:>5} instances ({} failing px, {:.2} s) [{} via {}]",
+            s.shape, s.shots_per_instance, s.instances, s.fail_pixels, s.runtime_s,
+            s.status, s.method
         );
+        if let Some(cause) = &s.error {
+            println!("    note: {cause}");
+        }
     }
     let total = report.total_shots() as u64;
     let wt = maskfrac::mdp::WriteTimeModel::default().estimate(total);
@@ -153,16 +229,27 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
         "total {total} shots -> estimated write time {:.2} s beam + {:.2} s stage",
         wt.beam_s, wt.stage_s
     );
+    println!("layout status: {}", report.worst_status());
+    let failed: Vec<&str> = report
+        .per_shape
+        .iter()
+        .filter(|s| !s.status.is_usable())
+        .map(|s| s.shape.as_str())
+        .collect();
+    if !failed.is_empty() {
+        return Err(format!("fracturing failed for shape(s): {}", failed.join(", ")).into());
+    }
     Ok(())
 }
 
 fn cmd_generate_ilt(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    check_flags(args, &["--seed", "--radius"])?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("generate-ilt needs an output path")?;
-    let seed: u64 = flag_value(args, "--seed").unwrap_or("0").parse()?;
-    let radius: f64 = flag_value(args, "--radius").unwrap_or("45").parse()?;
+    let seed: u64 = parsed_flag(args, "--seed")?.unwrap_or(0);
+    let radius: f64 = parsed_flag(args, "--radius")?.unwrap_or(45.0);
     let clip = generate_ilt_clip(&IltParams {
         base_radius: radius,
         seed,
@@ -183,12 +270,13 @@ fn cmd_generate_ilt(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_generate_benchmark(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    check_flags(args, &["--seed", "--shots"])?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("generate-benchmark needs an output path")?;
-    let seed: u64 = flag_value(args, "--seed").unwrap_or("0").parse()?;
-    let shots: usize = flag_value(args, "--shots").unwrap_or("5").parse()?;
+    let seed: u64 = parsed_flag(args, "--seed")?.unwrap_or(0);
+    let shots: usize = parsed_flag(args, "--shots")?.unwrap_or(5);
     let cfg = FractureConfig::default();
     let shape = generate_benchmark(
         &cfg.model(),
@@ -210,6 +298,7 @@ fn cmd_generate_benchmark(args: &[String]) -> Result<(), Box<dyn std::error::Err
 
 /// Independently re-simulates the shots stored in a shape file.
 fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    check_flags(args, &[])?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))

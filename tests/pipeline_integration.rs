@@ -115,3 +115,97 @@ fn ours_beats_proto_surrogate_on_suite_total() {
         "ours {ours_total} vs proto {proto_total}"
     );
 }
+
+#[test]
+fn degenerate_targets_yield_typed_errors_not_panics() {
+    use maskfrac::fracture::{FractureError, TargetDefect};
+    use maskfrac::geom::{Point, Polygon, Rect};
+    let fracturer = ModelBasedFracturer::new(fast_config());
+
+    let sliver = Polygon::from_rect(Rect::new(0, 0, 60, 4).unwrap());
+    assert!(matches!(
+        fracturer.try_fracture(&sliver).unwrap_err(),
+        FractureError::InvalidTarget(TargetDefect::TooSmall { .. })
+    ));
+
+    let pinch = Polygon::new(vec![
+        Point::new(0, 0),
+        Point::new(30, 0),
+        Point::new(30, 30),
+        Point::new(60, 30),
+        Point::new(60, 60),
+        Point::new(30, 60),
+        Point::new(30, 30),
+        Point::new(0, 30),
+    ])
+    .unwrap();
+    assert!(matches!(
+        fracturer.try_fracture(&pinch).unwrap_err(),
+        FractureError::InvalidTarget(TargetDefect::NonSimple { .. })
+    ));
+
+    // A bbox that would dwarf the intensity-map grid is rejected by
+    // arithmetic, not by an allocation attempt.
+    let huge = Polygon::from_rect(Rect::new(0, 0, 500_000, 500_000).unwrap());
+    let started = std::time::Instant::now();
+    assert!(matches!(
+        fracturer.try_fracture(&huge).unwrap_err(),
+        FractureError::InvalidTarget(TargetDefect::TooLarge { .. })
+    ));
+    assert!(started.elapsed() < std::time::Duration::from_secs(1));
+}
+
+#[test]
+fn deadline_bounded_run_returns_within_two_deadlines() {
+    use std::time::{Duration, Instant};
+    // Generous budget: debug-mode classification/approximation (which the
+    // deadline does not bound) must fit comfortably inside the 2x slack.
+    let deadline = Duration::from_millis(1000);
+    let fracturer = ModelBasedFracturer::new(FractureConfig {
+        deadline: Some(deadline),
+        ..fast_config()
+    });
+    for clip in ilt_suite() {
+        if clip.id != "Clip-3" {
+            continue;
+        }
+        let started = Instant::now();
+        let result = fracturer.fracture(&clip.polygon);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed <= 2 * deadline,
+            "{}: {} ms against a {} ms budget",
+            clip.id,
+            elapsed.as_millis(),
+            deadline.as_millis()
+        );
+        // Best-so-far semantics: a usable (Ok or Degraded) deliverable,
+        // and the tag must be honest about feasibility.
+        assert!(result.status.is_usable());
+        assert_eq!(
+            result.status == maskfrac::fracture::FractureStatus::Ok,
+            result.summary.is_feasible()
+        );
+    }
+}
+
+#[test]
+fn layout_fallback_ladder_survives_a_degenerate_shape_end_to_end() {
+    use maskfrac::geom::{Polygon, Rect};
+    use maskfrac::mdp::{fracture_layout, Layout, Placement};
+    let mut layout = Layout::new("mixed");
+    layout.add_shape("good", Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap()));
+    layout.add_shape("sliver", Polygon::from_rect(Rect::new(0, 0, 60, 4).unwrap()));
+    layout.place("good", Placement::at(0, 0));
+    layout.place("sliver", Placement::at(0, 200));
+    let report = fracture_layout(&layout, &fast_config(), 2);
+    assert_eq!(report.per_shape.len(), 2);
+    for s in &report.per_shape {
+        assert!(s.status.is_usable(), "{}: {:?}", s.shape, s.status);
+        assert!(s.shots_per_instance > 0, "{} delivered no shots", s.shape);
+    }
+    assert_eq!(
+        report.worst_status(),
+        maskfrac::fracture::FractureStatus::Fallback
+    );
+}
