@@ -97,15 +97,18 @@ impl FallbackFracturer {
     /// Fractures one shape, descending the ladder until a rung delivers.
     /// Panics in any rung are caught and recorded, not propagated.
     pub fn fracture(&self, target: &Polygon) -> FallbackOutcome {
+        let _ladder_span = maskfrac_obs::span("fallback.ladder");
         let start = Instant::now();
         let mut errors: Vec<String> = Vec::new();
         let mut attempts = 0u32;
 
         for (method, fracturer) in [("ours", &self.primary), ("ours-retry", &self.relaxed)] {
             attempts += 1;
+            maskfrac_obs::counter(rung_attempt_counter(method)).incr();
             match fracturer {
                 Ok(f) => match guarded(|| f.try_fracture(target)) {
                     Ok(result) => {
+                        maskfrac_obs::counter(rung_delivered_counter(method)).incr();
                         return FallbackOutcome {
                             result,
                             method,
@@ -113,9 +116,15 @@ impl FallbackFracturer {
                             error: join_errors(&errors),
                         }
                     }
-                    Err(cause) => errors.push(format!("{method}: {cause}")),
+                    Err(cause) => {
+                        maskfrac_obs::counter!("fallback.rung_failures").incr();
+                        errors.push(format!("{method}: {cause}"));
+                    }
                 },
-                Err(cause) => errors.push(format!("{method}: {cause}")),
+                Err(cause) => {
+                    maskfrac_obs::counter!("fallback.rung_failures").incr();
+                    errors.push(format!("{method}: {cause}"));
+                }
             }
         }
 
@@ -128,9 +137,12 @@ impl FallbackFracturer {
         ];
         for (method, rung) in rungs {
             attempts += 1;
+            maskfrac_obs::counter(rung_attempt_counter(method)).incr();
             match guarded(|| Ok(rung())) {
                 Ok(mut result) => {
                     result.status = FractureStatus::Fallback;
+                    maskfrac_obs::counter(rung_delivered_counter(method)).incr();
+                    maskfrac_obs::counter!("fracture.status.fallback").incr();
                     return FallbackOutcome {
                         result,
                         method,
@@ -138,10 +150,14 @@ impl FallbackFracturer {
                         error: join_errors(&errors),
                     };
                 }
-                Err(cause) => errors.push(format!("{method}: {cause}")),
+                Err(cause) => {
+                    maskfrac_obs::counter!("fallback.rung_failures").incr();
+                    errors.push(format!("{method}: {cause}"));
+                }
             }
         }
 
+        maskfrac_obs::counter!("fracture.status.failed").incr();
         FallbackOutcome {
             result: FractureResult {
                 shots: Vec::new(),
@@ -159,6 +175,27 @@ impl FallbackFracturer {
             attempts,
             error: join_errors(&errors),
         }
+    }
+}
+
+/// Counter name for attempts of one ladder rung (names are interned
+/// statics because the metric registry keys on `&'static str`).
+fn rung_attempt_counter(method: &str) -> &'static str {
+    match method {
+        "ours" => "fallback.rung.ours.attempts",
+        "ours-retry" => "fallback.rung.ours-retry.attempts",
+        "proto-eda" => "fallback.rung.proto-eda.attempts",
+        _ => "fallback.rung.conventional.attempts",
+    }
+}
+
+/// Counter name for deliveries of one ladder rung.
+fn rung_delivered_counter(method: &str) -> &'static str {
+    match method {
+        "ours" => "fallback.rung.ours.delivered",
+        "ours-retry" => "fallback.rung.ours-retry.delivered",
+        "proto-eda" => "fallback.rung.proto-eda.delivered",
+        _ => "fallback.rung.conventional.delivered",
     }
 }
 

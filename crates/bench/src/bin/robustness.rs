@@ -17,11 +17,15 @@
 //! any invariant is violated.
 //!
 //! Run with `cargo run -p maskfrac-bench --release --bin robustness
-//! [-- --inject]`.
+//! [-- --inject]`. Both modes honour `--trace` (stderr span tree) and
+//! `--metrics-out <path>` (run-report copy), and always write the
+//! machine-readable run report `results/BENCH_robustness.json` (see
+//! `docs/observability.md`).
 
 use maskfrac_baselines::{FallbackFracturer, GreedySetCover, MaskFracturer, Ours, ProtoEda};
-use maskfrac_bench::save_json;
+use maskfrac_bench::{apply_obs_flags, finish_run_report, save_json};
 use maskfrac_fracture::{faults, FaultPlan, FractureConfig, FractureStatus};
+use maskfrac_obs::ShapeRecord;
 use maskfrac_shapes::ilt::{generate_ilt_clip, IltParams};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -48,13 +52,19 @@ fn mean_and_std(values: &[f64]) -> (f64, f64) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--inject") {
+    let started = Instant::now();
+    let metrics_out = apply_obs_flags(&args);
+    let mut shapes = Vec::new();
+    let code = if args.iter().any(|a| a == "--inject") {
         let seed = flag_value(&args, "--seed").unwrap_or(0xF417);
         let rate = flag_value(&args, "--rate").unwrap_or(0.3);
-        return injection_harness(seed, rate);
-    }
-    ranking_study();
-    ExitCode::SUCCESS
+        injection_harness(seed, rate, &mut shapes)
+    } else {
+        ranking_study(&mut shapes);
+        ExitCode::SUCCESS
+    };
+    finish_run_report("robustness", started, metrics_out.as_deref(), shapes);
+    code
 }
 
 fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
@@ -67,7 +77,7 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 /// Runs the benchmark suite through the fallback ladder under armed
 /// deterministic faults, then a deadline-bounded layout run. Returns a
 /// non-zero exit code if any robustness invariant is violated.
-fn injection_harness(seed: u64, rate: f64) -> ExitCode {
+fn injection_harness(seed: u64, rate: f64, shapes: &mut Vec<ShapeRecord>) -> ExitCode {
     println!("== Fault injection: suite under panics/timeouts/infeasible residues ==");
     println!("plan: seed {seed}, per-kind rate {rate:.2}");
     let cfg = FractureConfig::default();
@@ -91,6 +101,15 @@ fn injection_harness(seed: u64, rate: f64) -> ExitCode {
         for (id, polygon) in &clips {
             let out = ladder.fracture(polygon);
             *status_counts.entry(out.result.status).or_insert(0) += 1;
+            shapes.push(ShapeRecord {
+                id: id.clone(),
+                status: out.result.status.label().to_owned(),
+                method: out.method.to_owned(),
+                shots: out.result.shot_count(),
+                fail_pixels: out.result.summary.fail_count(),
+                runtime_s: out.result.runtime.as_secs_f64(),
+                attempts: out.attempts as usize,
+            });
             println!(
                 "  {:10} [{} via {}] {} shots in {} attempt(s){}",
                 id,
@@ -185,7 +204,7 @@ fn injection_harness(seed: u64, rate: f64) -> ExitCode {
     }
 }
 
-fn ranking_study() {
+fn ranking_study(shapes: &mut Vec<ShapeRecord>) {
     let cfg = FractureConfig::default();
     let ours = Ours::new(cfg.clone());
     let proto = ProtoEda::new(cfg.clone());
@@ -230,6 +249,15 @@ fn ranking_study() {
             ours_fails: r_ours.summary.fail_count(),
             proto_shots: r_proto.shot_count(),
             gsc_shots: r_gsc.shot_count(),
+        });
+        shapes.push(ShapeRecord {
+            id: format!("random-clip-{k}"),
+            status: r_ours.status.label().to_owned(),
+            method: "ours".to_owned(),
+            shots: r_ours.shot_count(),
+            fail_pixels: r_ours.summary.fail_count(),
+            runtime_s: r_ours.runtime.as_secs_f64(),
+            attempts: 1,
         });
     }
 

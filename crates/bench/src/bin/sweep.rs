@@ -7,9 +7,13 @@
 //! makes tight features harder, so the trend is not monotone everywhere.
 //!
 //! Run with `cargo run -p maskfrac-bench --release --bin sweep`.
+//! Honours `--trace` and `--metrics-out <path>`, and always writes the
+//! machine-readable run report `results/BENCH_sweep.json` (see
+//! `docs/observability.md`).
 
-use maskfrac_bench::save_json;
+use maskfrac_bench::{apply_obs_flags, finish_run_report, save_json};
 use maskfrac_fracture::{FractureConfig, ModelBasedFracturer};
+use maskfrac_obs::ShapeRecord;
 use serde::Serialize;
 
 // Fields are consumed through Serialize (JSON rows), not read in Rust.
@@ -26,7 +30,7 @@ struct SweepRow {
 
 const SWEEP_CLIPS: [&str; 3] = ["Clip-1", "Clip-5", "Clip-10"];
 
-fn run_point(gamma: f64, sigma: f64) -> SweepRow {
+fn run_point(gamma: f64, sigma: f64, shapes: &mut Vec<ShapeRecord>) -> SweepRow {
     let cfg = FractureConfig {
         gamma,
         sigma,
@@ -43,6 +47,15 @@ fn run_point(gamma: f64, sigma: f64) -> SweepRow {
         total_shots += r.shot_count();
         total_fail_pixels += r.summary.fail_count();
         total_runtime_s += r.runtime.as_secs_f64();
+        shapes.push(ShapeRecord {
+            id: format!("g{gamma}-s{sigma}:{id}"),
+            status: r.status.label().to_owned(),
+            method: "ours".to_owned(),
+            shots: r.shot_count(),
+            fail_pixels: r.summary.fail_count(),
+            runtime_s: r.runtime.as_secs_f64(),
+            attempts: 1,
+        });
     }
     let row = SweepRow {
         gamma,
@@ -60,12 +73,16 @@ fn run_point(gamma: f64, sigma: f64) -> SweepRow {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let started = std::time::Instant::now();
+    let metrics_out = apply_obs_flags(&args);
     println!("== Parameter sweep over {} clips ==", SWEEP_CLIPS.len());
     let mut rows = Vec::new();
+    let mut shapes = Vec::new();
 
     println!("\nCD tolerance sweep (sigma = 6.25 nm):");
     for gamma in [1.0, 1.5, 2.0, 3.0, 4.0] {
-        rows.push(run_point(gamma, 6.25));
+        rows.push(run_point(gamma, 6.25, &mut shapes));
     }
 
     println!("\nblur sweep (gamma = 2 nm):");
@@ -73,8 +90,9 @@ fn main() {
         if sigma == 6.25 {
             continue; // already measured above
         }
-        rows.push(run_point(2.0, sigma));
+        rows.push(run_point(2.0, sigma, &mut shapes));
     }
 
     save_json("sweep.json", &rows);
+    finish_run_report("sweep", started, metrics_out.as_deref(), shapes);
 }

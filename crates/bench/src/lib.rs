@@ -128,6 +128,45 @@ pub fn save_json<T: Serialize>(filename: &str, value: &T) {
     println!("wrote {}", path.display());
 }
 
+/// Applies the observability flags shared by every bench binary:
+/// `--trace` switches on the stderr span tree, `--metrics-out <path>`
+/// selects an extra destination for the run report. Returns that path,
+/// if given.
+pub fn apply_obs_flags(args: &[String]) -> Option<PathBuf> {
+    if args.iter().any(|a| a == "--trace") {
+        maskfrac_obs::set_trace(true);
+    }
+    args.iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Captures the global metrics into a validated
+/// [`RunReport`](maskfrac_obs::RunReport) and writes it as
+/// `results/BENCH_<binary>.json` (the machine-readable side of each
+/// harness run), plus to `metrics_out` when the caller passed
+/// `--metrics-out`.
+pub fn finish_run_report(
+    binary: &str,
+    started: std::time::Instant,
+    metrics_out: Option<&Path>,
+    shapes: Vec<maskfrac_obs::ShapeRecord>,
+) -> maskfrac_obs::RunReport {
+    let report = maskfrac_obs::RunReport::capture(binary, started).with_shapes(shapes);
+    if let Err(e) = report.validate() {
+        eprintln!("warning: run report failed validation: {e}");
+    }
+    let default_path = results_dir().join(format!("BENCH_{binary}.json"));
+    report.save(&default_path).expect("can write run report");
+    println!("wrote {}", default_path.display());
+    if let Some(path) = metrics_out {
+        report.save(path).expect("can write run report");
+        println!("wrote {}", path.display());
+    }
+    report
+}
+
 /// Prints one table row in the paper's layout.
 pub fn print_clip_row(result: &ClipResult) {
     print!("{:8}", result.clip);

@@ -135,6 +135,7 @@ impl IntensityMap {
         if xs.is_empty() || ys.is_empty() {
             return;
         }
+        maskfrac_obs::counter!("ebeam.kernel.convolutions").incr();
         // Separable profile: one edge factor per row/column.
         let fx: Vec<f64> = xs
             .clone()

@@ -69,6 +69,7 @@ pub fn pixel_fails(class: PixelClass, intensity: f64, rho: f64) -> bool {
 /// Panics if the classification and map frames differ.
 pub fn evaluate(cls: &Classification, map: &IntensityMap) -> FailureSummary {
     assert_eq!(cls.frame(), map.frame(), "frames must match");
+    maskfrac_obs::counter!("ebeam.intensity.evaluations").incr();
     let rho = map.model().rho();
     let mut summary = FailureSummary::default();
     for iy in 0..cls.frame().height() {

@@ -295,22 +295,35 @@ pub fn approximate_fracture_region(
     cfg: &FractureConfig,
     lth: f64,
 ) -> ApproxFracture {
-    let simplified = simplify_ring(target.outer(), cfg.gamma);
+    let _approx_span = maskfrac_obs::span("fracture.approx");
+    let simplified = {
+        let _span = maskfrac_obs::span("fracture.approx.simplify");
+        simplify_ring(target.outer(), cfg.gamma)
+    };
     let axis_shift = maskfrac_ebeam::lth::corner_inset_per_axis(model);
     let perp_shift = maskfrac_ebeam::lth::corner_inset_diagonal(model);
-    let mut raw = extract_shot_corners(&simplified, lth, axis_shift, perp_shift);
-    for hole in target.holes() {
-        let hole_simplified = simplify_ring(hole, cfg.gamma);
-        let mut ring = hole_simplified.vertices().to_vec();
-        ring.reverse(); // interior of the region on the left
-        raw.extend(crate::corner::extract_shot_corners_from_ring(
-            &ring, lth, axis_shift, perp_shift,
-        ));
-    }
-    let corners = cluster_corners(&raw, lth);
-    let graph = build_corner_graph(&corners, cls, cfg);
-    let color_classes = clique_partition(&graph, cfg.coloring);
+    let corners = {
+        let _span = maskfrac_obs::span("fracture.approx.corners");
+        let mut raw = extract_shot_corners(&simplified, lth, axis_shift, perp_shift);
+        for hole in target.holes() {
+            let hole_simplified = simplify_ring(hole, cfg.gamma);
+            let mut ring = hole_simplified.vertices().to_vec();
+            ring.reverse(); // interior of the region on the left
+            raw.extend(crate::corner::extract_shot_corners_from_ring(
+                &ring, lth, axis_shift, perp_shift,
+            ));
+        }
+        cluster_corners(&raw, lth)
+    };
+    maskfrac_obs::counter!("fracture.approx.corner_points").add(corners.len() as u64);
+    let color_classes = {
+        let _span = maskfrac_obs::span("fracture.approx.color");
+        let graph = build_corner_graph(&corners, cls, cfg);
+        clique_partition(&graph, cfg.coloring)
+    };
+    maskfrac_obs::counter!("fracture.approx.color_classes").add(color_classes.len() as u64);
 
+    let _place_span = maskfrac_obs::span("fracture.approx.place");
     let mut shots: Vec<Rect> = Vec::with_capacity(color_classes.len());
     for class in &color_classes {
         let members: Vec<ShotCorner> = class.iter().map(|&i| corners[i]).collect();

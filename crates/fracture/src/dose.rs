@@ -128,6 +128,7 @@ pub fn try_polish_doses(
             message: format!("step {} must be strictly positive", options.step),
         });
     }
+    let _span = maskfrac_obs::span("fracture.dose");
     let mut dosed: Vec<DosedShot> = shots
         .iter()
         .map(|&rect| DosedShot { rect, dose: 1.0 })

@@ -229,12 +229,18 @@ impl ModelBasedFracturer {
         target: &Region,
         deadline: Option<Instant>,
     ) -> (FractureResult, ApproxFracture, RefineOutcome) {
+        let _shape_span = maskfrac_obs::span("fracture.shape");
         let start = Instant::now();
-        let cls = self.classify_region(target);
+        let cls = {
+            let _span = maskfrac_obs::span("fracture.classify");
+            self.classify_region(target)
+        };
         let approx = approximate_fracture_region(target, &cls, &self.model, &self.config, self.lth);
         let mut outcome = refine_until(&cls, &self.model, &self.config, approx.shots.clone(), deadline);
         let deadline_over = || deadline.is_some_and(|d| Instant::now() >= d);
         if !outcome.summary.is_feasible() && !deadline_over() {
+            let _restart_span = maskfrac_obs::span("fracture.restart");
+            maskfrac_obs::counter!("fracture.restarts").incr();
             // Robustness restart: the coloring seed occasionally lands in a
             // basin Algorithm 1 cannot leave (offset staircase arms where
             // every single-edge move trades on- for off-violations).
@@ -290,10 +296,16 @@ impl ModelBasedFracturer {
         // Feasible is Ok even when the deadline cut the run short — the
         // deliverable is proven. Infeasible best-effort is Degraded.
         let status = if outcome.summary.is_feasible() {
+            maskfrac_obs::counter!("fracture.status.ok").incr();
             FractureStatus::Ok
         } else {
+            maskfrac_obs::counter!("fracture.status.degraded").incr();
             FractureStatus::Degraded
         };
+        maskfrac_obs::counter!("fracture.shots_emitted").add(outcome.shots.len() as u64);
+        maskfrac_obs::registry()
+            .histogram("fracture.shots_per_shape")
+            .record(outcome.shots.len() as f64);
         let result = FractureResult {
             shots: outcome.shots.clone(),
             summary: outcome.summary,

@@ -79,6 +79,7 @@ pub fn refine_until(
     initial: Vec<Rect>,
     deadline: Option<std::time::Instant>,
 ) -> RefineOutcome {
+    let _span = maskfrac_obs::span("fracture.refine");
     let mut shots = initial;
     let mut map = IntensityMap::new(model.clone(), cls.frame());
     for s in &shots {
@@ -180,6 +181,10 @@ pub fn refine_until(
         best_summary = final_summary;
     }
 
+    maskfrac_obs::counter!("fracture.refine.iterations").add(iterations as u64);
+    if deadline_hit {
+        maskfrac_obs::counter!("fracture.refine.deadline_hits").incr();
+    }
     RefineOutcome {
         shots: best_shots,
         summary: best_summary,
@@ -288,6 +293,7 @@ pub fn reduce_shots_until(
     shots: Vec<Rect>,
     deadline: Option<std::time::Instant>,
 ) -> RefineOutcome {
+    let _span = maskfrac_obs::span("fracture.reduce");
     const SWEEP_CANDIDATES: usize = 6;
     let budget_cfg = FractureConfig {
         max_iterations: 120,

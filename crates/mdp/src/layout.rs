@@ -11,7 +11,7 @@ use maskfrac_baselines::FallbackFracturer;
 use maskfrac_fracture::{FractureConfig, FractureStatus};
 use maskfrac_geom::{Point, Polygon, Rect};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
 /// Upper bound on worker threads a layout run will spawn; requests above
@@ -212,6 +212,45 @@ impl LayoutFractureReport {
     }
 }
 
+/// One geometry's fracturing outcome, shared between identically-shaped
+/// library entries by the dedup cache in [`fracture_layout`].
+#[derive(Debug, Clone)]
+struct CachedShapeOutcome {
+    shots_per_instance: usize,
+    fail_pixels: usize,
+    status: FractureStatus,
+    method: String,
+    error: Option<String>,
+    attempts: u32,
+}
+
+impl CachedShapeOutcome {
+    fn into_stats(self, shape: &str, instances: usize, runtime_s: f64) -> ShapeFractureStats {
+        ShapeFractureStats {
+            shape: shape.to_owned(),
+            shots_per_instance: self.shots_per_instance,
+            instances,
+            fail_pixels: self.fail_pixels,
+            runtime_s,
+            status: self.status,
+            method: self.method,
+            error: self.error,
+            attempts: self.attempts,
+        }
+    }
+}
+
+/// Status-tally counter name for one [`FractureStatus`] (the registry
+/// keys on `&'static str`, so the names are spelled out).
+fn status_counter_name(status: FractureStatus) -> &'static str {
+    match status {
+        FractureStatus::Ok => "fracture.status.ok",
+        FractureStatus::Degraded => "fracture.status.degraded",
+        FractureStatus::Fallback => "fracture.status.fallback",
+        FractureStatus::Failed => "fracture.status.failed",
+    }
+}
+
 /// Fractures every distinct shape of a layout, spreading shapes over
 /// `threads` worker threads (each shape is independent, exactly as the
 /// paper notes). Results are deterministic regardless of thread count.
@@ -225,11 +264,19 @@ impl LayoutFractureReport {
 ///
 /// `threads` is clamped to `1..=`[`MAX_LAYOUT_THREADS`]; a request of 0
 /// runs single-threaded instead of panicking.
+///
+/// Library entries with identical geometry are fractured once and served
+/// from a dedup cache (`mdp.cache.hits` / `mdp.cache.misses` in the
+/// metrics registry); the whole run is wrapped in the
+/// `mdp.fracture_layout` span and worker threads aggregate into the same
+/// process-global counters, so a `RunReport` captured after this call
+/// reflects the full layout regardless of thread count.
 pub fn fracture_layout(
     layout: &Layout,
     config: &FractureConfig,
     threads: usize,
 ) -> LayoutFractureReport {
+    let _span = maskfrac_obs::span("mdp.fracture_layout");
     let threads = threads.clamp(1, MAX_LAYOUT_THREADS);
     let counts = layout.placement_counts();
     let work: Vec<(&str, &Polygon)> = layout
@@ -239,6 +286,11 @@ pub fn fracture_layout(
 
     let results: Mutex<Vec<ShapeFractureStats>> = Mutex::new(Vec::new());
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    // Shapes placed under different names but with identical geometry
+    // produce identical results (the whole pipeline — including fault
+    // fingerprints — is a function of geometry and config), so one
+    // fracturing run serves them all.
+    let cache: Mutex<HashMap<Vec<Point>, CachedShapeOutcome>> = Mutex::new(HashMap::new());
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(work.len().max(1)) {
@@ -252,18 +304,46 @@ pub fn fracture_layout(
                         break;
                     };
                     let started = std::time::Instant::now();
-                    let outcome = fracturer.fracture(polygon);
-                    let stats = ShapeFractureStats {
-                        shape: name.to_owned(),
-                        shots_per_instance: outcome.result.shot_count(),
-                        instances: counts[name],
-                        fail_pixels: outcome.result.summary.fail_count(),
-                        runtime_s: started.elapsed().as_secs_f64(),
-                        status: outcome.result.status,
-                        method: outcome.method.to_owned(),
-                        error: outcome.error,
-                        attempts: outcome.attempts,
+                    let key = polygon.vertices().to_vec();
+                    let hit = cache
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .get(&key)
+                        .cloned();
+                    let stats = match hit {
+                        Some(cached) => {
+                            maskfrac_obs::counter!("mdp.cache.hits").incr();
+                            // Replay the status tally the skipped pipeline
+                            // would have recorded, so per-shape status
+                            // counts stay complete under deduplication.
+                            maskfrac_obs::counter(status_counter_name(cached.status)).incr();
+                            cached.into_stats(name, counts[name], started.elapsed().as_secs_f64())
+                        }
+                        None => {
+                            maskfrac_obs::counter!("mdp.cache.misses").incr();
+                            let outcome = fracturer.fracture(polygon);
+                            let cached = CachedShapeOutcome {
+                                shots_per_instance: outcome.result.shot_count(),
+                                fail_pixels: outcome.result.summary.fail_count(),
+                                status: outcome.result.status,
+                                method: outcome.method.to_owned(),
+                                error: outcome.error,
+                                attempts: outcome.attempts,
+                            };
+                            let stats = cached.clone().into_stats(
+                                name,
+                                counts[name],
+                                started.elapsed().as_secs_f64(),
+                            );
+                            cache
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                .insert(key, cached);
+                            stats
+                        }
                     };
+                    maskfrac_obs::counter!("mdp.shapes_fractured").incr();
+                    maskfrac_obs::counter!("mdp.instances_covered").add(stats.instances as u64);
                     // A worker that somehow dies mid-push must not strand
                     // the run: recover the data from a poisoned lock.
                     results

@@ -1,0 +1,51 @@
+//! In-process observability for the fracturing pipeline.
+//!
+//! The paper's whole claim is quantitative — shot count and runtime versus
+//! conventional fracturing — so every binary in this workspace needs to see
+//! *where* shots and milliseconds go inside a run. This crate is that
+//! layer, deliberately dependency-free (no `tracing` / `metrics` crates;
+//! the container builds offline) and cheap enough to leave always-on:
+//!
+//! * [`metrics`] — a process-global registry of atomic [`Counter`]s and
+//!   locked [`Histogram`]s. Worker threads increment the same cells, so a
+//!   multi-threaded [`fracture_layout`] run aggregates for free.
+//! * [`mod@span`] — RAII wall-clock spans around pipeline stages. Every span
+//!   records `{count, total, min, max}` per name into the registry;
+//!   with [`set_trace`] enabled it also prints an indented enter/exit
+//!   tree to stderr (the `--trace` CLI flag).
+//! * [`report`] — the versioned, machine-readable [`RunReport`] JSON
+//!   schema (`--metrics-out`), documented field-by-field in
+//!   `docs/observability.md` and consumed by the bench harness as
+//!   `results/BENCH_*.json`.
+//!
+//! [`fracture_layout`]: https://docs.rs/maskfrac-mdp
+//!
+//! # Example
+//!
+//! ```
+//! use maskfrac_obs as obs;
+//!
+//! {
+//!     let _stage = obs::span("example.stage");
+//!     obs::counter("example.widgets").add(3);
+//!     obs::histogram("example.latency_s").record(0.25);
+//! }
+//! let snap = obs::registry().snapshot();
+//! assert_eq!(snap.counters["example.widgets"], 3);
+//! assert_eq!(snap.stages["example.stage"].count, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{
+    counter, histogram, registry, Counter, Histogram, HistogramSummary, MetricsSnapshot, Registry,
+    StageStats,
+};
+pub use report::{RunReport, ShapeRecord, SCHEMA_NAME, SCHEMA_VERSION};
+pub use span::{set_trace, span, trace_enabled, SpanGuard};

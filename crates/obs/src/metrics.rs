@@ -1,0 +1,433 @@
+//! Process-global metrics registry: atomic counters, histograms, and
+//! per-span stage statistics.
+//!
+//! Cells are registered on first use and live for the process lifetime
+//! (they are leaked, bounded by metric-name cardinality), so a handle
+//! obtained once — e.g. through the [`counter!`](crate::counter!) macro —
+//! stays valid across [`Registry::reset`] and can be hammered from any
+//! thread with relaxed atomics. Aggregation across the worker threads of
+//! a layout run is therefore automatic: everyone increments the same cell.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+///
+/// Increments are relaxed atomic adds — safe and cheap from any thread.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HistState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl HistState {
+    const EMPTY: HistState = HistState {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// A streaming value distribution: count, sum, min, max (and hence mean).
+///
+/// Recording takes a short mutex; intended for per-shape or per-stage
+/// granularity, not per-pixel hot loops (use a [`Counter`] and batch
+/// there).
+#[derive(Debug)]
+pub struct Histogram {
+    state: Mutex<HistState>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            state: Mutex::new(HistState::EMPTY),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        self.lock().record(v);
+    }
+
+    /// Snapshot of the distribution so far.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary::from_state(*self.lock())
+    }
+
+    fn reset(&self) {
+        *self.lock() = HistState::EMPTY;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HistState> {
+        // A panicking recorder must not take observability down with it.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Serializable summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when `count` is 0).
+    pub min: f64,
+    /// Largest observation (0 when `count` is 0).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn from_state(s: HistState) -> Self {
+        if s.count == 0 {
+            HistogramSummary {
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+            }
+        } else {
+            HistogramSummary {
+                count: s.count,
+                sum: s.sum,
+                min: s.min,
+                max: s.max,
+            }
+        }
+    }
+
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Serializable wall-clock statistics of one span name (one pipeline
+/// stage): how many times it ran and how long it took.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock seconds across all spans.
+    pub total_s: f64,
+    /// Shortest single span, seconds.
+    pub min_s: f64,
+    /// Longest single span, seconds.
+    pub max_s: f64,
+}
+
+impl StageStats {
+    /// Mean span duration in seconds, or 0 when no spans completed.
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_s / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a [`Registry`], in the shape
+/// the [`RunReport`](crate::RunReport) embeds.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Per-stage (span) wall-clock statistics by span name.
+    pub stages: BTreeMap<String, StageStats>,
+}
+
+/// The metric store: named counters, histograms, and span statistics.
+///
+/// Use the process-global instance via [`registry`]; a standalone
+/// `Registry` exists only for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<&'static str, &'static Counter>>,
+    histograms: RwLock<BTreeMap<&'static str, &'static Histogram>>,
+    spans: RwLock<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (tests only; production code uses
+    /// [`registry`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    ///
+    /// The returned handle is `'static`: hoist it out of hot loops (or use
+    /// the [`counter!`](crate::counter!) caching macro) to skip the map
+    /// lookup.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        if let Some(c) = self.read(&self.counters).get(name) {
+            return c;
+        }
+        self
+            .write(&self.counters)
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Counter::default())))
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        Self::get_or_insert(&self.histograms, name)
+    }
+
+    /// Records one completed span of `name` lasting `elapsed`.
+    pub fn record_span(&self, name: &'static str, elapsed: Duration) {
+        Self::get_or_insert(&self.spans, name).record(elapsed.as_secs_f64());
+    }
+
+    /// Copies every metric out of the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .read(&self.counters)
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.get()))
+            .collect();
+        let histograms = self
+            .read(&self.histograms)
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.summary()))
+            .collect();
+        let stages = self
+            .read(&self.spans)
+            .iter()
+            .map(|(&k, v)| {
+                let s = v.summary();
+                (
+                    k.to_owned(),
+                    StageStats {
+                        count: s.count,
+                        total_s: s.sum,
+                        min_s: s.min,
+                        max_s: s.max,
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+            stages,
+        }
+    }
+
+    /// Zeroes every metric. Registered names (and handles already held by
+    /// callers) stay valid — values restart from zero.
+    pub fn reset(&self) {
+        for c in self.read(&self.counters).values() {
+            c.reset();
+        }
+        for h in self.read(&self.histograms).values() {
+            h.reset();
+        }
+        for h in self.read(&self.spans).values() {
+            h.reset();
+        }
+    }
+
+    fn get_or_insert(
+        map: &RwLock<BTreeMap<&'static str, &'static Histogram>>,
+        name: &'static str,
+    ) -> &'static Histogram {
+        if let Some(h) = map
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(name)
+        {
+            return h;
+        }
+        map.write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+    }
+
+    fn read<'a, T>(
+        &self,
+        lock: &'a RwLock<BTreeMap<&'static str, T>>,
+    ) -> std::sync::RwLockReadGuard<'a, BTreeMap<&'static str, T>> {
+        lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write<'a, T>(
+        &self,
+        lock: &'a RwLock<BTreeMap<&'static str, T>>,
+    ) -> std::sync::RwLockWriteGuard<'a, BTreeMap<&'static str, T>> {
+        lock.write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// The process-global registry every instrumented crate records into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Shorthand for `registry().counter(name)`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    registry().counter(name)
+}
+
+/// Shorthand for `registry().histogram(name)`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    registry().histogram(name)
+}
+
+/// Resolves a counter once and caches the `'static` handle in place, so
+/// hot loops skip the registry map lookup entirely.
+///
+/// ```
+/// use maskfrac_obs::counter;
+///
+/// for _ in 0..1000 {
+///     counter!("example.hot_loop").incr();
+/// }
+/// assert!(maskfrac_obs::counter("example.hot_loop").get() >= 1000);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let r = Registry::new();
+        let c = r.counter("t.counter");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.snapshot().counters["t.counter"], 5);
+        r.reset();
+        assert_eq!(c.get(), 0, "handle stays valid across reset");
+        c.incr();
+        assert_eq!(r.snapshot().counters["t.counter"], 1);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_bounds() {
+        let r = Registry::new();
+        let h = r.histogram("t.hist");
+        for v in [2.0, 8.0, 5.0] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 8.0);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let r = Registry::new();
+        let s = r.histogram("t.empty").summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn spans_land_in_stage_stats() {
+        let r = Registry::new();
+        r.record_span("t.stage", Duration::from_millis(10));
+        r.record_span("t.stage", Duration::from_millis(30));
+        let snap = r.snapshot();
+        let s = snap.stages["t.stage"];
+        assert_eq!(s.count, 2);
+        assert!(s.total_s >= 0.04 - 1e-9);
+        assert!(s.min_s <= s.max_s);
+        assert!((s.mean_s() - s.total_s / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_sum_across_threads() {
+        // The cross-thread aggregation contract: N threads hammering one
+        // cell lose nothing.
+        let r = Registry::new();
+        let c = r.counter("t.parallel");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = registry().counter("t.global");
+        let b = counter("t.global");
+        a.incr();
+        assert!(std::ptr::eq(a, b));
+        assert!(b.get() >= 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! The versioned, machine-readable run report (`--metrics-out`).
+//!
+//! A [`RunReport`] is the JSON document every instrumented binary can
+//! emit at exit: the full metrics snapshot (per-stage wall-clock stats,
+//! counters, histograms), a roll-up of per-shape
+//! [`FractureStatus`] outcomes, and optional per-shape rows. The schema
+//! is versioned — consumers check [`SCHEMA_NAME`] / [`SCHEMA_VERSION`]
+//! before trusting field layout — and documented field-by-field in
+//! `docs/observability.md`.
+//!
+//! [`FractureStatus`]: https://docs.rs/maskfrac-fracture
+
+use crate::metrics::{registry, HistogramSummary, MetricsSnapshot, StageStats};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::time::{Instant, SystemTime};
+
+/// Schema identifier stored in [`RunReport::schema`].
+pub const SCHEMA_NAME: &str = "maskfrac.run-report";
+
+/// Current schema version stored in [`RunReport::schema_version`].
+///
+/// Bump on any breaking change to the field layout; additive optional
+/// fields do not require a bump.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Counter-name prefix whose suffixes are mirrored into
+/// [`RunReport::statuses`] (e.g. `fracture.status.ok`).
+pub const STATUS_COUNTER_PREFIX: &str = "fracture.status.";
+
+const KNOWN_STATUSES: [&str; 4] = ["ok", "degraded", "fallback", "failed"];
+
+/// One run of an instrumented binary, serialized to `--metrics-out`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Always [`SCHEMA_NAME`]; consumers reject anything else.
+    pub schema: String,
+    /// Always [`SCHEMA_VERSION`] for reports written by this crate.
+    pub schema_version: u32,
+    /// Which binary produced the report (`"robustness"`, `"maskfrac"`, ...).
+    pub binary: String,
+    /// Report creation time, seconds since the Unix epoch.
+    pub created_unix_s: u64,
+    /// Whole-run wall-clock time, seconds.
+    pub wall_time_s: f64,
+    /// Per-stage wall-clock statistics, keyed by span name.
+    pub stages: BTreeMap<String, StageStats>,
+    /// Counter values, keyed by counter name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries, keyed by histogram name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Shape-outcome roll-up: [`FractureStatus`] label → shape count.
+    /// Mirrored from counters prefixed [`STATUS_COUNTER_PREFIX`].
+    ///
+    /// [`FractureStatus`]: https://docs.rs/maskfrac-fracture
+    pub statuses: BTreeMap<String, u64>,
+    /// Optional per-shape rows (see [`RunReport::with_shapes`]).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub shapes: Vec<ShapeRecord>,
+}
+
+/// Per-shape outcome row inside a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeRecord {
+    /// Shape identifier (library name or index).
+    pub id: String,
+    /// [`FractureStatus`] label: `ok`, `degraded`, `fallback`, or `failed`.
+    ///
+    /// [`FractureStatus`]: https://docs.rs/maskfrac-fracture
+    pub status: String,
+    /// Delivering fallback-ladder rung (`ours`, `ours-retry`, `proto-eda`,
+    /// `conventional`, or `none`).
+    pub method: String,
+    /// Shots emitted for one instance of the shape.
+    pub shots: usize,
+    /// Pixels still failing the EPE check after fracturing.
+    pub fail_pixels: usize,
+    /// Wall-clock seconds spent fracturing this shape (all attempts).
+    pub runtime_s: f64,
+    /// Fallback-ladder rungs attempted (1 = first rung delivered).
+    pub attempts: usize,
+}
+
+impl RunReport {
+    /// Builds a report from a metrics snapshot.
+    ///
+    /// Counters named `fracture.status.<label>` are mirrored into
+    /// [`RunReport::statuses`] keyed by `<label>`.
+    pub fn from_snapshot(binary: &str, wall_time_s: f64, snapshot: MetricsSnapshot) -> Self {
+        let statuses = snapshot
+            .counters
+            .iter()
+            .filter_map(|(name, &value)| {
+                name.strip_prefix(STATUS_COUNTER_PREFIX)
+                    .map(|label| (label.to_owned(), value))
+            })
+            .collect();
+        RunReport {
+            schema: SCHEMA_NAME.to_owned(),
+            schema_version: SCHEMA_VERSION,
+            binary: binary.to_owned(),
+            created_unix_s: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            wall_time_s,
+            stages: snapshot.stages,
+            counters: snapshot.counters,
+            histograms: snapshot.histograms,
+            statuses,
+            shapes: Vec::new(),
+        }
+    }
+
+    /// Snapshots the global registry into a report for `binary`, with
+    /// wall-clock time measured from `started`.
+    pub fn capture(binary: &str, started: Instant) -> Self {
+        RunReport::from_snapshot(
+            binary,
+            started.elapsed().as_secs_f64(),
+            registry().snapshot(),
+        )
+    }
+
+    /// Attaches per-shape rows (builder style).
+    #[must_use]
+    pub fn with_shapes(mut self, shapes: Vec<ShapeRecord>) -> Self {
+        self.shapes = shapes;
+        self
+    }
+
+    /// Checks the report's internal invariants.
+    ///
+    /// Verifies the schema name/version, that every stage row is
+    /// well-formed (`count > 0`, finite totals, `min <= max`), that
+    /// histogram summaries are consistent, and that status labels are
+    /// drawn from the known [`FractureStatus`] set.
+    ///
+    /// [`FractureStatus`]: https://docs.rs/maskfrac-fracture
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA_NAME {
+            return Err(format!(
+                "schema mismatch: expected {SCHEMA_NAME:?}, got {:?}",
+                self.schema
+            ));
+        }
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version mismatch: expected {SCHEMA_VERSION}, got {}",
+                self.schema_version
+            ));
+        }
+        if self.binary.is_empty() {
+            return Err("binary name is empty".to_owned());
+        }
+        if !self.wall_time_s.is_finite() || self.wall_time_s < 0.0 {
+            return Err(format!("wall_time_s not a finite duration: {}", self.wall_time_s));
+        }
+        for (name, s) in &self.stages {
+            if s.count == 0 {
+                return Err(format!("stage {name:?} recorded with count 0"));
+            }
+            if !(s.total_s.is_finite() && s.min_s.is_finite() && s.max_s.is_finite()) {
+                return Err(format!("stage {name:?} has non-finite timings"));
+            }
+            if s.min_s > s.max_s {
+                return Err(format!("stage {name:?} has min_s > max_s"));
+            }
+            if s.total_s + 1e-9 < s.max_s {
+                return Err(format!("stage {name:?} has total_s < max_s"));
+            }
+        }
+        for (name, h) in &self.histograms {
+            if h.count > 0 && h.min > h.max {
+                return Err(format!("histogram {name:?} has min > max"));
+            }
+            if !(h.sum.is_finite() && h.min.is_finite() && h.max.is_finite()) {
+                return Err(format!("histogram {name:?} has non-finite values"));
+            }
+        }
+        for label in self.statuses.keys() {
+            if !KNOWN_STATUSES.contains(&label.as_str()) {
+                return Err(format!("unknown fracture status label {label:?}"));
+            }
+        }
+        for shape in &self.shapes {
+            if !KNOWN_STATUSES.contains(&shape.status.as_str()) {
+                return Err(format!(
+                    "shape {:?} has unknown status label {:?}",
+                    shape.id, shape.status
+                ));
+            }
+            if !shape.runtime_s.is_finite() || shape.runtime_s < 0.0 {
+                return Err(format!("shape {:?} has invalid runtime_s", shape.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, io::Error> {
+        serde_json::to_string_pretty(self).map_err(io::Error::other)
+    }
+
+    /// Parses a report from JSON (does not [`validate`](Self::validate)).
+    pub fn from_json(json: &str) -> Result<Self, io::Error> {
+        serde_json::from_str(json).map_err(io::Error::other)
+    }
+
+    /// Writes the report as pretty-printed JSON to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), io::Error> {
+        std::fs::write(path, self.to_json()? + "\n")
+    }
+
+    /// Reads and parses (but does not validate) a report from `path`.
+    pub fn load(path: &Path) -> Result<Self, io::Error> {
+        RunReport::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("fracture.shots_emitted".to_owned(), 42);
+        snap.counters.insert("fracture.status.ok".to_owned(), 3);
+        snap.counters.insert("fracture.status.fallback".to_owned(), 1);
+        snap.stages.insert(
+            "fracture.shape".to_owned(),
+            StageStats {
+                count: 4,
+                total_s: 0.4,
+                min_s: 0.05,
+                max_s: 0.2,
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn statuses_are_mirrored_from_prefixed_counters() {
+        let report = RunReport::from_snapshot("test", 1.0, sample_snapshot());
+        assert_eq!(report.statuses["ok"], 3);
+        assert_eq!(report.statuses["fallback"], 1);
+        assert!(!report.statuses.contains_key("shots_emitted"));
+        report.validate().unwrap();
+    }
+
+    #[test]
+    fn json_round_trip_preserves_report() {
+        let report = RunReport::from_snapshot("test", 2.5, sample_snapshot()).with_shapes(vec![
+            ShapeRecord {
+                id: "inv_x1".to_owned(),
+                status: "ok".to_owned(),
+                method: "ours".to_owned(),
+                shots: 12,
+                fail_pixels: 0,
+                runtime_s: 0.03,
+                attempts: 1,
+            },
+        ]);
+        let json = report.to_json().unwrap();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema() {
+        let mut report = RunReport::from_snapshot("test", 1.0, sample_snapshot());
+        report.schema = "something.else".to_owned();
+        assert!(report.validate().unwrap_err().contains("schema mismatch"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_stage_row() {
+        let mut report = RunReport::from_snapshot("test", 1.0, sample_snapshot());
+        report.stages.insert(
+            "broken".to_owned(),
+            StageStats {
+                count: 0,
+                total_s: 0.0,
+                min_s: 0.0,
+                max_s: 0.0,
+            },
+        );
+        assert!(report.validate().unwrap_err().contains("count 0"));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_status_label() {
+        let mut report = RunReport::from_snapshot("test", 1.0, sample_snapshot());
+        report.statuses.insert("exploded".to_owned(), 1);
+        assert!(report
+            .validate()
+            .unwrap_err()
+            .contains("unknown fracture status"));
+    }
+
+    #[test]
+    fn capture_reads_the_global_registry() {
+        crate::counter("t.report.capture").add(7);
+        let report = RunReport::capture("test", Instant::now());
+        assert!(report.counters["t.report.capture"] >= 7);
+        assert!(report.wall_time_s >= 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! RAII wall-clock spans around pipeline stages.
+//!
+//! [`span`] returns a guard that, on drop, records the elapsed time into
+//! the global [`Registry`](crate::Registry) under the span's name — that
+//! is where the per-stage rows of a [`RunReport`](crate::RunReport) come
+//! from. When tracing is switched on ([`set_trace`], the `--trace` CLI
+//! flag) each span additionally prints an indented enter/exit line to
+//! stderr, producing a call-tree of the run:
+//!
+//! ```text
+//! [trace] > fracture.shape
+//! [trace]   > fracture.approx
+//! [trace]     > fracture.approx.simplify
+//! [trace]     < fracture.approx.simplify 0.000041s
+//! [trace]   < fracture.approx 0.002310s
+//! [trace] < fracture.shape 0.031022s
+//! ```
+//!
+//! Spans are cheap when tracing is off: one `Instant::now` plus one
+//! histogram update at drop. They may be freely nested and used from
+//! multiple threads (the indent depth is thread-local, so each worker
+//! prints its own coherent tree).
+
+use crate::metrics::registry;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static TRACE: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Globally enables or disables stderr trace output for all spans.
+pub fn set_trace(enabled: bool) {
+    TRACE.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether stderr trace output is currently enabled.
+pub fn trace_enabled() -> bool {
+    TRACE.load(Ordering::Relaxed)
+}
+
+/// Opens a span named `name`; the returned guard records its wall-clock
+/// duration into the global registry when dropped.
+///
+/// Bind it to a named variable (`let _stage = span(..)`), not `_`, which
+/// would drop immediately and time nothing.
+#[must_use = "binding to `_` drops the guard immediately and times nothing"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if trace_enabled() {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        eprintln!("[trace] {:indent$}> {name}", "", indent = depth * 2);
+    }
+    SpanGuard {
+        name,
+        started: Instant::now(),
+    }
+}
+
+/// Guard returned by [`span`]; records elapsed wall-clock time on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Elapsed seconds since the span opened (the span keeps running).
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        registry().record_span(self.name, elapsed);
+        if trace_enabled() {
+            let depth = DEPTH.with(|d| {
+                let depth = d.get().saturating_sub(1);
+                d.set(depth);
+                depth
+            });
+            eprintln!(
+                "[trace] {:indent$}< {} {:.6}s",
+                "",
+                self.name,
+                elapsed.as_secs_f64(),
+                indent = depth * 2
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_global_registry() {
+        {
+            let guard = span("t.span.unit");
+            assert_eq!(guard.name(), "t.span.unit");
+            assert!(guard.elapsed_s() >= 0.0);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = registry().snapshot();
+        let s = snap.stages["t.span.unit"];
+        assert!(s.count >= 1);
+        assert!(s.total_s > 0.0);
+        assert!(s.min_s <= s.max_s);
+    }
+
+    #[test]
+    fn nested_spans_each_record() {
+        {
+            let _outer = span("t.span.outer");
+            let _inner = span("t.span.inner");
+        }
+        let snap = registry().snapshot();
+        assert!(snap.stages["t.span.outer"].count >= 1);
+        assert!(snap.stages["t.span.inner"].count >= 1);
+    }
+
+    #[test]
+    fn trace_toggle_round_trips() {
+        // Other tests run in parallel and read the flag, so restore it.
+        let before = trace_enabled();
+        set_trace(true);
+        assert!(trace_enabled());
+        set_trace(false);
+        assert!(!trace_enabled());
+        set_trace(before);
+    }
+}

@@ -1,8 +1,8 @@
 //! `maskfrac` — command-line mask fracturing.
 //!
 //! ```text
-//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS]
-//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--deadline-ms MS]
+//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--trace] [--metrics-out REPORT.json]
+//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--deadline-ms MS] [--trace] [--metrics-out REPORT.json]
 //! maskfrac generate-ilt <out.json> [--seed N] [--radius NM]
 //! maskfrac generate-benchmark <out.json> [--shots K] [--seed N]
 //! maskfrac verify <shape.json>
@@ -16,7 +16,9 @@
 //! malformed numbers, and degenerate shapes are reported with a typed
 //! message and a non-zero exit instead of a panic; `--deadline-ms`
 //! bounds the refinement wall clock (best-so-far results are tagged
-//! `degraded`).
+//! `degraded`). `--trace` prints the pipeline span tree to stderr and
+//! `--metrics-out` writes the versioned run report documented in
+//! `docs/observability.md`.
 
 use maskfrac::baselines::{
     Conventional, ExhaustiveOptimal, GreedySetCover, MaskFracturer, MatchingPursuit, Ours,
@@ -64,6 +66,31 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Applies the shared observability flags: `--trace` turns on the stderr
+/// span tree, `--metrics-out <path>` selects where the run report goes.
+/// Returns the report path, if requested.
+fn obs_from_flags(args: &[String]) -> Option<std::path::PathBuf> {
+    if args.iter().any(|a| a == "--trace") {
+        maskfrac::obs::set_trace(true);
+    }
+    flag_value(args, "--metrics-out").map(std::path::PathBuf::from)
+}
+
+/// Captures the metrics gathered since `started` into a validated
+/// [`maskfrac::obs::RunReport`] and writes it to `path`.
+fn write_run_report(
+    binary: &str,
+    started: std::time::Instant,
+    path: &std::path::Path,
+    shapes: Vec<maskfrac::obs::ShapeRecord>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let report = maskfrac::obs::RunReport::capture(binary, started).with_shapes(shapes);
+    report.validate()?;
+    report.save(path)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 /// Rejects flags the subcommand does not know, so a typo like
 /// `--thread 4` fails loudly instead of being silently ignored.
 fn check_flags(args: &[String], allowed: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
@@ -109,7 +136,10 @@ fn config_from_flags(args: &[String]) -> Result<FractureConfig, Box<dyn std::err
 }
 
 fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    check_flags(args, &["--method", "--svg", "--out", "--deadline-ms"])?;
+    check_flags(
+        args,
+        &["--method", "--svg", "--out", "--deadline-ms", "--trace", "--metrics-out"],
+    )?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
@@ -117,6 +147,8 @@ fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let file = ShapeFile::load(path)?;
     let method = flag_value(args, "--method").unwrap_or("ours");
     let cfg = config_from_flags(args)?;
+    let metrics_out = obs_from_flags(args);
+    let started = std::time::Instant::now();
 
     let fracturer: Box<dyn MaskFracturer> = match method {
         "ours" => {
@@ -128,6 +160,7 @@ fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .try_fracture(&file.polygon)
                 .map_err(|e| format!("shape {:?}: {e}", file.id))?;
             report(&file.id, "ours", &result, args, &file)?;
+            emit_shape_report(&file.id, "ours", &result, started, metrics_out.as_deref())?;
             return Ok(());
         }
         "gsc" => Box::new(GreedySetCover::new(cfg.clone())),
@@ -139,12 +172,37 @@ fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             let exact = ExhaustiveOptimal::new(cfg.clone());
             let result = exact.run(&file.polygon);
             report(&file.id, "exact", &result, args, &file)?;
+            emit_shape_report(&file.id, "exact", &result, started, metrics_out.as_deref())?;
             return Ok(());
         }
         other => return Err(format!("unknown method {other:?}").into()),
     };
     let result = fracturer.fracture(&file.polygon);
-    report(&file.id, method, &result, args, &file)
+    report(&file.id, method, &result, args, &file)?;
+    emit_shape_report(&file.id, method, &result, started, metrics_out.as_deref())
+}
+
+/// Writes the single-shape run report when `--metrics-out` was given.
+fn emit_shape_report(
+    id: &str,
+    method: &str,
+    result: &maskfrac::fracture::FractureResult,
+    started: std::time::Instant,
+    metrics_out: Option<&std::path::Path>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = metrics_out else {
+        return Ok(());
+    };
+    let shapes = vec![maskfrac::obs::ShapeRecord {
+        id: id.to_owned(),
+        status: result.status.label().to_owned(),
+        method: method.to_owned(),
+        shots: result.shot_count(),
+        fail_pixels: result.summary.fail_count(),
+        runtime_s: result.runtime.as_secs_f64(),
+        attempts: 1,
+    }];
+    write_run_report("maskfrac", started, path, shapes)
 }
 
 fn report(
@@ -188,7 +246,7 @@ fn report(
 }
 
 fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    check_flags(args, &["--threads", "--deadline-ms"])?;
+    check_flags(args, &["--threads", "--deadline-ms", "--trace", "--metrics-out"])?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
@@ -212,7 +270,25 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
         layout.instance_count()
     );
     let cfg = config_from_flags(args)?;
+    let metrics_out = obs_from_flags(args);
+    let started = std::time::Instant::now();
     let report = maskfrac::mdp::fracture_layout(&layout, &cfg, threads);
+    if let Some(path) = &metrics_out {
+        let shapes = report
+            .per_shape
+            .iter()
+            .map(|s| maskfrac::obs::ShapeRecord {
+                id: s.shape.clone(),
+                status: s.status.label().to_owned(),
+                method: s.method.clone(),
+                shots: s.shots_per_instance,
+                fail_pixels: s.fail_pixels,
+                runtime_s: s.runtime_s,
+                attempts: s.attempts as usize,
+            })
+            .collect();
+        write_run_report("maskfrac", started, path, shapes)?;
+    }
     for s in &report.per_shape {
         println!(
             "  {:16} {:>4} shots/instance x {:>5} instances ({} failing px, {:.2} s) [{} via {}]",

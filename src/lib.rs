@@ -18,6 +18,9 @@
 //!   pursuit, PROTO-EDA surrogate, conventional partitioning).
 //! * [`mdp`] — the surrounding mask-data-prep flow: layouts of many
 //!   shapes, write-time estimation, and the mask cost model.
+//! * [`obs`] — in-process observability: pipeline spans, the metrics
+//!   registry, and the versioned `RunReport` schema behind the
+//!   `--trace` / `--metrics-out` CLI flags (see `docs/observability.md`).
 //!
 //! # Quickstart
 //!
@@ -46,4 +49,5 @@ pub use maskfrac_fracture as fracture;
 pub use maskfrac_geom as geom;
 pub use maskfrac_graph as graph;
 pub use maskfrac_mdp as mdp;
+pub use maskfrac_obs as obs;
 pub use maskfrac_shapes as shapes;

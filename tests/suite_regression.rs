@@ -2,7 +2,7 @@
 //! for the fixed-seed instances, with tolerances wide enough to absorb
 //! legitimate heuristic tuning but tight enough to catch algorithmic
 //! regressions (the experiment harness doubles as a regression test, per
-//! DESIGN.md §8).
+//! DESIGN.md §11).
 
 use maskfrac::baselines::{GreedySetCover, MaskFracturer, Ours, ProtoEda};
 use maskfrac::fracture::FractureConfig;
