@@ -1,0 +1,181 @@
+//! Refinement-engine benchmark: wall clock of §4 shot refinement under
+//! the full-rescan reference path versus the incremental dirty-window
+//! engine at 1 and 4 scoring threads, on a fixed clip subset.
+//!
+//! Every mode starts from the same approximate solution and must produce
+//! the *identical* shot list (the engines are byte-equivalent by
+//! construction; this harness asserts it end to end). Only refinement is
+//! timed — classification and the approximate stage are shared setup, and
+//! the post-feasibility reduction sweep is disabled so the measurement
+//! isolates Algorithm 1.
+//!
+//! Run with `cargo run -p maskfrac-bench --release --bin refine`
+//! (`--full` benchmarks all ten clips instead of the smoke subset).
+//! Honours `--trace` and `--metrics-out <path>`, and always writes the
+//! machine-readable run report `results/BENCH_refine.json` (see
+//! `docs/observability.md`). CI's perf-smoke job compares the shot
+//! counts in that report against the committed baseline.
+
+use maskfrac_bench::{apply_obs_flags, finish_run_report, save_json};
+use maskfrac_fracture::refine::refine;
+use maskfrac_fracture::{approximate_fracture, FractureConfig, ModelBasedFracturer};
+use maskfrac_geom::Rect;
+use maskfrac_obs::ShapeRecord;
+use serde::Serialize;
+
+const SMOKE_CLIPS: [&str; 3] = ["Clip-1", "Clip-5", "Clip-10"];
+
+/// One (clip, mode) measurement. Consumed through Serialize (JSON rows).
+#[allow(dead_code)]
+#[derive(Debug, Serialize)]
+struct RefineRow {
+    clip: String,
+    mode: &'static str,
+    shots: usize,
+    fail_pixels: usize,
+    refine_s: f64,
+    iterations: usize,
+}
+
+struct Mode {
+    name: &'static str,
+    incremental: bool,
+    threads: usize,
+}
+
+const MODES: [Mode; 3] = [
+    Mode { name: "full-rescan", incremental: false, threads: 1 },
+    Mode { name: "incremental-t1", incremental: true, threads: 1 },
+    Mode { name: "incremental-t4", incremental: true, threads: 4 },
+];
+
+/// FNV-1a hash of the benchmarked clips' ids and vertex coordinates,
+/// published in the run report as the `refine.bench.suite_fingerprint`
+/// counter. Shot counts are only comparable between runs that fractured
+/// the same geometry; CI's drift check keys on this to avoid flagging a
+/// baseline produced from a different clip-suite build as a regression.
+fn suite_fingerprint(clips: &[&maskfrac_shapes::SuiteClip]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for clip in clips {
+        eat(clip.id.as_bytes());
+        for p in clip.polygon.vertices() {
+            eat(&p.x.to_le_bytes());
+            eat(&p.y.to_le_bytes());
+        }
+    }
+    h
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let started = std::time::Instant::now();
+    let metrics_out = apply_obs_flags(&args);
+    let full = args.iter().any(|a| a == "--full");
+
+    let base = FractureConfig {
+        reduction_sweep: false,
+        ..FractureConfig::default()
+    };
+    let fracturer = ModelBasedFracturer::new(base.clone());
+    let clips = maskfrac_shapes::ilt_suite();
+    let selected: Vec<_> = clips
+        .iter()
+        .filter(|c| full || SMOKE_CLIPS.contains(&c.id.as_str()))
+        .collect();
+
+    let fingerprint = suite_fingerprint(&selected);
+    maskfrac_obs::counter!("refine.bench.suite_fingerprint").add(fingerprint);
+    println!(
+        "== Refinement engine benchmark over {} clips (suite fingerprint {fingerprint:#018x}) ==",
+        selected.len()
+    );
+    let mut rows: Vec<RefineRow> = Vec::new();
+    let mut shapes: Vec<ShapeRecord> = Vec::new();
+    let mut totals = [0.0f64; MODES.len()];
+
+    for clip in &selected {
+        // Shared setup: one classification + approximate solution per clip.
+        let cls = fracturer.classify(&clip.polygon);
+        let approx = approximate_fracture(
+            &clip.polygon,
+            &cls,
+            fracturer.model(),
+            &base,
+            fracturer.lth(),
+        );
+        let mut reference: Option<Vec<Rect>> = None;
+        for (mi, mode) in MODES.iter().enumerate() {
+            let cfg = FractureConfig {
+                incremental_refine: mode.incremental,
+                refine_threads: mode.threads,
+                ..base.clone()
+            };
+            let t0 = std::time::Instant::now();
+            let out = refine(&cls, fracturer.model(), &cfg, approx.shots.clone());
+            let dt = t0.elapsed().as_secs_f64();
+            totals[mi] += dt;
+            match &reference {
+                None => reference = Some(out.shots.clone()),
+                Some(want) => assert_eq!(
+                    &out.shots, want,
+                    "{}: {} diverged from the reference shot list",
+                    clip.id, mode.name
+                ),
+            }
+            println!(
+                "{:>8}  {:<14}  {:>4} shots  {:>3} fails  {:>8.3}s  {:>4} iters",
+                clip.id,
+                mode.name,
+                out.shots.len(),
+                out.summary.fail_count(),
+                dt,
+                out.iterations
+            );
+            rows.push(RefineRow {
+                clip: clip.id.clone(),
+                mode: mode.name,
+                shots: out.shots.len(),
+                fail_pixels: out.summary.fail_count(),
+                refine_s: dt,
+                iterations: out.iterations,
+            });
+            shapes.push(ShapeRecord {
+                id: clip.id.clone(),
+                status: if out.summary.is_feasible() { "ok" } else { "degraded" }.to_owned(),
+                method: mode.name.to_owned(),
+                shots: out.shots.len(),
+                fail_pixels: out.summary.fail_count(),
+                runtime_s: dt,
+                attempts: 1,
+            });
+        }
+    }
+
+    println!("\ntotals:");
+    for (mi, mode) in MODES.iter().enumerate() {
+        let speedup = totals[0] / totals[mi].max(1e-12);
+        println!(
+            "  {:<14} {:>8.3}s  ({speedup:.2}x vs {})",
+            mode.name, totals[mi], MODES[0].name
+        );
+    }
+
+    println!("engine counters:");
+    for name in [
+        "refine.candidates.scored",
+        "refine.candidates.skipped",
+        "refine.dirty.requeues",
+        "fracture.refine.iterations",
+    ] {
+        println!("  {name} = {}", maskfrac_obs::counter(name).get());
+    }
+
+    save_json("refine_bench.json", &rows);
+    finish_run_report("refine", started, metrics_out.as_deref(), shapes);
+}

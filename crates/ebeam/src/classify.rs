@@ -21,6 +21,24 @@ pub enum PixelClass {
     Band,
 }
 
+impl PixelClass {
+    /// Signed cost orientation: `-1` for [`PixelClass::On`] (cost accrues
+    /// below the threshold), `+1` for [`PixelClass::Off`] (cost accrues at
+    /// or above it), `0` for the unconstrained [`PixelClass::Band`]. With
+    /// this, `pixel_cost(class, x, rho)` equals
+    /// `max(sign * (x - rho), 0)` bit-for-bit, which branchless inner
+    /// loops exploit (see
+    /// [`crate::violations::cost_delta_for_strip`]).
+    #[inline]
+    pub fn cost_sign(self) -> f64 {
+        match self {
+            PixelClass::On => -1.0,
+            PixelClass::Off => 1.0,
+            PixelClass::Band => 0.0,
+        }
+    }
+}
+
 /// Classification of every pixel of a frame against a target shape.
 ///
 /// # Example
@@ -123,6 +141,19 @@ impl Classification {
     #[inline]
     pub fn class_at(&self, index: usize) -> PixelClass {
         self.classes[index]
+    }
+
+    /// Contiguous classes of row `iy` restricted to columns `xs`; the
+    /// slice-at-once counterpart of [`Classification::class`] for
+    /// window-scan inner loops (see [`crate::IntensityMap::row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row or column range is out of frame.
+    #[inline]
+    pub fn class_row(&self, iy: usize, xs: std::ops::Range<usize>) -> &[PixelClass] {
+        let base = self.frame.index(0, iy);
+        &self.classes[base + xs.start..base + xs.end]
     }
 
     /// The rasterized target (pixel centre inside the polygon), before the

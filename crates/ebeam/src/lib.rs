@@ -55,4 +55,4 @@ pub use contour::intensity_contours;
 pub use intensity::ExposureModel;
 pub use kernel::ProximityKernel;
 pub use map::IntensityMap;
-pub use violations::{evaluate, FailureSummary};
+pub use violations::{evaluate, FailureSummary, ViolationTracker};

@@ -71,6 +71,21 @@ impl IntensityMap {
         self.values[self.frame.index(ix, iy)]
     }
 
+    /// Contiguous intensity values of row `iy` restricted to columns `xs`.
+    ///
+    /// The candidate-scoring inner loop iterates millions of window pixels;
+    /// handing out the row slice once removes the per-pixel index
+    /// arithmetic and bounds checks of [`IntensityMap::value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row or column range is out of frame.
+    #[inline]
+    pub fn row(&self, iy: usize, xs: std::ops::Range<usize>) -> &[f64] {
+        let base = self.frame.index(0, iy);
+        &self.values[base + xs.start..base + xs.end]
+    }
+
     /// Adds a shot's intensity.
     pub fn add_shot(&mut self, shot: &Rect) {
         self.apply_shot(shot, 1.0);
@@ -131,6 +146,23 @@ impl IntensityMap {
     }
 
     fn apply_shot(&mut self, shot: &Rect, sign: f64) {
+        self.apply_shot_visit(shot, sign, |_, _, _, _| {});
+    }
+
+    /// Applies `sign ×` the shot's intensity, reporting every touched
+    /// pixel to `visit` as `(ix, iy, old, new)`.
+    ///
+    /// This is the hook incremental violation tracking hangs off
+    /// ([`crate::violations::ViolationTracker`]): the caller observes the
+    /// exact per-pixel transition the map performs, so a running failure
+    /// summary stays bit-for-bit consistent with a from-scratch
+    /// re-evaluation of the final map.
+    pub fn apply_shot_visit<F: FnMut(usize, usize, f64, f64)>(
+        &mut self,
+        shot: &Rect,
+        sign: f64,
+        mut visit: F,
+    ) {
         let (xs, ys) = self.affected_window(shot);
         if xs.is_empty() || ys.is_empty() {
             return;
@@ -156,7 +188,10 @@ impl IntensityMap {
             let row = iy * width;
             let fyv = fy[j] * sign;
             for (i, ix) in xs.clone().enumerate() {
-                self.values[row + ix] += fx[i] * fyv;
+                let old = self.values[row + ix];
+                let new = old + fx[i] * fyv;
+                self.values[row + ix] = new;
+                visit(ix, iy, old, new);
             }
         }
     }

@@ -92,6 +92,99 @@ pub fn evaluate(cls: &Classification, map: &IntensityMap) -> FailureSummary {
     summary
 }
 
+/// A running [`FailureSummary`] kept in lockstep with an
+/// [`IntensityMap`].
+///
+/// Iterative refinement (paper §4) historically re-evaluated the whole
+/// frame every iteration to learn how many pixels fail; with bounded 3σ
+/// kernel support that is almost all wasted work, because one accepted
+/// edge move only changes intensities inside the moved strip's support
+/// window. The tracker rides [`IntensityMap::apply_shot_visit`] instead:
+/// every mutation routed through [`apply`](Self::apply) updates the
+/// failing `Pon`/`Poff` counts from the exact per-pixel transitions the
+/// map performs, so the counts equal what [`evaluate`] would return on
+/// the final map (bit-for-bit for the counts; the continuous cost
+/// accumulates in a different order and may drift by a few ULPs).
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_ebeam::violations::{evaluate, ViolationTracker};
+/// use maskfrac_ebeam::{Classification, ExposureModel, IntensityMap};
+/// use maskfrac_geom::{Polygon, Rect};
+///
+/// let target = Polygon::from_rect(Rect::new(0, 0, 40, 40).unwrap());
+/// let model = ExposureModel::paper_default();
+/// let cls = Classification::build(&target, 2.0, model.support_radius_px() + 2);
+/// let mut map = IntensityMap::new(model, cls.frame());
+/// let mut tracker = ViolationTracker::new(&cls, &map);
+/// tracker.apply(&cls, &mut map, &Rect::new(0, 0, 40, 40).unwrap(), 1.0);
+/// assert_eq!(tracker.summary().fail_count(), evaluate(&cls, &map).fail_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ViolationTracker {
+    summary: FailureSummary,
+}
+
+impl ViolationTracker {
+    /// Starts tracking from a full evaluation of the current map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classification and map frames differ.
+    pub fn new(cls: &Classification, map: &IntensityMap) -> Self {
+        ViolationTracker {
+            summary: evaluate(cls, map),
+        }
+    }
+
+    /// The current running summary.
+    #[inline]
+    pub fn summary(&self) -> FailureSummary {
+        self.summary
+    }
+
+    /// Applies `sign ×` the rect's intensity to the map while folding the
+    /// per-pixel failure transitions into the running summary.
+    ///
+    /// Every map mutation must go through here (or be followed by
+    /// [`resync`](Self::resync)) for the summary to stay valid.
+    pub fn apply(&mut self, cls: &Classification, map: &mut IntensityMap, rect: &Rect, sign: f64) {
+        debug_assert_eq!(cls.frame(), map.frame(), "frames must match");
+        let rho = map.model().rho();
+        let summary = &mut self.summary;
+        map.apply_shot_visit(rect, sign, |ix, iy, old, new| {
+            if old.to_bits() == new.to_bits() {
+                return; // zero edge factor: nothing changed
+            }
+            let class = cls.class(ix, iy);
+            if class == PixelClass::Band {
+                return;
+            }
+            match (pixel_fails(class, old, rho), pixel_fails(class, new, rho)) {
+                (false, true) => match class {
+                    PixelClass::On => summary.on_fails += 1,
+                    PixelClass::Off => summary.off_fails += 1,
+                    PixelClass::Band => unreachable!(),
+                },
+                (true, false) => match class {
+                    PixelClass::On => summary.on_fails -= 1,
+                    PixelClass::Off => summary.off_fails -= 1,
+                    PixelClass::Band => unreachable!(),
+                },
+                _ => {}
+            }
+            summary.cost += pixel_cost(class, new, rho) - pixel_cost(class, old, rho);
+        });
+    }
+
+    /// Re-derives the summary from a full scan (used after mutations that
+    /// bypassed [`apply`](Self::apply), and by consistency checks).
+    pub fn resync(&mut self, cls: &Classification, map: &IntensityMap) {
+        self.summary = evaluate(cls, map);
+    }
+}
+
 /// Bitmaps of failing `Pon` and failing `Poff` pixels (in frame pixel
 /// coordinates), for the add-shot / remove-shot moves.
 pub fn fail_bitmaps(cls: &Classification, map: &IntensityMap) -> (Bitmap, Bitmap) {
@@ -153,18 +246,21 @@ pub fn cost_delta_for_strip(
         if fyv == 0.0 {
             continue;
         }
-        for (i, ix) in xs.clone().enumerate() {
-            let class = cls.class(ix, iy);
-            if class == PixelClass::Band {
-                continue;
-            }
-            let di = fx[i] * fyv;
-            if di == 0.0 {
-                continue;
-            }
-            let old = map.value(ix, iy);
-            let new = old + di;
-            delta += pixel_cost(class, new, rho) - pixel_cost(class, old, rho);
+        // This loop is the refinement engine's hottest path (tens of
+        // thousands of strip scorings per clip), so it is written
+        // branch-free: row slices instead of per-pixel (ix, iy) indexing,
+        // and `pixel_cost` folded into its `max(sign * (x - rho), 0)`
+        // form ([`PixelClass::cost_sign`]). Both transformations are
+        // bit-exact — IEEE-754 guarantees `-(x - rho) == rho - x`, and
+        // the pixels the branchy form skipped (band, zero kernel weight)
+        // contribute an exact `+0.0` term here — so the score matches the
+        // naive form to the last ulp and mode parity is unaffected.
+        let values = map.row(iy, xs.clone());
+        let classes = cls.class_row(iy, xs.clone());
+        for ((&fxv, &class), &old) in fx.iter().zip(classes).zip(values) {
+            let s = class.cost_sign();
+            let new = old + fxv * fyv;
+            delta += (s * (new - rho)).max(0.0) - (s * (old - rho)).max(0.0);
         }
     }
     delta
@@ -253,6 +349,40 @@ mod tests {
             after.cost - before.cost
         );
         assert!(predicted < 0.0, "growing toward the target must help");
+    }
+
+    #[test]
+    fn tracker_matches_full_evaluation_through_a_mutation_sequence() {
+        let (cls, mut map) = setup(&[]);
+        let mut tracker = ViolationTracker::new(&cls, &map);
+        assert_eq!(tracker.summary(), evaluate(&cls, &map));
+        // A churny sequence: add, grow an edge, shrink another, remove a
+        // shot, partial re-add. After every step the running counts must
+        // equal a from-scratch scan exactly; the cost to within ULP noise.
+        let steps: [(Rect, f64); 6] = [
+            (Rect::new(0, 0, 40, 30).unwrap(), 1.0),
+            (Rect::new(0, 30, 40, 31).unwrap(), 1.0),  // grow top
+            (Rect::new(39, 0, 40, 31).unwrap(), -1.0), // shrink right
+            (Rect::new(5, 5, 25, 25).unwrap(), 1.0),   // overlapping add
+            (Rect::new(5, 5, 25, 25).unwrap(), -1.0),  // and remove
+            (Rect::new(0, 31, 39, 40).unwrap(), 1.0),  // fill the rest
+        ];
+        for (rect, sign) in steps {
+            tracker.apply(&cls, &mut map, &rect, sign);
+            let full = evaluate(&cls, &map);
+            assert_eq!(tracker.summary().on_fails, full.on_fails, "{rect} {sign}");
+            assert_eq!(tracker.summary().off_fails, full.off_fails, "{rect} {sign}");
+            assert!(
+                (tracker.summary().cost - full.cost).abs() < 1e-9,
+                "{rect} {sign}: tracked {} vs full {}",
+                tracker.summary().cost,
+                full.cost
+            );
+        }
+        // resync after an untracked mutation restores exactness.
+        map.add_shot(&Rect::new(-8, -8, 2, 2).unwrap());
+        tracker.resync(&cls, &map);
+        assert_eq!(tracker.summary(), evaluate(&cls, &map));
     }
 
     #[test]

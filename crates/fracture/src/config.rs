@@ -63,6 +63,24 @@ pub struct FractureConfig {
     /// feasible. `None` (the default) means unbounded, as in the paper.
     #[serde(default)]
     pub deadline: Option<std::time::Duration>,
+    /// Selects the greedy-adjustment engine inside refinement. `true`
+    /// (the default) runs the incremental dirty-window engine: candidate
+    /// edge moves are cached per shot and only re-scored when an accepted
+    /// move's support window could have changed their score. `false`
+    /// re-scores every candidate on every pass (the reference path).
+    /// Both engines produce byte-identical shot lists; the flag exists
+    /// for A/B benchmarking and for the parity tests that prove it.
+    #[serde(default = "default_true")]
+    pub incremental_refine: bool,
+    /// Worker threads used to score surviving refinement candidates
+    /// within one greedy pass. `0` means auto-detect
+    /// (`std::thread::available_parallelism`), clamped to
+    /// 1..=[`crate::refine::MAX_REFINE_THREADS`]. Results are
+    /// deterministic at any thread count. The default of 1 avoids
+    /// oversubscription when shapes are already fractured on parallel
+    /// layout workers.
+    #[serde(default = "default_refine_threads")]
+    pub refine_threads: usize,
     /// Largest allowed side of a target's bounding box in nm; the
     /// validation front-door ([`crate::validate::validate_target`])
     /// rejects bigger shapes, which belong to clip-level partitioning, not
@@ -73,6 +91,14 @@ pub struct FractureConfig {
 
 fn default_max_extent() -> i64 {
     4096
+}
+
+fn default_true() -> bool {
+    true
+}
+
+fn default_refine_threads() -> usize {
+    1
 }
 
 fn default_coloring() -> ColoringStrategy {
@@ -95,6 +121,8 @@ impl Default for FractureConfig {
             lth_override: None,
             reduction_sweep: true,
             deadline: None,
+            incremental_refine: true,
+            refine_threads: 1,
             max_extent: default_max_extent(),
         }
     }
@@ -188,6 +216,31 @@ mod tests {
         let c = FractureConfig::default();
         let lth = c.resolve_lth();
         assert!(lth > 0.0 && lth < 5.0 * c.sigma);
+    }
+
+    #[test]
+    fn refine_engine_defaults() {
+        let c = FractureConfig::default();
+        assert!(c.incremental_refine, "incremental engine is the default");
+        assert_eq!(c.refine_threads, 1, "serial scoring by default");
+    }
+
+    #[test]
+    fn legacy_config_json_gets_refine_defaults() {
+        // A config serialized before the incremental engine existed must
+        // deserialize with the new fields at their defaults.
+        let legacy = r#"{
+            "gamma": 2.0, "sigma": 6.25, "rho": 0.5, "min_shot_size": 10,
+            "max_iterations": 1200, "stall_window": 10,
+            "max_plateau_restarts": 8, "shot_overlap_fraction": 0.8,
+            "merge_overlap_fraction": 0.9, "lth_override": null,
+            "reduction_sweep": true
+        }"#;
+        let c: FractureConfig = serde_json::from_str(legacy).expect("legacy json");
+        assert!(c.incremental_refine);
+        assert_eq!(c.refine_threads, 1);
+        assert_eq!(c.max_extent, default_max_extent());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub use dose::{polish_doses, try_polish_doses, DoseOptions, DoseOutcome, DosedSh
 pub use error::{FractureError, FractureStatus, Stage, TargetDefect};
 pub use faults::{Fault, FaultPlan, FaultScope};
 pub use pipeline::{FractureResult, ModelBasedFracturer};
-pub use refine::{reduce_shots, refine, IterationRecord, RefineOutcome};
+pub use refine::{
+    reduce_shots, refine, resolve_refine_threads, IterationRecord, RefineOutcome,
+    MAX_REFINE_THREADS,
+};
 pub use report::{verify_shots, FractureReport};
 pub use validate::{repair_target, validate_target, RepairedTarget};

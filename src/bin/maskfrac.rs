@@ -1,8 +1,8 @@
 //! `maskfrac` — command-line mask fracturing.
 //!
 //! ```text
-//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--trace] [--metrics-out REPORT.json]
-//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--deadline-ms MS] [--trace] [--metrics-out REPORT.json]
+//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--refine-threads N] [--trace] [--metrics-out REPORT.json]
+//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--refine-threads N] [--deadline-ms MS] [--trace] [--metrics-out REPORT.json]
 //! maskfrac generate-ilt <out.json> [--seed N] [--radius NM]
 //! maskfrac generate-benchmark <out.json> [--shots K] [--seed N]
 //! maskfrac verify <shape.json>
@@ -16,9 +16,12 @@
 //! malformed numbers, and degenerate shapes are reported with a typed
 //! message and a non-zero exit instead of a panic; `--deadline-ms`
 //! bounds the refinement wall clock (best-so-far results are tagged
-//! `degraded`). `--trace` prints the pipeline span tree to stderr and
-//! `--metrics-out` writes the versioned run report documented in
-//! `docs/observability.md`.
+//! `degraded`). `--threads` defaults to the machine's available
+//! parallelism (capped by the layout worker limit); `--refine-threads`
+//! sets the candidate-scoring workers inside one shape's refinement
+//! (`0` = auto, default 1 — results are identical at any setting).
+//! `--trace` prints the pipeline span tree to stderr and `--metrics-out`
+//! writes the versioned run report documented in `docs/observability.md`.
 
 use maskfrac::baselines::{
     Conventional, ExhaustiveOptimal, GreedySetCover, MaskFracturer, MatchingPursuit, Ours,
@@ -123,7 +126,7 @@ where
 }
 
 /// Builds the fracture configuration shared by the fracture subcommands,
-/// honouring `--deadline-ms`.
+/// honouring `--deadline-ms` and `--refine-threads`.
 fn config_from_flags(args: &[String]) -> Result<FractureConfig, Box<dyn std::error::Error>> {
     let mut cfg = FractureConfig::default();
     if let Some(ms) = parsed_flag::<u64>(args, "--deadline-ms")? {
@@ -132,13 +135,39 @@ fn config_from_flags(args: &[String]) -> Result<FractureConfig, Box<dyn std::err
         }
         cfg.deadline = Some(std::time::Duration::from_millis(ms));
     }
+    if let Some(n) = parsed_flag::<usize>(args, "--refine-threads")? {
+        if n > maskfrac::fracture::refine::MAX_REFINE_THREADS {
+            return Err(format!(
+                "--refine-threads {n} exceeds the cap of {}",
+                maskfrac::fracture::refine::MAX_REFINE_THREADS
+            )
+            .into());
+        }
+        cfg.refine_threads = n; // 0 = auto-detect
+    }
     Ok(cfg)
+}
+
+/// Default worker-thread count for `fracture-layout`: what the machine
+/// offers, bounded by the layout cap (1 if parallelism cannot be probed).
+fn default_layout_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(maskfrac::mdp::MAX_LAYOUT_THREADS)
 }
 
 fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     check_flags(
         args,
-        &["--method", "--svg", "--out", "--deadline-ms", "--trace", "--metrics-out"],
+        &[
+            "--method",
+            "--svg",
+            "--out",
+            "--deadline-ms",
+            "--refine-threads",
+            "--trace",
+            "--metrics-out",
+        ],
     )?;
     let path = args
         .first()
@@ -246,12 +275,16 @@ fn report(
 }
 
 fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    check_flags(args, &["--threads", "--deadline-ms", "--trace", "--metrics-out"])?;
+    check_flags(
+        args,
+        &["--threads", "--refine-threads", "--deadline-ms", "--trace", "--metrics-out"],
+    )?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("fracture-layout needs a layout.txt or layout.json path")?;
-    let threads = parsed_flag::<usize>(args, "--threads")?.unwrap_or(4);
+    let threads =
+        parsed_flag::<usize>(args, "--threads")?.unwrap_or_else(default_layout_threads);
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }

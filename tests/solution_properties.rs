@@ -90,6 +90,63 @@ proptest! {
     }
 }
 
+/// The incremental dirty-window engine and the full-rescan reference path
+/// must produce byte-identical shot lists at any thread count: caching and
+/// parallel scoring are pure optimizations, never allowed to change which
+/// candidate moves are accepted or in what order. Runs the real clip suite
+/// end to end through refinement in all three engine configurations.
+#[test]
+fn refinement_engines_agree_bit_for_bit_on_clip_suite() {
+    use maskfrac::fracture::refine::refine;
+    use maskfrac::fracture::approximate_fracture;
+
+    // Bounded iterations keep the suite fast; parity must hold at any cut
+    // point, so a tighter budget loses no coverage.
+    let base = FractureConfig {
+        max_iterations: 160,
+        reduction_sweep: false,
+        ..FractureConfig::default()
+    };
+    let fracturer = ModelBasedFracturer::new(base.clone());
+    for clip in maskfrac::shapes::ilt_suite() {
+        let cls = fracturer.classify(&clip.polygon);
+        let approx = approximate_fracture(
+            &clip.polygon,
+            &cls,
+            fracturer.model(),
+            &base,
+            fracturer.lth(),
+        );
+        let mut reference = None;
+        for (incremental, threads) in [(false, 1usize), (true, 1), (true, 4)] {
+            let cfg = FractureConfig {
+                incremental_refine: incremental,
+                refine_threads: threads,
+                ..base.clone()
+            };
+            let out = refine(&cls, fracturer.model(), &cfg, approx.shots.clone());
+            match &reference {
+                None => reference = Some(out),
+                Some(want) => {
+                    assert_eq!(
+                        out.shots, want.shots,
+                        "{}: engine (incremental={incremental}, threads={threads}) \
+                         diverged from the full-rescan reference",
+                        clip.id
+                    );
+                    assert_eq!(out.iterations, want.iterations, "{}", clip.id);
+                    assert_eq!(
+                        out.summary.fail_count(),
+                        want.summary.fail_count(),
+                        "{}",
+                        clip.id
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn classification_frames_cover_model_support() {
     // The frame margin used by the pipeline must cover 3 sigma, or Poff
