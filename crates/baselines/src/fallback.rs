@@ -23,7 +23,8 @@ use crate::conventional::Conventional;
 use crate::proto::ProtoEda;
 use maskfrac_ebeam::FailureSummary;
 use maskfrac_fracture::{
-    FractureConfig, FractureError, FractureResult, FractureStatus, ModelBasedFracturer,
+    FractureConfig, FractureError, FractureResult, FractureScratch, FractureStatus,
+    ModelBasedFracturer,
 };
 use maskfrac_geom::Polygon;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -97,6 +98,19 @@ impl FallbackFracturer {
     /// Fractures one shape, descending the ladder until a rung delivers.
     /// Panics in any rung are caught and recorded, not propagated.
     pub fn fracture(&self, target: &Polygon) -> FallbackOutcome {
+        self.fracture_with(target, &mut FractureScratch::new())
+    }
+
+    /// [`fracture`](Self::fracture) with an explicit per-worker
+    /// [`FractureScratch`] arena: the model-based rungs recycle their
+    /// working buffers across calls. A rung that panics simply never
+    /// returns its buffers (the arena regrows them); results are identical
+    /// to [`fracture`](Self::fracture).
+    pub fn fracture_with(
+        &self,
+        target: &Polygon,
+        scratch: &mut FractureScratch,
+    ) -> FallbackOutcome {
         let _ladder_span = maskfrac_obs::span("fallback.ladder");
         let start = Instant::now();
         let mut errors: Vec<String> = Vec::new();
@@ -106,7 +120,7 @@ impl FallbackFracturer {
             attempts += 1;
             maskfrac_obs::counter(rung_attempt_counter(method)).incr();
             match fracturer {
-                Ok(f) => match guarded(|| f.try_fracture(target)) {
+                Ok(f) => match guarded(|| f.try_fracture_with(target, &mut *scratch)) {
                     Ok(result) => {
                         maskfrac_obs::counter(rung_delivered_counter(method)).incr();
                         return FallbackOutcome {

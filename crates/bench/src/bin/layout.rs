@@ -1,0 +1,259 @@
+//! Layout-scale throughput benchmark: wall clock of
+//! `maskfrac_mdp::fracture_layout_opts` on a seeded synthetic layout,
+//! across worker-thread counts and with the geometry-dedup cache on/off.
+//!
+//! The layout is generated from a fixed seed: `DISTINCT` distinct
+//! rectangle geometries, each registered under `ALIASES` library names
+//! (so the dedup cache has real work), each entry placed `PLACEMENTS`
+//! times. Every mode must produce the identical per-shape report — this
+//! harness asserts it row by row — so the timing differences are pure
+//! throughput, never behavioral drift.
+//!
+//! Run with `cargo run -p maskfrac-bench --release --bin layout`
+//! (`--full` scales the layout up ~4x). Honours `--trace` and
+//! `--metrics-out <path>`, and always writes the machine-readable run
+//! report `results/BENCH_layout.json` (see `docs/observability.md`).
+//! CI's perf-smoke job compares the per-shape shot counts in that report
+//! against the committed baseline, gated on
+//! `layout.bench.suite_fingerprint`.
+
+use maskfrac_bench::{apply_obs_flags, finish_run_report, save_json};
+use maskfrac_fracture::FractureConfig;
+use maskfrac_geom::{Polygon, Rect};
+use maskfrac_mdp::{fracture_layout_opts, Layout, LayoutFractureReport, LayoutOptions, Placement};
+use maskfrac_obs::ShapeRecord;
+use serde::Serialize;
+
+const SEED: u64 = 0x6d61_736b_6672_6163; // "maskfrac"
+const DISTINCT: usize = 6;
+const ALIASES: usize = 4;
+const PLACEMENTS: usize = 8;
+
+/// One (mode) measurement. Consumed through Serialize (JSON rows).
+#[allow(dead_code)]
+#[derive(Debug, Serialize)]
+struct LayoutRow {
+    mode: &'static str,
+    threads: usize,
+    dedup_cache: bool,
+    total_shots: usize,
+    total_fail_pixels: usize,
+    shapes: usize,
+    instances: usize,
+    wall_s: f64,
+}
+
+struct Mode {
+    name: &'static str,
+    threads: usize,
+    dedup_cache: bool,
+}
+
+const MODES: [Mode; 5] = [
+    Mode { name: "uncached-t1", threads: 1, dedup_cache: false },
+    Mode { name: "uncached-t4", threads: 4, dedup_cache: false },
+    Mode { name: "cached-t1", threads: 1, dedup_cache: true },
+    Mode { name: "cached-t2", threads: 2, dedup_cache: true },
+    Mode { name: "cached-t4", threads: 4, dedup_cache: true },
+];
+
+/// Tiny seeded xorshift64 — the bench crate carries no RNG dependency,
+/// and the layout must be bit-identical everywhere the bench runs.
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 { state: seed.max(1) }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform draw from `lo..=hi` (range small enough that modulo bias
+    /// is irrelevant for geometry synthesis).
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % ((hi - lo + 1) as u64)) as i64
+    }
+}
+
+/// Builds the synthetic layout: `distinct` rectangle geometries (sides
+/// 20–60 nm, all comfortably fracturable), each under `aliases` names,
+/// each name placed `placements` times on a grid.
+fn synth_layout(distinct: usize, aliases: usize, placements: usize, seed: u64) -> Layout {
+    let mut rng = XorShift64::new(seed);
+    let mut layout = Layout::new("synthetic");
+    let mut row = 0i64;
+    for g in 0..distinct {
+        let w = rng.range(20, 60);
+        let h = rng.range(20, 60);
+        let rect = Rect::new(0, 0, w, h).expect("positive sides");
+        for a in 0..aliases {
+            let name = format!("g{g}-a{a}");
+            layout.add_shape(&name, Polygon::from_rect(rect));
+            for p in 0..placements {
+                layout.place(&name, Placement::at(p as i64 * 200, row * 200));
+            }
+            row += 1;
+        }
+    }
+    layout
+}
+
+/// FNV-1a hash of the library entry names and vertex coordinates,
+/// published in the run report as the `layout.bench.suite_fingerprint`
+/// counter. Per-shape shot counts are only comparable between runs that
+/// fractured the same synthetic layout; CI's drift check keys on this so
+/// a baseline from a different generator build bootstraps instead of
+/// flagging a false regression.
+fn suite_fingerprint(layout: &Layout) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (name, polygon) in layout.shapes() {
+        eat(name.as_bytes());
+        for p in polygon.vertices() {
+            eat(&p.x.to_le_bytes());
+            eat(&p.y.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// One report row minus the wall-clock field: (shape, shots_per_instance,
+/// instances, fail_pixels, method, attempts).
+type ReportRow = (String, usize, usize, usize, String, u32);
+
+/// Report rows with the wall-clock field dropped, for the cross-mode
+/// identity assertion.
+fn strip(report: &LayoutFractureReport) -> Vec<ReportRow> {
+    report
+        .per_shape
+        .iter()
+        .map(|s| {
+            (
+                s.shape.clone(),
+                s.shots_per_instance,
+                s.instances,
+                s.fail_pixels,
+                s.method.clone(),
+                s.attempts,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let started = std::time::Instant::now();
+    let metrics_out = apply_obs_flags(&args);
+    let full = args.iter().any(|a| a == "--full");
+
+    let (distinct, placements) = if full {
+        (DISTINCT * 4, PLACEMENTS * 2)
+    } else {
+        (DISTINCT, PLACEMENTS)
+    };
+    let layout = synth_layout(distinct, ALIASES, placements, SEED);
+    let cfg = FractureConfig::default();
+
+    let fingerprint = suite_fingerprint(&layout);
+    maskfrac_obs::counter!("layout.bench.suite_fingerprint").add(fingerprint);
+    println!(
+        "== Layout throughput benchmark: {} entries ({} distinct), {} instances \
+         (suite fingerprint {fingerprint:#018x}) ==",
+        layout.shape_count(),
+        distinct,
+        layout.instance_count()
+    );
+
+    let mut rows: Vec<LayoutRow> = Vec::new();
+    let mut shapes: Vec<ShapeRecord> = Vec::new();
+    let mut walls = [0.0f64; MODES.len()];
+    let mut reference: Option<Vec<ReportRow>> = None;
+
+    for (mi, mode) in MODES.iter().enumerate() {
+        let opts = LayoutOptions {
+            threads: mode.threads,
+            dedup_cache: mode.dedup_cache,
+        };
+        let t0 = std::time::Instant::now();
+        let report = fracture_layout_opts(&layout, &cfg, &opts);
+        let dt = t0.elapsed().as_secs_f64();
+        walls[mi] = dt;
+        match &reference {
+            None => reference = Some(strip(&report)),
+            Some(want) => assert_eq!(
+                &strip(&report),
+                want,
+                "{} diverged from the reference per-shape report",
+                mode.name
+            ),
+        }
+        println!(
+            "{:<12}  {:>5} shots  {:>3} fails  {:>8.3}s  (worst status {:?})",
+            mode.name,
+            report.total_shots(),
+            report.total_fail_pixels(),
+            dt,
+            report.worst_status()
+        );
+        rows.push(LayoutRow {
+            mode: mode.name,
+            threads: mode.threads,
+            dedup_cache: mode.dedup_cache,
+            total_shots: report.total_shots(),
+            total_fail_pixels: report.total_fail_pixels(),
+            shapes: report.per_shape.len(),
+            instances: layout.instance_count(),
+            wall_s: dt,
+        });
+        for s in &report.per_shape {
+            shapes.push(ShapeRecord {
+                id: s.shape.clone(),
+                status: format!("{:?}", s.status).to_lowercase(),
+                method: mode.name.to_owned(),
+                shots: s.shots_per_instance,
+                fail_pixels: s.fail_pixels,
+                runtime_s: s.runtime_s,
+                attempts: s.attempts.max(1) as usize,
+            });
+        }
+    }
+
+    println!("\nspeedups vs {}:", MODES[0].name);
+    for (mi, mode) in MODES.iter().enumerate() {
+        println!(
+            "  {:<12} {:>8.3}s  ({:.2}x)",
+            mode.name,
+            walls[mi],
+            walls[0] / walls[mi].max(1e-12)
+        );
+    }
+
+    println!("cache / arena counters:");
+    for name in [
+        "mdp.cache.hits",
+        "mdp.cache.misses",
+        "mdp.cache.inflight_waits",
+        "ebeam.scratch.reuses",
+        "ebeam.scratch.grows",
+        "ebeam.lut.builds",
+    ] {
+        println!("  {name} = {}", maskfrac_obs::counter(name).get());
+    }
+
+    save_json("layout_bench.json", &rows);
+    finish_run_report("layout", started, metrics_out.as_deref(), shapes);
+}

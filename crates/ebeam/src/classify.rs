@@ -89,12 +89,30 @@ impl Classification {
     ///
     /// Panics if `gamma` is negative.
     pub fn build_region(target: &Region, gamma: f64, margin: i64) -> Self {
+        Self::build_region_reusing(target, gamma, margin, Vec::new())
+    }
+
+    /// [`Classification::build_region`], recycling `classes` as the class
+    /// buffer (cleared, then grown if too small — never shrunk). Scratch
+    /// arenas pass the previous shape's buffer back here so steady-state
+    /// layout fracturing does not reallocate the class grid per shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is negative.
+    pub fn build_region_reusing(
+        target: &Region,
+        gamma: f64,
+        margin: i64,
+        mut classes: Vec<PixelClass>,
+    ) -> Self {
         assert!(gamma >= 0.0, "gamma must be nonnegative");
         let frame = Frame::covering(target.bbox(), margin);
         let inside = target.rasterize(frame);
         let band = boundary_band(&inside, gamma.ceil() as i64);
 
-        let mut classes = Vec::with_capacity(frame.len());
+        classes.clear();
+        classes.reserve(frame.len());
         let (mut on_count, mut off_count, mut band_count) = (0, 0, 0);
         for iy in 0..frame.height() {
             for ix in 0..frame.width() {
@@ -119,6 +137,12 @@ impl Classification {
             off_count,
             band_count,
         }
+    }
+
+    /// Consumes the classification, returning the class buffer for reuse
+    /// (see [`Classification::build_region_reusing`]).
+    pub fn into_classes(self) -> Vec<PixelClass> {
+        self.classes
     }
 
     /// The classified pixel frame.

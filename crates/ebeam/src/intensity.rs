@@ -45,18 +45,10 @@ const LUT_RANGE: f64 = 4.0;
 /// assert!(center > 0.99);
 /// assert!((corner - 0.25).abs() < 1e-3); // two half-edges: 0.5 × 0.5
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExposureModel {
     kernel: ProximityKernel,
     rho: f64,
-    #[serde(skip, default)]
-    lut: EdgeLut,
-}
-
-impl PartialEq for ExposureModel {
-    fn eq(&self, other: &Self) -> bool {
-        self.kernel == other.kernel && self.rho == other.rho
-    }
 }
 
 impl ExposureModel {
@@ -71,7 +63,6 @@ impl ExposureModel {
         ExposureModel {
             kernel: ProximityKernel::new(sigma),
             rho,
-            lut: EdgeLut::new(),
         }
     }
 
@@ -159,7 +150,8 @@ impl ExposureModel {
     #[inline]
     pub fn edge_factor(&self, a: f64, b: f64, t: f64) -> f64 {
         let s = self.sigma();
-        self.lut.phi((b - t) / s) - self.lut.phi((a - t) / s)
+        let lut = edge_lut();
+        lut.phi((b - t) / s) - lut.phi((a - t) / s)
     }
 
     /// Intensity of shot `s` at the continuous point `(x, y)` using the
@@ -212,9 +204,28 @@ impl Default for ExposureModel {
 }
 
 /// Lookup table for `Φ(t) = ½(1 + erf(t))` with linear interpolation.
-#[derive(Debug, Clone)]
+///
+/// The table is in normalized units `t = distance/σ`, so it is independent
+/// of any particular model's `σ` and a single process-wide instance serves
+/// every [`ExposureModel`]. Before this sharing, every `ExposureModel`
+/// clone or deserialize rebuilt the 4097-entry table (4097 `erf` evals) —
+/// measurable when `fracture_layout` hands a model clone to each worker.
+#[derive(Debug)]
 struct EdgeLut {
     values: Vec<f64>,
+}
+
+/// The process-wide shared edge-profile table; built once, on first use.
+static EDGE_LUT: std::sync::OnceLock<EdgeLut> = std::sync::OnceLock::new();
+
+/// Returns the shared lookup table, building it on first call
+/// (`ebeam.lut.builds` counts the builds — it must stay at 1 per process).
+#[inline]
+fn edge_lut() -> &'static EdgeLut {
+    EDGE_LUT.get_or_init(|| {
+        maskfrac_obs::counter!("ebeam.lut.builds").incr();
+        EdgeLut::new()
+    })
 }
 
 impl EdgeLut {
@@ -242,12 +253,6 @@ impl EdgeLut {
         let frac = pos - i as f64;
         // `i + 1` is in range because t < LUT_RANGE strictly.
         self.values[i] * (1.0 - frac) + self.values[i + 1] * frac
-    }
-}
-
-impl Default for EdgeLut {
-    fn default() -> Self {
-        EdgeLut::new()
     }
 }
 

@@ -37,16 +37,44 @@ pub struct IntensityMap {
     model: ExposureModel,
     frame: Frame,
     values: Vec<f64>,
+    // Grow-only scratch for per-application edge factors, reused across
+    // calls so the steady-state hot path performs no heap allocation.
+    // Two pairs: `replace_shot` needs both rects' factors live at once.
+    fx: Vec<f64>,
+    fy: Vec<f64>,
+    fx2: Vec<f64>,
+    fy2: Vec<f64>,
 }
 
 impl IntensityMap {
     /// Creates an all-zero intensity map over `frame`.
     pub fn new(model: ExposureModel, frame: Frame) -> Self {
+        IntensityMap::with_values(model, frame, Vec::new())
+    }
+
+    /// Creates an all-zero intensity map over `frame`, recycling `values`
+    /// as the backing store (grown if too small, never shrunk).
+    ///
+    /// This is the scratch-arena entry point: the fracturer's per-worker
+    /// `FractureScratch` hands the previous shape's buffer back so
+    /// steady-state layout fracturing allocates nothing per shape.
+    pub fn with_values(model: ExposureModel, frame: Frame, mut values: Vec<f64>) -> Self {
+        values.clear();
+        values.resize(frame.len(), 0.0);
         IntensityMap {
             model,
             frame,
-            values: vec![0.0; frame.len()],
+            values,
+            fx: Vec::new(),
+            fy: Vec::new(),
+            fx2: Vec::new(),
+            fy2: Vec::new(),
         }
+    }
+
+    /// Consumes the map, returning the backing value buffer for reuse.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
     }
 
     /// The exposure model.
@@ -96,10 +124,51 @@ impl IntensityMap {
         self.apply_shot(shot, -1.0);
     }
 
-    /// Replaces `old` with `new` (e.g. after an edge move).
+    /// Replaces `old` with `new` (e.g. after an edge move) in a single
+    /// pass over the union of the two affected windows.
+    ///
+    /// For the common small-edge-move case the windows almost coincide, so
+    /// fusing subtract-and-add into one traversal halves the memory walked
+    /// versus `remove_shot` + `add_shot`. Bit-exact with the two-pass
+    /// path: per pixel the operations are independent f64 adds applied in
+    /// the same order (old's subtraction before new's addition), each
+    /// restricted to its own rect's affected window.
     pub fn replace_shot(&mut self, old: &Rect, new: &Rect) {
-        self.remove_shot(old);
-        self.add_shot(new);
+        let (xs_o, ys_o) = self.affected_window(old);
+        let (xs_n, ys_n) = self.affected_window(new);
+        let old_live = !xs_o.is_empty() && !ys_o.is_empty();
+        let new_live = !xs_n.is_empty() && !ys_n.is_empty();
+        if !old_live || !new_live {
+            // One side is entirely off-frame: nothing to fuse.
+            self.apply_shot(old, -1.0);
+            self.apply_shot(new, 1.0);
+            return;
+        }
+        maskfrac_obs::counter!("ebeam.kernel.convolutions").add(2);
+        let (mut fx_o, mut fy_o) = (std::mem::take(&mut self.fx), std::mem::take(&mut self.fy));
+        let (mut fx_n, mut fy_n) = (std::mem::take(&mut self.fx2), std::mem::take(&mut self.fy2));
+        self.fill_edge_factors(old, &xs_o, &ys_o, &mut fx_o, &mut fy_o);
+        self.fill_edge_factors(new, &xs_n, &ys_n, &mut fx_n, &mut fy_n);
+        let width = self.frame.width();
+        for iy in ys_o.start.min(ys_n.start)..ys_o.end.max(ys_n.end) {
+            let base = iy * width;
+            if ys_o.contains(&iy) {
+                let fyv = -fy_o[iy - ys_o.start];
+                let row = &mut self.values[base + xs_o.start..base + xs_o.end];
+                for (v, &f) in row.iter_mut().zip(&fx_o) {
+                    *v += f * fyv;
+                }
+            }
+            if ys_n.contains(&iy) {
+                let fyv = fy_n[iy - ys_n.start];
+                let row = &mut self.values[base + xs_n.start..base + xs_n.end];
+                for (v, &f) in row.iter_mut().zip(&fx_n) {
+                    *v += f * fyv;
+                }
+            }
+        }
+        (self.fx, self.fy) = (fx_o, fy_o);
+        (self.fx2, self.fy2) = (fx_n, fy_n);
     }
 
     /// Adds a shot's intensity scaled by `dose` (variable-dose writing;
@@ -145,8 +214,50 @@ impl IntensityMap {
             .fold(0.0, f64::max)
     }
 
+    /// Fills `fx`/`fy` with the shot's separable edge factors over the
+    /// window — one per column/row. Buffers are cleared and re-filled in
+    /// place (grow-only, no steady-state allocation).
+    fn fill_edge_factors(
+        &self,
+        shot: &Rect,
+        xs: &std::ops::Range<usize>,
+        ys: &std::ops::Range<usize>,
+        fx: &mut Vec<f64>,
+        fy: &mut Vec<f64>,
+    ) {
+        fx.clear();
+        fx.extend(xs.clone().map(|ix| {
+            let (cx, _) = self.frame.pixel_center(ix, 0);
+            self.model.edge_factor(shot.x0() as f64, shot.x1() as f64, cx)
+        }));
+        fy.clear();
+        fy.extend(ys.clone().map(|iy| {
+            let (_, cy) = self.frame.pixel_center(0, iy);
+            self.model.edge_factor(shot.y0() as f64, shot.y1() as f64, cy)
+        }));
+    }
+
     fn apply_shot(&mut self, shot: &Rect, sign: f64) {
-        self.apply_shot_visit(shot, sign, |_, _, _, _| {});
+        let (xs, ys) = self.affected_window(shot);
+        if xs.is_empty() || ys.is_empty() {
+            return;
+        }
+        maskfrac_obs::counter!("ebeam.kernel.convolutions").incr();
+        let (mut fx, mut fy) = (std::mem::take(&mut self.fx), std::mem::take(&mut self.fy));
+        self.fill_edge_factors(shot, &xs, &ys, &mut fx, &mut fy);
+        let width = self.frame.width();
+        for (j, iy) in ys.clone().enumerate() {
+            let base = iy * width;
+            let fyv = fy[j] * sign;
+            // Closure-free multiply-add over contiguous slices — the shape
+            // the autovectorizer turns into SIMD lanes. Bit-exact with the
+            // visit path: same per-pixel `old + fx·fyv` in the same order.
+            let row = &mut self.values[base + xs.start..base + xs.end];
+            for (v, &f) in row.iter_mut().zip(&fx) {
+                *v += f * fyv;
+            }
+        }
+        (self.fx, self.fy) = (fx, fy);
     }
 
     /// Applies `sign ×` the shot's intensity, reporting every touched
@@ -169,20 +280,8 @@ impl IntensityMap {
         }
         maskfrac_obs::counter!("ebeam.kernel.convolutions").incr();
         // Separable profile: one edge factor per row/column.
-        let fx: Vec<f64> = xs
-            .clone()
-            .map(|ix| {
-                let (cx, _) = self.frame.pixel_center(ix, 0);
-                self.model.edge_factor(shot.x0() as f64, shot.x1() as f64, cx)
-            })
-            .collect();
-        let fy: Vec<f64> = ys
-            .clone()
-            .map(|iy| {
-                let (_, cy) = self.frame.pixel_center(0, iy);
-                self.model.edge_factor(shot.y0() as f64, shot.y1() as f64, cy)
-            })
-            .collect();
+        let (mut fx, mut fy) = (std::mem::take(&mut self.fx), std::mem::take(&mut self.fy));
+        self.fill_edge_factors(shot, &xs, &ys, &mut fx, &mut fy);
         let width = self.frame.width();
         for (j, iy) in ys.clone().enumerate() {
             let row = iy * width;
@@ -194,6 +293,7 @@ impl IntensityMap {
                 visit(ix, iy, old, new);
             }
         }
+        (self.fx, self.fy) = (fx, fy);
     }
 }
 
@@ -275,6 +375,49 @@ mod tests {
         m.add_shot(&s);
         let (ix, iy) = (45usize, 45usize); // centre (20.5, 20.5)
         assert!((m.value(ix, iy) - 2.0).abs() < 1e-4, "double dose saturates at 2");
+    }
+
+    #[test]
+    fn fused_replace_matches_two_pass_bitwise() {
+        // The fused union-window pass must be indistinguishable from
+        // remove+add down to the last ULP — greedy refinement decisions
+        // key off exact f64 values.
+        let base = vec![
+            Rect::new(0, 0, 30, 30).unwrap(),
+            Rect::new(25, 5, 65, 40).unwrap(),
+            Rect::new(-10, 20, 20, 70).unwrap(),
+        ];
+        let moves = [
+            // Small edge move: windows almost coincide (the common case).
+            (Rect::new(25, 5, 65, 40).unwrap(), Rect::new(25, 5, 67, 40).unwrap()),
+            // Disjoint relocation: union window is two separated bands.
+            (Rect::new(0, 0, 30, 30).unwrap(), Rect::new(50, 60, 80, 90).unwrap()),
+            // Partially off-frame on one side.
+            (Rect::new(-10, 20, 20, 70).unwrap(), Rect::new(-40, 20, -10, 70).unwrap()),
+            // Entirely off-frame old (degenerate fallback branch).
+            (Rect::new(4000, 4000, 4100, 4100).unwrap(), Rect::new(10, 10, 40, 40).unwrap()),
+        ];
+        for (old, new) in &moves {
+            let mut fused = map();
+            let mut twopass = map();
+            for s in &base {
+                fused.add_shot(s);
+                twopass.add_shot(s);
+            }
+            fused.replace_shot(old, new);
+            twopass.remove_shot(old);
+            twopass.add_shot(new);
+            let (w, h) = (fused.frame().width(), fused.frame().height());
+            for iy in 0..h {
+                for ix in 0..w {
+                    assert_eq!(
+                        fused.value(ix, iy).to_bits(),
+                        twopass.value(ix, iy).to_bits(),
+                        "pixel ({ix}, {iy}) for move {old:?} -> {new:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -218,6 +218,10 @@ pub fn cost_delta_for_strip(
     strip: &Rect,
     sign: f64,
 ) -> f64 {
+    // Fixed chunk width for the scoring inner loop (see below). 16 f64
+    // lanes span two AVX-512 / four AVX2 registers — wide enough to keep
+    // the vector units busy, small enough to live on the stack.
+    const CHUNK: usize = 16;
     let model = map.model();
     let rho = model.rho();
     let frame = cls.frame();
@@ -225,45 +229,74 @@ pub fn cost_delta_for_strip(
     if xs.is_empty() || ys.is_empty() {
         return 0.0;
     }
-    // Separable edge factors: one per column/row of the window.
-    let fx: Vec<f64> = xs
-        .clone()
-        .map(|ix| {
+    // Separable edge factors: one per column/row of the window. The
+    // buffers are thread-local and grow-only — scoring runs on the
+    // refinement engine's scoped worker threads, and a per-call Vec pair
+    // here was the last steady-state allocation on the scoring path.
+    STRIP_FACTORS.with(|cell| {
+        let (fx, fy) = &mut *cell.borrow_mut();
+        fx.clear();
+        fx.extend(xs.clone().map(|ix| {
             let (cx, _) = frame.pixel_center(ix, 0);
             model.edge_factor(strip.x0() as f64, strip.x1() as f64, cx)
-        })
-        .collect();
-    let fy: Vec<f64> = ys
-        .clone()
-        .map(|iy| {
+        }));
+        fy.clear();
+        fy.extend(ys.clone().map(|iy| {
             let (_, cy) = frame.pixel_center(0, iy);
             model.edge_factor(strip.y0() as f64, strip.y1() as f64, cy)
-        })
-        .collect();
-    let mut delta = 0.0;
-    for (j, iy) in ys.enumerate() {
-        let fyv = fy[j] * sign;
-        if fyv == 0.0 {
-            continue;
+        }));
+        let mut delta = 0.0;
+        let mut terms = [0.0f64; CHUNK];
+        for (j, iy) in ys.clone().enumerate() {
+            let fyv = fy[j] * sign;
+            if fyv == 0.0 {
+                continue;
+            }
+            // This loop is the refinement engine's hottest path (tens of
+            // thousands of strip scorings per clip), so it is written
+            // branch-free: row slices instead of per-pixel (ix, iy)
+            // indexing, and `pixel_cost` folded into its
+            // `max(sign * (x - rho), 0)` form ([`PixelClass::cost_sign`]).
+            // Both transformations are bit-exact — IEEE-754 guarantees
+            // `-(x - rho) == rho - x`, and the pixels the branchy form
+            // skipped (band, zero kernel weight) contribute an exact
+            // `+0.0` term here — so the score matches the naive form to
+            // the last ulp and mode parity is unaffected.
+            //
+            // The row is processed in fixed-width chunks: each pixel's
+            // term is computed elementwise into a stack array (no serial
+            // dependency, so the autovectorizer can SIMD it), then the
+            // terms are added into `delta` serially in the original pixel
+            // order — the accumulation chain, and hence the f64 result,
+            // is bit-identical to the unchunked loop.
+            let values = map.row(iy, xs.clone());
+            let classes = cls.class_row(iy, xs.clone());
+            for ((fxc, clc), vc) in fx
+                .chunks(CHUNK)
+                .zip(classes.chunks(CHUNK))
+                .zip(values.chunks(CHUNK))
+            {
+                let n = fxc.len();
+                for k in 0..n {
+                    let s = clc[k].cost_sign();
+                    let old = vc[k];
+                    let new = old + fxc[k] * fyv;
+                    terms[k] = (s * (new - rho)).max(0.0) - (s * (old - rho)).max(0.0);
+                }
+                for &t in &terms[..n] {
+                    delta += t;
+                }
+            }
         }
-        // This loop is the refinement engine's hottest path (tens of
-        // thousands of strip scorings per clip), so it is written
-        // branch-free: row slices instead of per-pixel (ix, iy) indexing,
-        // and `pixel_cost` folded into its `max(sign * (x - rho), 0)`
-        // form ([`PixelClass::cost_sign`]). Both transformations are
-        // bit-exact — IEEE-754 guarantees `-(x - rho) == rho - x`, and
-        // the pixels the branchy form skipped (band, zero kernel weight)
-        // contribute an exact `+0.0` term here — so the score matches the
-        // naive form to the last ulp and mode parity is unaffected.
-        let values = map.row(iy, xs.clone());
-        let classes = cls.class_row(iy, xs.clone());
-        for ((&fxv, &class), &old) in fx.iter().zip(classes).zip(values) {
-            let s = class.cost_sign();
-            let new = old + fxv * fyv;
-            delta += (s * (new - rho)).max(0.0) - (s * (old - rho)).max(0.0);
-        }
-    }
-    delta
+        delta
+    })
+}
+
+thread_local! {
+    /// Per-thread edge-factor scratch for [`cost_delta_for_strip`]
+    /// (`fx`, `fy`). Grow-only; cleared and refilled on every call.
+    static STRIP_FACTORS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 #[cfg(test)]

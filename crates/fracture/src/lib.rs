@@ -48,6 +48,7 @@ pub mod faults;
 pub mod pipeline;
 pub mod refine;
 pub mod report;
+pub mod scratch;
 pub mod validate;
 
 pub use approx::{approximate_fracture, approximate_fracture_region, ApproxFracture};
@@ -62,4 +63,5 @@ pub use refine::{
     MAX_REFINE_THREADS,
 };
 pub use report::{verify_shots, FractureReport};
+pub use scratch::FractureScratch;
 pub use validate::{repair_target, validate_target, RepairedTarget};

@@ -4,10 +4,11 @@ use crate::approx::{approximate_fracture_region, ApproxFracture};
 use crate::config::FractureConfig;
 use crate::error::{FractureError, FractureStatus, Stage};
 use crate::faults::{self, Fault};
-use crate::refine::{refine_until, RefineOutcome};
+use crate::refine::{refine_until_with, RefineOutcome};
+use crate::scratch::FractureScratch;
 use crate::validate::validate_target;
 use maskfrac_ebeam::{Classification, ExposureModel, FailureSummary};
-use maskfrac_geom::{Polygon, Rect, Region};
+use maskfrac_geom::{Frame, Polygon, Rect, Region};
 use std::time::{Duration, Instant};
 
 /// Output of a fracturing run.
@@ -133,6 +134,18 @@ impl ModelBasedFracturer {
         result
     }
 
+    /// [`fracture`](Self::fracture) with an explicit per-worker
+    /// [`FractureScratch`] arena: the intensity grid, the class grid and
+    /// the refinement engine's candidate cache are recycled across calls,
+    /// so a worker fracturing many shapes allocates nothing per shape in
+    /// steady state. Results are identical to [`fracture`](Self::fracture).
+    pub fn fracture_with(&self, target: &Polygon, scratch: &mut FractureScratch) -> FractureResult {
+        let region = Region::simple(target.clone());
+        let deadline = self.config.deadline.map(|d| Instant::now() + d);
+        let (result, _, _) = self.fracture_region_traced_until(&region, deadline, scratch);
+        result
+    }
+
     /// Fractures a target region (polygon with holes).
     pub fn fracture_region(&self, target: &Region) -> FractureResult {
         let (result, _, _) = self.fracture_region_traced(target);
@@ -153,12 +166,39 @@ impl ModelBasedFracturer {
         self.try_fracture_region(&Region::simple(target.clone()))
     }
 
+    /// [`try_fracture`](Self::try_fracture) with an explicit per-worker
+    /// [`FractureScratch`] arena (see [`fracture_with`](Self::fracture_with)).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_fracture`](Self::try_fracture).
+    pub fn try_fracture_with(
+        &self,
+        target: &Polygon,
+        scratch: &mut FractureScratch,
+    ) -> Result<FractureResult, FractureError> {
+        self.try_fracture_region_with(&Region::simple(target.clone()), scratch)
+    }
+
     /// Region variant of [`try_fracture`](Self::try_fracture).
     ///
     /// # Errors
     ///
     /// See [`try_fracture`](Self::try_fracture).
     pub fn try_fracture_region(&self, target: &Region) -> Result<FractureResult, FractureError> {
+        self.try_fracture_region_with(target, &mut FractureScratch::new())
+    }
+
+    /// Region variant of [`try_fracture_with`](Self::try_fracture_with).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_fracture`](Self::try_fracture).
+    pub fn try_fracture_region_with(
+        &self,
+        target: &Region,
+        scratch: &mut FractureScratch,
+    ) -> Result<FractureResult, FractureError> {
         validate_target(target, &self.config)?;
         match faults::fire("pipeline", self.fault_key(target)) {
             Some(Fault::Panic) => {
@@ -168,7 +208,7 @@ impl ModelBasedFracturer {
                 // Act out an already-expired budget: refinement returns
                 // its best-so-far immediately.
                 let (result, _, _) =
-                    self.fracture_region_traced_until(target, Some(Instant::now()));
+                    self.fracture_region_traced_until(target, Some(Instant::now()), scratch);
                 return Ok(result);
             }
             Some(Fault::Infeasible) => {
@@ -179,7 +219,8 @@ impl ModelBasedFracturer {
             }
             None => {}
         }
-        let (result, _, _) = self.fracture_region_traced(target);
+        let deadline = self.config.deadline.map(|d| Instant::now() + d);
+        let (result, _, _) = self.fracture_region_traced_until(target, deadline, scratch);
         Ok(result)
     }
 
@@ -219,24 +260,40 @@ impl ModelBasedFracturer {
         target: &Region,
     ) -> (FractureResult, ApproxFracture, RefineOutcome) {
         let deadline = self.config.deadline.map(|d| Instant::now() + d);
-        self.fracture_region_traced_until(target, deadline)
+        self.fracture_region_traced_until(target, deadline, &mut FractureScratch::new())
     }
 
     /// Core of the pipeline, against an absolute deadline covering every
-    /// stage (classification, approximation, refinement, reduction).
+    /// stage (classification, approximation, refinement, reduction). All
+    /// large working buffers come from (and return to) `scratch`.
     fn fracture_region_traced_until(
         &self,
         target: &Region,
         deadline: Option<Instant>,
+        scratch: &mut FractureScratch,
     ) -> (FractureResult, ApproxFracture, RefineOutcome) {
         let _shape_span = maskfrac_obs::span("fracture.shape");
         let start = Instant::now();
+        let margin = self.model.support_radius_px() + 2;
         let cls = {
             let _span = maskfrac_obs::span("fracture.classify");
-            self.classify_region(target)
+            let needed = Frame::covering(target.bbox(), margin).len();
+            Classification::build_region_reusing(
+                target,
+                self.config.gamma,
+                margin,
+                scratch.take_classes(needed),
+            )
         };
         let approx = approximate_fracture_region(target, &cls, &self.model, &self.config, self.lth);
-        let mut outcome = refine_until(&cls, &self.model, &self.config, approx.shots.clone(), deadline);
+        let mut outcome = refine_until_with(
+            &cls,
+            &self.model,
+            &self.config,
+            approx.shots.clone(),
+            deadline,
+            scratch,
+        );
         let deadline_over = || deadline.is_some_and(|d| Instant::now() >= d);
         if !outcome.summary.is_feasible() && !deadline_over() {
             let _restart_span = maskfrac_obs::span("fracture.restart");
@@ -266,7 +323,8 @@ impl ModelBasedFracturer {
             })
             .collect();
             if !seeds.is_empty() {
-                let restarted = refine_until(&cls, &self.model, &self.config, seeds, deadline);
+                let restarted =
+                    refine_until_with(&cls, &self.model, &self.config, seeds, deadline, scratch);
                 if (restarted.summary.fail_count(), restarted.shots.len())
                     < (outcome.summary.fail_count(), outcome.shots.len())
                 {
@@ -280,12 +338,13 @@ impl ModelBasedFracturer {
             }
         }
         if self.config.reduction_sweep && outcome.summary.is_feasible() && !deadline_over() {
-            let reduced = crate::refine::reduce_shots_until(
+            let reduced = crate::refine::reduce_shots_until_with(
                 &cls,
                 &self.model,
                 &self.config,
                 outcome.shots.clone(),
                 deadline,
+                scratch,
             );
             if reduced.shots.len() < outcome.shots.len() {
                 outcome.iterations += reduced.iterations;
@@ -293,6 +352,9 @@ impl ModelBasedFracturer {
                 outcome.summary = reduced.summary;
             }
         }
+        // Last consumer of the classification is behind us: recycle its
+        // class grid for the next shape on this worker.
+        scratch.put_classes(cls.into_classes());
         // Feasible is Ok even when the deadline cut the run short — the
         // deliverable is proven. Infeasible best-effort is Degraded.
         let status = if outcome.summary.is_feasible() {

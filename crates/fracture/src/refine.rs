@@ -21,6 +21,7 @@
 //! returned.
 
 use crate::config::FractureConfig;
+use crate::scratch::FractureScratch;
 use maskfrac_ebeam::violations::{cost_delta_for_strip, evaluate, fail_bitmaps, ViolationTracker};
 use maskfrac_ebeam::{Classification, ExposureModel, FailureSummary, IntensityMap};
 use maskfrac_geom::rect::Edge;
@@ -95,9 +96,28 @@ pub fn refine_until(
     initial: Vec<Rect>,
     deadline: Option<std::time::Instant>,
 ) -> RefineOutcome {
+    refine_until_with(cls, model, cfg, initial, deadline, &mut FractureScratch::new())
+}
+
+/// [`refine_until`] with an explicit [`FractureScratch`] arena: the
+/// intensity grid and the engine's candidate cache are recycled from (and
+/// handed back to) `scratch`, so repeated calls on one worker thread
+/// allocate nothing in steady state.
+pub fn refine_until_with(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    initial: Vec<Rect>,
+    deadline: Option<std::time::Instant>,
+    scratch: &mut FractureScratch,
+) -> RefineOutcome {
     let _span = maskfrac_obs::span("fracture.refine");
     let mut shots = initial;
-    let mut map = IntensityMap::new(model.clone(), cls.frame());
+    let mut map = IntensityMap::with_values(
+        model.clone(),
+        cls.frame(),
+        scratch.take_map_values(cls.frame().len()),
+    );
     for s in &shots {
         map.add_shot(s);
     }
@@ -105,7 +125,8 @@ pub fn refine_until(
     // per strip (no per-iteration frame scan), the engine carries scored
     // candidates forward per shot (no per-pass full re-score).
     let mut tracker = ViolationTracker::new(cls, &map);
-    let mut engine = GreedyEngine::new(cfg, shots.len());
+    let mut engine =
+        GreedyEngine::from_scratch(cfg, shots.len(), std::mem::take(&mut scratch.engine));
 
     let mut best_shots = shots.clone();
     let mut best_summary = tracker.summary();
@@ -208,6 +229,10 @@ pub fn refine_until(
         best_shots = shots;
         best_summary = final_summary;
     }
+
+    // Hand the arena its buffers back for the next shape on this worker.
+    scratch.engine = engine.into_scratch();
+    scratch.put_map_values(map.into_values());
 
     maskfrac_obs::counter!("fracture.refine.iterations").add(iterations as u64);
     if deadline_hit {
@@ -324,6 +349,20 @@ pub fn reduce_shots_until(
     shots: Vec<Rect>,
     deadline: Option<std::time::Instant>,
 ) -> RefineOutcome {
+    reduce_shots_until_with(cls, model, cfg, shots, deadline, &mut FractureScratch::new())
+}
+
+/// [`reduce_shots_until`] with an explicit [`FractureScratch`] arena (see
+/// [`refine_until_with`]): the screening map and every bounded refinement
+/// run inside the sweep recycle the same buffers.
+pub fn reduce_shots_until_with(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    shots: Vec<Rect>,
+    deadline: Option<std::time::Instant>,
+    scratch: &mut FractureScratch,
+) -> RefineOutcome {
     let _span = maskfrac_obs::span("fracture.reduce");
     const SWEEP_CANDIDATES: usize = 6;
     let budget_cfg = FractureConfig {
@@ -333,16 +372,27 @@ pub fn reduce_shots_until(
         ..cfg.clone()
     };
 
-    let summarize = |shots: &[Rect]| -> FailureSummary {
-        let mut map = IntensityMap::new(model.clone(), cls.frame());
+    fn summarize(
+        cls: &Classification,
+        model: &ExposureModel,
+        shots: &[Rect],
+        scratch: &mut FractureScratch,
+    ) -> FailureSummary {
+        let mut map = IntensityMap::with_values(
+            model.clone(),
+            cls.frame(),
+            scratch.take_map_values(cls.frame().len()),
+        );
         for s in shots {
             map.add_shot(s);
         }
-        evaluate(cls, &map)
-    };
+        let summary = evaluate(cls, &map);
+        scratch.put_map_values(map.into_values());
+        summary
+    }
 
     let mut current = shots;
-    let mut summary = summarize(&current);
+    let mut summary = summarize(cls, model, &current, scratch);
     let mut total_iterations = 0usize;
     let mut deadline_hit = false;
     if !summary.is_feasible() {
@@ -364,7 +414,11 @@ pub fn reduce_shots_until(
             break;
         }
         // Screen: cost incurred by removing each shot from the current map.
-        let mut map = IntensityMap::new(model.clone(), cls.frame());
+        let mut map = IntensityMap::with_values(
+            model.clone(),
+            cls.frame(),
+            scratch.take_map_values(cls.frame().len()),
+        );
         for s in &current {
             map.add_shot(s);
         }
@@ -374,12 +428,13 @@ pub fn reduce_shots_until(
             .map(|(i, s)| (cost_delta_for_strip(cls, &map, s, -1.0), i))
             .collect();
         scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        scratch.put_map_values(map.into_values());
 
         let mut improved = false;
         for &(_, i) in scored.iter().take(SWEEP_CANDIDATES) {
             let mut candidate = current.clone();
             candidate.remove(i);
-            let outcome = refine_until(cls, model, &budget_cfg, candidate, deadline);
+            let outcome = refine_until_with(cls, model, &budget_cfg, candidate, deadline, scratch);
             total_iterations += outcome.iterations;
             if outcome.summary.is_feasible() && outcome.shots.len() < current.len() {
                 current = outcome.shots;
@@ -506,6 +561,18 @@ impl ShotCache {
     }
 }
 
+/// Recyclable spine of a [`GreedyEngine`]: the per-shot candidate cache
+/// plus the per-pass work lists. Held by
+/// [`FractureScratch`](crate::FractureScratch) between shapes so the
+/// engine's dominant allocations (one `ShotCache` per shot, two
+/// `Vec<ScoredMove>` slots each) amortize across a layout.
+#[derive(Debug, Default)]
+pub(crate) struct EngineScratch {
+    cache: Vec<ShotCache>,
+    todo: Vec<usize>,
+    candidates: Vec<(usize, usize)>,
+}
+
 /// Incremental greedy shot-edge adjustment (paper §4.1) with a
 /// dirty-window candidate cache and parallel scoring.
 ///
@@ -521,14 +588,25 @@ impl ShotCache {
 /// parallel, and full-rescan runs produce byte-identical shot lists.
 struct GreedyEngine {
     cache: Vec<ShotCache>,
+    todo: Vec<usize>,
+    candidates: Vec<(usize, usize)>,
     incremental: bool,
     threads: usize,
 }
 
 impl GreedyEngine {
     fn new(cfg: &FractureConfig, shot_count: usize) -> Self {
+        GreedyEngine::from_scratch(cfg, shot_count, EngineScratch::default())
+    }
+
+    /// Builds an engine on top of a recycled [`EngineScratch`] spine. The
+    /// scratch contents are treated as garbage (everything is reset); only
+    /// the allocations are reused.
+    fn from_scratch(cfg: &FractureConfig, shot_count: usize, scratch: EngineScratch) -> Self {
         let mut engine = GreedyEngine {
-            cache: Vec::new(),
+            cache: scratch.cache,
+            todo: scratch.todo,
+            candidates: scratch.candidates,
             incremental: cfg.incremental_refine,
             threads: resolve_refine_threads(cfg),
         };
@@ -536,11 +614,31 @@ impl GreedyEngine {
         engine
     }
 
+    /// Tears the engine down to its reusable spine (see [`EngineScratch`]).
+    fn into_scratch(self) -> EngineScratch {
+        EngineScratch {
+            cache: self.cache,
+            todo: self.todo,
+            candidates: self.candidates,
+        }
+    }
+
     /// Drops every cached score and resizes to `shot_count` entries —
     /// required after any structural change (add/remove/merge), which
     /// both rewrites the map at scale and shuffles shot indices.
+    ///
+    /// Entries are reset in place rather than rebuilt so the per-shot
+    /// `Vec<ScoredMove>` allocations survive: `moves` is cleared, not
+    /// dropped, and the spine only grows.
     fn reset(&mut self, shot_count: usize) {
-        self.cache.clear();
+        if self.cache.len() > shot_count {
+            self.cache.truncate(shot_count);
+        }
+        for entry in &mut self.cache {
+            entry.invalidate();
+            entry.moves[0].clear();
+            entry.moves[1].clear();
+        }
         self.cache.resize_with(shot_count, ShotCache::default);
     }
 
@@ -574,9 +672,9 @@ impl GreedyEngine {
         // Re-score stale shots only; a shot outside every dirty window
         // has bit-identical map values under its candidate strips, so
         // its cached improving moves are still exact.
-        let todo: Vec<usize> = (0..shots.len())
-            .filter(|&i| !self.cache[i].valid[sidx])
-            .collect();
+        let mut todo = std::mem::take(&mut self.todo);
+        todo.clear();
+        todo.extend((0..shots.len()).filter(|&i| !self.cache[i].valid[sidx]));
         maskfrac_obs::counter!("refine.candidates.skipped")
             .add(((shots.len() - todo.len()) * Edge::ALL.len() * 2) as u64);
         let frozen: &[Rect] = shots;
@@ -625,9 +723,11 @@ impl GreedyEngine {
             }
         }
         maskfrac_obs::counter!("refine.candidates.scored").add(scored_strips);
+        self.todo = todo;
 
         // Deterministic acceptance order over all cached improving moves.
-        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
         for (i, entry) in self.cache.iter().enumerate() {
             for k in 0..entry.moves[sidx].len() {
                 candidates.push((i, k));
@@ -650,7 +750,7 @@ impl GreedyEngine {
         let blocking = 2.0 * map.model().sigma();
         let mut accepted: Vec<Rect> = Vec::new();
         let mut mutated: Vec<usize> = Vec::new();
-        for (i, k) in candidates {
+        for &(i, k) in &candidates {
             // Desync fix: once a shot has moved in this pass, its other
             // pending candidates carry strips computed from the pre-move
             // geometry, which may no longer be the region the edge would
@@ -672,6 +772,7 @@ impl GreedyEngine {
             accepted.push(m.strip);
             mutated.push(i);
         }
+        self.candidates = candidates;
 
         // Dirty-window invalidation: a move changes intensities within
         // its strip's support window; a cached score reads within its
@@ -712,7 +813,7 @@ fn bias_all_shots(
 ) {
     let grow = summary.on_fails >= summary.off_fails;
     let frame = cls.frame();
-    let pad = map.model().support_radius_px() as i64;
+    let pad = map.model().support_radius_px();
     let origin = frame.origin();
     let bound_x0 = origin.x - pad;
     let bound_y0 = origin.y - pad;
@@ -1170,8 +1271,10 @@ mod tests {
 
     #[test]
     fn resolve_refine_threads_clamps() {
-        let mut cfg = FractureConfig::default();
-        cfg.refine_threads = 1;
+        let mut cfg = FractureConfig {
+            refine_threads: 1,
+            ..FractureConfig::default()
+        };
         assert_eq!(resolve_refine_threads(&cfg), 1);
         cfg.refine_threads = 0; // auto-detect
         let auto = resolve_refine_threads(&cfg);
@@ -1297,7 +1400,7 @@ mod tests {
         let target = square(50);
         let (cls, model, cfg) = setup(&target);
         let frame = cls.frame();
-        let pad = model.support_radius_px() as i64;
+        let pad = model.support_radius_px();
         let bound_x0 = frame.origin().x - pad;
         // One shot about to cross the clamp, one already past it.
         let near = Rect::new(bound_x0 + 1, 0, 40, 40).unwrap();

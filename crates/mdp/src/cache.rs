@@ -1,0 +1,202 @@
+//! Sharded geometry-dedup cache with in-flight tracking.
+//!
+//! A layout run fractures each *distinct* geometry once and serves every
+//! identically-shaped library entry from cache. Two properties matter at
+//! layout scale:
+//!
+//! - **Sharding**: keys hash to one of [`SHARD_COUNT`] independently
+//!   locked shards, so workers dedicated to different geometries never
+//!   contend on one global mutex.
+//! - **In-flight tracking**: a worker that finds a key *being computed*
+//!   by another worker blocks on that shard's condvar and reuses the
+//!   result instead of redundantly recomputing it. This makes the
+//!   expensive computation exactly-once per distinct key at any thread
+//!   count (observable as `mdp.cache.misses` == distinct keys).
+//!
+//! Counters: `mdp.cache.hits` (served from a ready entry, including after
+//! a wait), `mdp.cache.misses` (this worker computed the value),
+//! `mdp.cache.inflight_waits` (worker blocked behind another worker's
+//! computation; counted once per wait episode).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Number of independently locked shards. A small power of two: enough to
+/// spread [`MAX_LAYOUT_THREADS`](crate::MAX_LAYOUT_THREADS)-scale worker
+/// counts, cheap enough to build per run.
+const SHARD_COUNT: usize = 16;
+
+/// Entry state: being computed by some worker, or done.
+#[derive(Debug)]
+enum Slot<V> {
+    /// A worker is computing this key; waiters park on the shard condvar.
+    InFlight,
+    /// The computed value, cloned out to every requester.
+    Ready(V),
+}
+
+#[derive(Debug)]
+struct Shard<V> {
+    slots: Mutex<HashMap<Vec<u8>, Slot<V>>>,
+    ready: Condvar,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Sharded map from opaque byte keys to computed values, with block-and-
+/// reuse semantics for concurrent requests of the same uncomputed key.
+#[derive(Debug)]
+pub(crate) struct ShardedCache<V> {
+    shards: Vec<Shard<V>>,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    pub(crate) fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Shard<V> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    /// Returns the cached value for `key`, computing it with `compute` if
+    /// absent. Exactly one caller computes each key; concurrent callers
+    /// block until the computation lands and share its result. The second
+    /// component is `true` iff *this* call ran `compute`.
+    ///
+    /// If the computing caller panics, its reservation is withdrawn and
+    /// one waiter takes over the computation — a panic never deadlocks
+    /// the other workers (the panic itself still propagates).
+    pub(crate) fn get_or_compute<F>(&self, key: &[u8], compute: F) -> (V, bool)
+    where
+        F: FnOnce() -> V,
+    {
+        let shard = self.shard(key);
+        let mut slots = lock(&shard.slots);
+        let mut waited = false;
+        loop {
+            match slots.get(key) {
+                Some(Slot::Ready(value)) => {
+                    maskfrac_obs::counter!("mdp.cache.hits").incr();
+                    return (value.clone(), false);
+                }
+                Some(Slot::InFlight) => {
+                    if !waited {
+                        waited = true;
+                        maskfrac_obs::counter!("mdp.cache.inflight_waits").incr();
+                    }
+                    slots = shard
+                        .ready
+                        .wait(slots)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                None => break,
+            }
+        }
+        // Reserve the key, then compute outside the lock. The guard
+        // withdraws the reservation if `compute` unwinds.
+        slots.insert(key.to_vec(), Slot::InFlight);
+        drop(slots);
+        maskfrac_obs::counter!("mdp.cache.misses").incr();
+        let mut guard = Reservation { shard, key, armed: true };
+        let value = compute();
+        guard.armed = false;
+        let mut slots = lock(&shard.slots);
+        slots.insert(key.to_vec(), Slot::Ready(value.clone()));
+        drop(slots);
+        shard.ready.notify_all();
+        (value, true)
+    }
+}
+
+/// Withdraws an in-flight reservation when the computing closure unwinds,
+/// waking waiters so one of them can retry the computation.
+struct Reservation<'a, V> {
+    shard: &'a Shard<V>,
+    key: &'a [u8],
+    armed: bool,
+}
+
+impl<V> Drop for Reservation<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut slots = lock(&self.shard.slots);
+            slots.remove(self.key);
+            drop(slots);
+            self.shard.ready.notify_all();
+        }
+    }
+}
+
+/// Locks a shard map, recovering data from a poisoned lock (a worker that
+/// panicked elsewhere must not strand the run).
+fn lock<V>(slots: &Mutex<HashMap<Vec<u8>, Slot<V>>>) -> MutexGuard<'_, HashMap<Vec<u8>, Slot<V>>> {
+    slots.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn computes_each_key_exactly_once() {
+        let cache: ShardedCache<usize> = ShardedCache::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for k in 0u8..4 {
+                        let (v, _) = cache.get_or_compute(&[k], || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            // Widen the in-flight window so concurrent
+                            // requesters actually overlap.
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            k as usize * 10
+                        });
+                        assert_eq!(v, k as usize * 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 4, "one compute per key");
+    }
+
+    #[test]
+    fn computed_flag_marks_exactly_one_caller() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        let (v, computed) = cache.get_or_compute(b"k", || 7);
+        assert!(computed);
+        assert_eq!(v, 7);
+        let (v, computed) = cache.get_or_compute(b"k", || unreachable!("cached"));
+        assert!(!computed);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn panicking_compute_hands_the_key_to_a_waiter() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(b"k", || panic!("injected"));
+        }));
+        assert!(caught.is_err());
+        // The reservation must be withdrawn: a fresh caller recomputes
+        // instead of deadlocking behind a dead in-flight slot.
+        let (v, computed) = cache.get_or_compute(b"k", || 9);
+        assert!(computed);
+        assert_eq!(v, 9);
+    }
+}

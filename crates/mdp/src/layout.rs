@@ -7,11 +7,12 @@
 //! fracturing cost scales with distinct shapes while shot statistics
 //! scale with placements.
 
+use crate::cache::ShardedCache;
 use maskfrac_baselines::FallbackFracturer;
-use maskfrac_fracture::{FractureConfig, FractureStatus};
+use maskfrac_fracture::{FractureConfig, FractureScratch, FractureStatus};
 use maskfrac_geom::{Point, Polygon, Rect};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Upper bound on worker threads a layout run will spawn; requests above
@@ -251,33 +252,88 @@ fn status_counter_name(status: FractureStatus) -> &'static str {
     }
 }
 
+/// Options for [`fracture_layout_opts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutOptions {
+    /// Worker threads, clamped to `1..=`[`MAX_LAYOUT_THREADS`] (0 runs
+    /// single-threaded instead of panicking).
+    pub threads: usize,
+    /// Serve identically-shaped library entries from the geometry dedup
+    /// cache (on by default; turning it off fractures every library
+    /// entry independently — the A/B knob of the layout benchmark).
+    pub dedup_cache: bool,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        LayoutOptions {
+            threads: 1,
+            dedup_cache: true,
+        }
+    }
+}
+
+/// Cache key: the exact vertex list, byte-encoded. Two library entries
+/// share a fracturing result iff their geometry is bit-identical.
+fn geometry_key(polygon: &Polygon) -> Vec<u8> {
+    let vertices = polygon.vertices();
+    let mut key = Vec::with_capacity(vertices.len() * 16);
+    for p in vertices {
+        key.extend_from_slice(&p.x.to_le_bytes());
+        key.extend_from_slice(&p.y.to_le_bytes());
+    }
+    key
+}
+
 /// Fractures every distinct shape of a layout, spreading shapes over
 /// `threads` worker threads (each shape is independent, exactly as the
 /// paper notes). Results are deterministic regardless of thread count.
+///
+/// Equivalent to [`fracture_layout_opts`] with the dedup cache on.
+pub fn fracture_layout(
+    layout: &Layout,
+    config: &FractureConfig,
+    threads: usize,
+) -> LayoutFractureReport {
+    fracture_layout_opts(
+        layout,
+        config,
+        &LayoutOptions {
+            threads,
+            ..LayoutOptions::default()
+        },
+    )
+}
+
+/// Fractures every placed shape of a layout under explicit
+/// [`LayoutOptions`].
 ///
 /// Each shape runs through the crash-proof
 /// [`FallbackFracturer`] ladder: model-based, a
 /// relaxed model-based retry, then the `proto-eda` and `conventional`
 /// baselines. A shape that panics or errors never takes the run down —
 /// it lands in the report as `Fallback` (baseline shots) or `Failed`
-/// (empty shot list plus the recorded causes).
-///
-/// `threads` is clamped to `1..=`[`MAX_LAYOUT_THREADS`]; a request of 0
-/// runs single-threaded instead of panicking.
+/// (empty shot list plus the recorded causes). Every worker carries its
+/// own [`FractureScratch`] arena, so per-shape heap allocation amortizes
+/// away across the run.
 ///
 /// Library entries with identical geometry are fractured once and served
-/// from a dedup cache (`mdp.cache.hits` / `mdp.cache.misses` in the
-/// metrics registry); the whole run is wrapped in the
+/// from a sharded dedup cache with in-flight tracking: a worker that
+/// requests a geometry another worker is currently fracturing blocks and
+/// reuses that result instead of recomputing it, so the pipeline runs
+/// exactly once per distinct geometry at any thread count
+/// (`mdp.cache.hits` / `mdp.cache.misses` / `mdp.cache.inflight_waits`
+/// in the metrics registry). The whole run is wrapped in the
 /// `mdp.fracture_layout` span and worker threads aggregate into the same
 /// process-global counters, so a `RunReport` captured after this call
 /// reflects the full layout regardless of thread count.
-pub fn fracture_layout(
+pub fn fracture_layout_opts(
     layout: &Layout,
     config: &FractureConfig,
-    threads: usize,
+    options: &LayoutOptions,
 ) -> LayoutFractureReport {
     let _span = maskfrac_obs::span("mdp.fracture_layout");
-    let threads = threads.clamp(1, MAX_LAYOUT_THREADS);
+    let threads = options.threads.clamp(1, MAX_LAYOUT_THREADS);
     let counts = layout.placement_counts();
     let work: Vec<(&str, &Polygon)> = layout
         .shapes()
@@ -290,58 +346,49 @@ pub fn fracture_layout(
     // produce identical results (the whole pipeline — including fault
     // fingerprints — is a function of geometry and config), so one
     // fracturing run serves them all.
-    let cache: Mutex<HashMap<Vec<Point>, CachedShapeOutcome>> = Mutex::new(HashMap::new());
+    let cache: Option<ShardedCache<CachedShapeOutcome>> =
+        options.dedup_cache.then(ShardedCache::new);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(work.len().max(1)) {
             scope.spawn(|| {
-                // One ladder per worker: Lth derivation is shared per
+                // One ladder and one scratch arena per worker: Lth
+                // derivation and the hot-path buffers are shared per
                 // thread, shapes pull work-stealing style off the queue.
                 let fracturer = FallbackFracturer::new(config.clone());
+                let mut scratch = FractureScratch::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(&(name, polygon)) = work.get(i) else {
                         break;
                     };
                     let started = std::time::Instant::now();
-                    let key = polygon.vertices().to_vec();
-                    let hit = cache
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner())
-                        .get(&key)
-                        .cloned();
-                    let stats = match hit {
-                        Some(cached) => {
-                            maskfrac_obs::counter!("mdp.cache.hits").incr();
-                            // Replay the status tally the skipped pipeline
-                            // would have recorded, so per-shape status
-                            // counts stay complete under deduplication.
-                            maskfrac_obs::counter(status_counter_name(cached.status)).incr();
-                            cached.into_stats(name, counts[name], started.elapsed().as_secs_f64())
-                        }
-                        None => {
-                            maskfrac_obs::counter!("mdp.cache.misses").incr();
-                            let outcome = fracturer.fracture(polygon);
-                            let cached = CachedShapeOutcome {
-                                shots_per_instance: outcome.result.shot_count(),
-                                fail_pixels: outcome.result.summary.fail_count(),
-                                status: outcome.result.status,
-                                method: outcome.method.to_owned(),
-                                error: outcome.error,
-                                attempts: outcome.attempts,
-                            };
-                            let stats = cached.clone().into_stats(
-                                name,
-                                counts[name],
-                                started.elapsed().as_secs_f64(),
-                            );
-                            cache
-                                .lock()
-                                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                                .insert(key, cached);
-                            stats
+                    let fracture = |scratch: &mut FractureScratch| {
+                        let outcome = fracturer.fracture_with(polygon, scratch);
+                        CachedShapeOutcome {
+                            shots_per_instance: outcome.result.shot_count(),
+                            fail_pixels: outcome.result.summary.fail_count(),
+                            status: outcome.result.status,
+                            method: outcome.method.to_owned(),
+                            error: outcome.error,
+                            attempts: outcome.attempts,
                         }
                     };
+                    let (cached, computed) = match &cache {
+                        Some(cache) => {
+                            let key = geometry_key(polygon);
+                            cache.get_or_compute(&key, || fracture(&mut scratch))
+                        }
+                        None => (fracture(&mut scratch), true),
+                    };
+                    if !computed {
+                        // Replay the status tally the skipped pipeline
+                        // would have recorded, so per-shape status counts
+                        // stay complete under deduplication.
+                        maskfrac_obs::counter(status_counter_name(cached.status)).incr();
+                    }
+                    let stats =
+                        cached.into_stats(name, counts[name], started.elapsed().as_secs_f64());
                     maskfrac_obs::counter!("mdp.shapes_fractured").incr();
                     maskfrac_obs::counter!("mdp.instances_covered").add(stats.instances as u64);
                     // A worker that somehow dies mid-push must not strand

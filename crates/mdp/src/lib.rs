@@ -39,6 +39,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod cache;
 pub mod cost;
 pub mod io;
 pub mod layout;
@@ -51,7 +52,7 @@ pub use io::{
     load_layout, parse_layout, save_layout, write_layout, LayoutIoError, ParseLayoutError,
 };
 pub use layout::{
-    fracture_layout, Layout, LayoutFractureReport, Placement, ShapeFractureStats,
-    MAX_LAYOUT_THREADS,
+    fracture_layout, fracture_layout_opts, Layout, LayoutFractureReport, LayoutOptions, Placement,
+    ShapeFractureStats, MAX_LAYOUT_THREADS,
 };
 pub use writetime::{WriteTimeModel, WriteTimeReport};
