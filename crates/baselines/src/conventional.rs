@@ -76,6 +76,7 @@ impl Conventional {
             summary,
             iterations: 0,
             runtime: start.elapsed(),
+            deadline_hit: false,
         }
     }
 }

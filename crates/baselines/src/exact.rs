@@ -126,6 +126,7 @@ impl ExhaustiveOptimal {
             summary,
             iterations: outcome.nodes,
             runtime: start.elapsed(),
+            deadline_hit: false,
         }
     }
 

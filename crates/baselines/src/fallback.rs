@@ -184,6 +184,7 @@ impl FallbackFracturer {
                 approx_shot_count: 0,
                 runtime: start.elapsed(),
                 status: FractureStatus::Failed,
+                deadline_hit: false,
             },
             method: "none",
             attempts,

@@ -90,6 +90,7 @@ impl GreedySetCover {
             summary: polished.summary,
             iterations: iterations + polished.iterations,
             runtime: start.elapsed(),
+            deadline_hit: false,
         }
     }
 }

@@ -154,6 +154,7 @@ impl MatchingPursuit {
             summary: polished.summary,
             iterations: iterations + polished.iterations,
             runtime: start.elapsed(),
+            deadline_hit: false,
         }
     }
 }

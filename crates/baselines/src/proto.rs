@@ -79,6 +79,7 @@ impl ProtoEda {
             iterations: outcome.iterations,
             approx_shot_count,
             runtime: start.elapsed(),
+            deadline_hit: outcome.deadline_hit,
         }
     }
 }

@@ -157,7 +157,7 @@ fn strip(report: &LayoutFractureReport) -> Vec<ReportRow> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let started = std::time::Instant::now();
-    let metrics_out = apply_obs_flags(&args);
+    let obs = apply_obs_flags(&args);
     let full = args.iter().any(|a| a == "--full");
 
     let (distinct, placements) = if full {
@@ -221,13 +221,8 @@ fn main() {
         });
         for s in &report.per_shape {
             shapes.push(ShapeRecord {
-                id: s.shape.clone(),
-                status: format!("{:?}", s.status).to_lowercase(),
                 method: mode.name.to_owned(),
-                shots: s.shots_per_instance,
-                fail_pixels: s.fail_pixels,
-                runtime_s: s.runtime_s,
-                attempts: s.attempts.max(1) as usize,
+                ..s.ledger_record()
             });
         }
     }
@@ -255,5 +250,5 @@ fn main() {
     }
 
     save_json("layout_bench.json", &rows);
-    finish_run_report("layout", started, metrics_out.as_deref(), shapes);
+    finish_run_report("layout", started, &obs, shapes);
 }

@@ -1,0 +1,191 @@
+//! Instrumentation overhead benchmark: wall clock of
+//! `maskfrac_mdp::fracture_layout_opts` with structured event capture
+//! off versus on, on a seeded synthetic layout.
+//!
+//! Observability must stay near-free when disabled and cheap when
+//! enabled, and it must never change the shot output. This harness
+//! measures both halves of that contract: it times repeated layout runs
+//! in each capture mode, asserts the per-shape reports are identical row
+//! by row across modes (bit neutrality), and reports the events captured
+//! per run so the per-event cost can be derived.
+//!
+//! Run with `cargo run -p maskfrac-bench --release --bin obs_overhead`
+//! (`--full` adds repetitions). Writes `results/obs_overhead_bench.json`
+//! (the mode rows) and the machine-readable run report
+//! `results/BENCH_obs_overhead.json` (see `docs/observability.md`).
+
+use maskfrac_bench::{apply_obs_flags, finish_run_report, results_dir};
+use maskfrac_fracture::FractureConfig;
+use maskfrac_geom::{Polygon, Rect};
+use maskfrac_mdp::{fracture_layout_opts, Layout, LayoutOptions, Placement};
+use serde::Serialize;
+
+const SEED: u64 = 0x6f62_735f_6f76_6572; // "obs_over"
+const DISTINCT: usize = 5;
+const ALIASES: usize = 3;
+const PLACEMENTS: usize = 6;
+const THREADS: usize = 2;
+
+/// One capture-mode measurement. Consumed through Serialize (JSON rows).
+#[allow(dead_code)]
+#[derive(Debug, Serialize)]
+struct OverheadRow {
+    mode: &'static str,
+    capture: bool,
+    reps: usize,
+    /// Best (minimum) wall clock over the repetitions — the least noisy
+    /// estimator on a shared machine.
+    best_wall_s: f64,
+    mean_wall_s: f64,
+    /// Structured events captured per repetition (0 with capture off).
+    events_per_rep: usize,
+}
+
+/// Tiny seeded xorshift64 — the bench crate carries no RNG dependency,
+/// and the layout must be bit-identical everywhere the bench runs.
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 { state: seed.max(1) }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % ((hi - lo + 1) as u64)) as i64
+    }
+}
+
+/// Builds the synthetic layout: `DISTINCT` rectangle geometries (sides
+/// 20–60 nm), each under `ALIASES` names, each name placed `PLACEMENTS`
+/// times on a grid.
+fn synth_layout() -> Layout {
+    let mut rng = XorShift64::new(SEED);
+    let mut layout = Layout::new("obs-overhead");
+    let mut row = 0i64;
+    for g in 0..DISTINCT {
+        let w = rng.range(20, 60);
+        let h = rng.range(20, 60);
+        let rect = Rect::new(0, 0, w, h).expect("positive sides");
+        for a in 0..ALIASES {
+            let name = format!("g{g}-a{a}");
+            layout.add_shape(&name, Polygon::from_rect(rect));
+            for p in 0..PLACEMENTS {
+                layout.place(&name, Placement::at(p as i64 * 200, row * 200));
+            }
+            row += 1;
+        }
+    }
+    layout
+}
+
+/// The shot-relevant slice of a per-shape report row, for the cross-mode
+/// bit-neutrality assertion (wall-clock and cache-attribution fields are
+/// run-dependent and excluded).
+fn strip(report: &maskfrac_mdp::LayoutFractureReport) -> Vec<(String, usize, usize, usize)> {
+    report
+        .per_shape
+        .iter()
+        .map(|s| (s.shape.clone(), s.shots_per_instance, s.instances, s.fail_pixels))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let started = std::time::Instant::now();
+    let obs = apply_obs_flags(&args);
+    let reps = if args.iter().any(|a| a == "--full") { 9 } else { 3 };
+
+    let layout = synth_layout();
+    let cfg = FractureConfig::default();
+    let opts = LayoutOptions { threads: THREADS, dedup_cache: true };
+    println!(
+        "== Event-capture overhead: {} entries, {} instances, {} threads, {reps} reps/mode ==",
+        layout.shape_count(),
+        layout.instance_count(),
+        THREADS
+    );
+
+    // The caller's --trace-out/--events-out export must see only its own
+    // run's events, so the measurement loop drains into a local buffer
+    // and restores the caller's capture state afterwards.
+    let caller_capture = maskfrac_obs::capture_enabled();
+    let mut rows: Vec<OverheadRow> = Vec::new();
+    let mut reference: Option<Vec<(String, usize, usize, usize)>> = None;
+
+    for (mode, capture) in [("capture-off", false), ("capture-on", true)] {
+        maskfrac_obs::set_capture(capture);
+        let mut walls = Vec::with_capacity(reps);
+        let mut events_per_rep = 0usize;
+        for _ in 0..reps {
+            maskfrac_obs::event::drain(); // start each rep from an empty stream
+            let t0 = std::time::Instant::now();
+            let report = fracture_layout_opts(&layout, &cfg, &opts);
+            walls.push(t0.elapsed().as_secs_f64());
+            events_per_rep = maskfrac_obs::event::drain().len();
+            match &reference {
+                None => reference = Some(strip(&report)),
+                Some(want) => assert_eq!(
+                    &strip(&report),
+                    want,
+                    "{mode} changed the shot output — instrumentation must be bit-neutral"
+                ),
+            }
+        }
+        let best = walls.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+        println!(
+            "{mode:<12}  best {best:>8.3}s  mean {mean:>8.3}s  {events_per_rep:>6} events/rep"
+        );
+        rows.push(OverheadRow {
+            mode,
+            capture,
+            reps,
+            best_wall_s: best,
+            mean_wall_s: mean,
+            events_per_rep,
+        });
+    }
+    maskfrac_obs::set_capture(caller_capture);
+
+    let off = rows[0].best_wall_s;
+    let on = rows[1].best_wall_s;
+    println!(
+        "capture-on / capture-off = {:.3}x ({:+.1}% on best wall clock)",
+        on / off.max(1e-12),
+        (on / off.max(1e-12) - 1.0) * 100.0
+    );
+
+    save_rows(&rows);
+    finish_run_report("obs_overhead", started, &obs, Vec::new());
+}
+
+/// Writes the mode rows as pretty JSON by hand (mirroring the serde
+/// field layout), so the bench also produces its artifact where only
+/// the non-serializing `serde_json` stand-in is available.
+fn save_rows(rows: &[OverheadRow]) {
+    let body = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\n    \"mode\": \"{}\",\n    \"capture\": {},\n    \"reps\": {},\n    \
+                 \"best_wall_s\": {},\n    \"mean_wall_s\": {},\n    \"events_per_rep\": {}\n  }}",
+                r.mode, r.capture, r.reps, r.best_wall_s, r.mean_wall_s, r.events_per_rep
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let path = results_dir().join("obs_overhead_bench.json");
+    std::fs::write(&path, format!("[\n{body}\n]\n")).expect("can write results file");
+    println!("wrote {}", path.display());
+}

@@ -75,7 +75,7 @@ fn suite_fingerprint(clips: &[&maskfrac_shapes::SuiteClip]) -> u64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let started = std::time::Instant::now();
-    let metrics_out = apply_obs_flags(&args);
+    let obs = apply_obs_flags(&args);
     let full = args.iter().any(|a| a == "--full");
 
     let base = FractureConfig {
@@ -153,6 +153,10 @@ fn main() {
                 fail_pixels: out.summary.fail_count(),
                 runtime_s: dt,
                 attempts: 1,
+                iterations: out.iterations,
+                on_fail_pixels: out.summary.on_fails,
+                off_fail_pixels: out.summary.off_fails,
+                ..ShapeRecord::default()
             });
         }
     }
@@ -177,5 +181,5 @@ fn main() {
     }
 
     save_json("refine_bench.json", &rows);
-    finish_run_report("refine", started, metrics_out.as_deref(), shapes);
+    finish_run_report("refine", started, &obs, shapes);
 }

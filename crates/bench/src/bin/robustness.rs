@@ -53,7 +53,7 @@ fn mean_and_std(values: &[f64]) -> (f64, f64) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let started = Instant::now();
-    let metrics_out = apply_obs_flags(&args);
+    let obs = apply_obs_flags(&args);
     let mut shapes = Vec::new();
     let code = if args.iter().any(|a| a == "--inject") {
         let seed = flag_value(&args, "--seed").unwrap_or(0xF417);
@@ -63,7 +63,7 @@ fn main() -> ExitCode {
         ranking_study(&mut shapes);
         ExitCode::SUCCESS
     };
-    finish_run_report("robustness", started, metrics_out.as_deref(), shapes);
+    finish_run_report("robustness", started, &obs, shapes);
     code
 }
 
@@ -109,6 +109,11 @@ fn injection_harness(seed: u64, rate: f64, shapes: &mut Vec<ShapeRecord>) -> Exi
                 fail_pixels: out.result.summary.fail_count(),
                 runtime_s: out.result.runtime.as_secs_f64(),
                 attempts: out.attempts as usize,
+                iterations: out.result.iterations,
+                on_fail_pixels: out.result.summary.on_fails,
+                off_fail_pixels: out.result.summary.off_fails,
+                deadline_hit: out.result.deadline_hit,
+                ..ShapeRecord::default()
             });
             println!(
                 "  {:10} [{} via {}] {} shots in {} attempt(s){}",
@@ -258,6 +263,11 @@ fn ranking_study(shapes: &mut Vec<ShapeRecord>) {
             fail_pixels: r_ours.summary.fail_count(),
             runtime_s: r_ours.runtime.as_secs_f64(),
             attempts: 1,
+            iterations: r_ours.iterations,
+            on_fail_pixels: r_ours.summary.on_fails,
+            off_fail_pixels: r_ours.summary.off_fails,
+            deadline_hit: r_ours.deadline_hit,
+            ..ShapeRecord::default()
         });
     }
 

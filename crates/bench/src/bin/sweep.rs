@@ -55,6 +55,11 @@ fn run_point(gamma: f64, sigma: f64, shapes: &mut Vec<ShapeRecord>) -> SweepRow 
             fail_pixels: r.summary.fail_count(),
             runtime_s: r.runtime.as_secs_f64(),
             attempts: 1,
+            iterations: r.iterations,
+            on_fail_pixels: r.summary.on_fails,
+            off_fail_pixels: r.summary.off_fails,
+            deadline_hit: r.deadline_hit,
+            ..ShapeRecord::default()
         });
     }
     let row = SweepRow {
@@ -75,7 +80,7 @@ fn run_point(gamma: f64, sigma: f64, shapes: &mut Vec<ShapeRecord>) -> SweepRow 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let started = std::time::Instant::now();
-    let metrics_out = apply_obs_flags(&args);
+    let obs = apply_obs_flags(&args);
     println!("== Parameter sweep over {} clips ==", SWEEP_CLIPS.len());
     let mut rows = Vec::new();
     let mut shapes = Vec::new();
@@ -94,5 +99,5 @@ fn main() {
     }
 
     save_json("sweep.json", &rows);
-    finish_run_report("sweep", started, metrics_out.as_deref(), shapes);
+    finish_run_report("sweep", started, &obs, shapes);
 }

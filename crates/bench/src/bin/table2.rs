@@ -17,7 +17,7 @@ use maskfrac_fracture::FractureConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let started = std::time::Instant::now();
-    let metrics_out = maskfrac_bench::apply_obs_flags(&args);
+    let obs = maskfrac_bench::apply_obs_flags(&args);
     let cfg = FractureConfig::default();
     let methods: Vec<Box<dyn MaskFracturer>> = vec![
         Box::new(GreedySetCover::new(cfg.clone())),
@@ -73,5 +73,5 @@ fn main() {
     println!("  Σ normalized   — GSC 21.49, MP 14.54, PROTO-EDA 15.96, ours 12.26 (wrt ILP UB)");
 
     save_json("table2.json", &results);
-    maskfrac_bench::finish_run_report("table2", started, metrics_out.as_deref(), Vec::new());
+    maskfrac_bench::finish_run_report("table2", started, &obs, Vec::new());
 }

@@ -11,7 +11,7 @@ use maskfrac_fracture::FractureConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let started = std::time::Instant::now();
-    let metrics_out = maskfrac_bench::apply_obs_flags(&args);
+    let obs = maskfrac_bench::apply_obs_flags(&args);
     let cfg = FractureConfig::default();
     let model = cfg.model();
     let methods: Vec<Box<dyn MaskFracturer>> = vec![
@@ -69,5 +69,5 @@ fn main() {
     println!("  (paper notes: PROTO-EDA and their method keep some failing pixels here)");
 
     save_json("table3.json", &results);
-    maskfrac_bench::finish_run_report("table3", started, metrics_out.as_deref(), Vec::new());
+    maskfrac_bench::finish_run_report("table3", started, &obs, Vec::new());
 }

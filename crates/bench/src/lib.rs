@@ -128,31 +128,73 @@ pub fn save_json<T: Serialize>(filename: &str, value: &T) {
     println!("wrote {}", path.display());
 }
 
+/// The observability flags shared by every bench binary, parsed by
+/// [`apply_obs_flags`] and consumed by [`finish_run_report`].
+#[derive(Debug, Default, Clone)]
+pub struct ObsFlags {
+    /// Extra destination for the run report (`--metrics-out <path>`).
+    pub metrics_out: Option<PathBuf>,
+    /// Chrome-trace export of the captured event stream
+    /// (`--trace-out <path>`).
+    pub trace_out: Option<PathBuf>,
+    /// JSON Lines export of the captured event stream
+    /// (`--events-out <path>`).
+    pub events_out: Option<PathBuf>,
+}
+
 /// Applies the observability flags shared by every bench binary:
 /// `--trace` switches on the stderr span tree, `--metrics-out <path>`
-/// selects an extra destination for the run report. Returns that path,
-/// if given.
-pub fn apply_obs_flags(args: &[String]) -> Option<PathBuf> {
+/// selects an extra destination for the run report, and
+/// `--trace-out <path>` / `--events-out <path>` switch on structured
+/// event capture and select where the stream is exported.
+pub fn apply_obs_flags(args: &[String]) -> ObsFlags {
     if args.iter().any(|a| a == "--trace") {
         maskfrac_obs::set_trace(true);
     }
-    args.iter()
-        .position(|a| a == "--metrics-out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
+    let path_flag = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    };
+    let flags = ObsFlags {
+        metrics_out: path_flag("--metrics-out"),
+        trace_out: path_flag("--trace-out"),
+        events_out: path_flag("--events-out"),
+    };
+    if flags.trace_out.is_some() || flags.events_out.is_some() {
+        maskfrac_obs::set_capture(true);
+    }
+    flags
 }
 
 /// Captures the global metrics into a validated
 /// [`RunReport`](maskfrac_obs::RunReport) and writes it as
 /// `results/BENCH_<binary>.json` (the machine-readable side of each
-/// harness run), plus to `metrics_out` when the caller passed
-/// `--metrics-out`.
+/// harness run), plus to `--metrics-out` when given; the captured event
+/// stream, if any, is flushed to `--trace-out` / `--events-out`.
 pub fn finish_run_report(
     binary: &str,
     started: std::time::Instant,
-    metrics_out: Option<&Path>,
+    obs: &ObsFlags,
     shapes: Vec<maskfrac_obs::ShapeRecord>,
 ) -> maskfrac_obs::RunReport {
+    if obs.trace_out.is_some() || obs.events_out.is_some() {
+        let events = maskfrac_obs::event::flush_to_files(
+            obs.trace_out.as_deref(),
+            obs.events_out.as_deref(),
+        )
+        .expect("can write event exports");
+        if let Err(e) = maskfrac_obs::event::validate(&events) {
+            eprintln!("warning: event stream failed validation: {e}");
+        }
+        for path in [obs.trace_out.as_deref(), obs.events_out.as_deref()]
+            .into_iter()
+            .flatten()
+        {
+            println!("wrote {}", path.display());
+        }
+    }
     let report = maskfrac_obs::RunReport::capture(binary, started).with_shapes(shapes);
     if let Err(e) = report.validate() {
         eprintln!("warning: run report failed validation: {e}");
@@ -160,7 +202,7 @@ pub fn finish_run_report(
     let default_path = results_dir().join(format!("BENCH_{binary}.json"));
     report.save(&default_path).expect("can write run report");
     println!("wrote {}", default_path.display());
-    if let Some(path) = metrics_out {
+    if let Some(path) = obs.metrics_out.as_deref() {
         report.save(path).expect("can write run report");
         println!("wrote {}", path.display());
     }

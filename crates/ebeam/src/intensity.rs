@@ -223,6 +223,9 @@ static EDGE_LUT: std::sync::OnceLock<EdgeLut> = std::sync::OnceLock::new();
 #[inline]
 fn edge_lut() -> &'static EdgeLut {
     EDGE_LUT.get_or_init(|| {
+        // Spanned so the one-time build shows up in the trace/event
+        // stream (it charges whichever worker loses the init race).
+        let _span = maskfrac_obs::span("ebeam.lut.build");
         maskfrac_obs::counter!("ebeam.lut.builds").incr();
         EdgeLut::new()
     })

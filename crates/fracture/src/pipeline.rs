@@ -29,6 +29,10 @@ pub struct FractureResult {
     /// an infeasible residue). The `Fallback`/`Failed` tags are assigned
     /// by batch drivers such as `maskfrac_mdp::fracture_layout`.
     pub status: FractureStatus,
+    /// Whether the per-shape wall-clock deadline cut refinement short
+    /// (the ledger's deadline-degraded flag; implies `Degraded` unless a
+    /// later rung recovered).
+    pub deadline_hit: bool,
 }
 
 impl FractureResult {
@@ -346,6 +350,7 @@ impl ModelBasedFracturer {
                 deadline,
                 scratch,
             );
+            outcome.deadline_hit |= reduced.deadline_hit;
             if reduced.shots.len() < outcome.shots.len() {
                 outcome.iterations += reduced.iterations;
                 outcome.shots = reduced.shots;
@@ -375,6 +380,7 @@ impl ModelBasedFracturer {
             approx_shot_count: approx.shots.len(),
             runtime: start.elapsed(),
             status,
+            deadline_hit: outcome.deadline_hit,
         };
         (result, approx, outcome)
     }

@@ -93,6 +93,7 @@ mod tests {
             approx_shot_count: 3,
             runtime: Duration::from_millis(250),
             status: crate::FractureStatus::Degraded,
+            deadline_hit: false,
         };
         let r = FractureReport::from_result("Clip-1", "ours", &result);
         assert_eq!(r.shot_count, 1);

@@ -59,6 +59,35 @@ pub(crate) struct ShardedCache<V> {
     shards: Vec<Shard<V>>,
 }
 
+/// How a [`ShardedCache::get_or_compute`] call obtained its value — the
+/// per-shape ledger's cache attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CacheLookup {
+    /// This caller ran the computation.
+    Computed,
+    /// Served from an already-ready entry without waiting.
+    Hit,
+    /// Blocked behind another worker's in-flight computation, then
+    /// reused its result.
+    WaitedReuse,
+}
+
+impl CacheLookup {
+    /// Ledger label (one of `maskfrac_obs::ledger::KNOWN_CACHE_LABELS`).
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            CacheLookup::Computed => "computed",
+            CacheLookup::Hit => "hit",
+            CacheLookup::WaitedReuse => "inflight-wait",
+        }
+    }
+
+    /// Whether this call ran the computation itself.
+    pub(crate) fn computed(self) -> bool {
+        self == CacheLookup::Computed
+    }
+}
+
 impl<V: Clone> ShardedCache<V> {
     pub(crate) fn new() -> Self {
         ShardedCache {
@@ -75,12 +104,12 @@ impl<V: Clone> ShardedCache<V> {
     /// Returns the cached value for `key`, computing it with `compute` if
     /// absent. Exactly one caller computes each key; concurrent callers
     /// block until the computation lands and share its result. The second
-    /// component is `true` iff *this* call ran `compute`.
+    /// component says how the value was obtained ([`CacheLookup`]).
     ///
     /// If the computing caller panics, its reservation is withdrawn and
     /// one waiter takes over the computation — a panic never deadlocks
     /// the other workers (the panic itself still propagates).
-    pub(crate) fn get_or_compute<F>(&self, key: &[u8], compute: F) -> (V, bool)
+    pub(crate) fn get_or_compute<F>(&self, key: &[u8], compute: F) -> (V, CacheLookup)
     where
         F: FnOnce() -> V,
     {
@@ -91,7 +120,12 @@ impl<V: Clone> ShardedCache<V> {
             match slots.get(key) {
                 Some(Slot::Ready(value)) => {
                     maskfrac_obs::counter!("mdp.cache.hits").incr();
-                    return (value.clone(), false);
+                    let how = if waited {
+                        CacheLookup::WaitedReuse
+                    } else {
+                        CacheLookup::Hit
+                    };
+                    return (value.clone(), how);
                 }
                 Some(Slot::InFlight) => {
                     if !waited {
@@ -118,7 +152,7 @@ impl<V: Clone> ShardedCache<V> {
         slots.insert(key.to_vec(), Slot::Ready(value.clone()));
         drop(slots);
         shard.ready.notify_all();
-        (value, true)
+        (value, CacheLookup::Computed)
     }
 }
 
@@ -178,12 +212,45 @@ mod tests {
     #[test]
     fn computed_flag_marks_exactly_one_caller() {
         let cache: ShardedCache<u32> = ShardedCache::new();
-        let (v, computed) = cache.get_or_compute(b"k", || 7);
-        assert!(computed);
+        let (v, how) = cache.get_or_compute(b"k", || 7);
+        assert_eq!(how, CacheLookup::Computed);
+        assert!(how.computed());
         assert_eq!(v, 7);
-        let (v, computed) = cache.get_or_compute(b"k", || unreachable!("cached"));
-        assert!(!computed);
+        let (v, how) = cache.get_or_compute(b"k", || unreachable!("cached"));
+        assert_eq!(how, CacheLookup::Hit);
+        assert!(!how.computed());
         assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn overlapping_requests_report_waited_reuse() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        let outcomes: Mutex<Vec<CacheLookup>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let (v, how) = cache.get_or_compute(b"slow", || {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        11
+                    });
+                    assert_eq!(v, 11);
+                    lock_vec(&outcomes).push(how);
+                });
+            }
+        });
+        let outcomes = lock_vec(&outcomes);
+        let computed = outcomes.iter().filter(|h| h.computed()).count();
+        assert_eq!(computed, 1, "exactly one caller computes");
+        // The others either blocked behind the in-flight computation
+        // (WaitedReuse) or arrived after it landed (Hit); never Computed.
+        assert!(outcomes
+            .iter()
+            .all(|&h| h == CacheLookup::Computed || h == CacheLookup::Hit || h == CacheLookup::WaitedReuse));
+        assert_eq!(CacheLookup::WaitedReuse.label(), "inflight-wait");
+    }
+
+    fn lock_vec(m: &Mutex<Vec<CacheLookup>>) -> std::sync::MutexGuard<'_, Vec<CacheLookup>> {
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     #[test]
@@ -195,8 +262,8 @@ mod tests {
         assert!(caught.is_err());
         // The reservation must be withdrawn: a fresh caller recomputes
         // instead of deadlocking behind a dead in-flight slot.
-        let (v, computed) = cache.get_or_compute(b"k", || 9);
-        assert!(computed);
+        let (v, how) = cache.get_or_compute(b"k", || 9);
+        assert!(how.computed());
         assert_eq!(v, 9);
     }
 }

@@ -147,6 +147,43 @@ pub struct ShapeFractureStats {
     /// Fallback-ladder rungs attempted (1 = first try succeeded).
     #[serde(default)]
     pub attempts: u32,
+    /// Shot-refinement iterations spent by the delivering rung.
+    #[serde(default)]
+    pub iterations: usize,
+    /// Residual Pon violations (interior pixels below threshold).
+    #[serde(default)]
+    pub on_fail_pixels: usize,
+    /// Residual Poff violations (exterior pixels above threshold).
+    #[serde(default)]
+    pub off_fail_pixels: usize,
+    /// Dedup-cache outcome for this library entry: `computed`, `hit`,
+    /// `inflight-wait`, or `off` (cache disabled).
+    #[serde(default)]
+    pub cache: String,
+    /// Whether the per-shape deadline cut refinement short.
+    #[serde(default)]
+    pub deadline_hit: bool,
+}
+
+impl ShapeFractureStats {
+    /// This row as a run-report v2 ledger record
+    /// ([`maskfrac_obs::ShapeRecord`]).
+    pub fn ledger_record(&self) -> maskfrac_obs::ShapeRecord {
+        maskfrac_obs::ShapeRecord {
+            id: self.shape.clone(),
+            status: self.status.label().to_owned(),
+            method: self.method.clone(),
+            shots: self.shots_per_instance,
+            fail_pixels: self.fail_pixels,
+            runtime_s: self.runtime_s,
+            attempts: self.attempts as usize,
+            iterations: self.iterations,
+            on_fail_pixels: self.on_fail_pixels,
+            off_fail_pixels: self.off_fail_pixels,
+            cache: self.cache.clone(),
+            deadline_hit: self.deadline_hit,
+        }
+    }
 }
 
 /// Result of fracturing a whole layout.
@@ -223,10 +260,20 @@ struct CachedShapeOutcome {
     method: String,
     error: Option<String>,
     attempts: u32,
+    iterations: usize,
+    on_fail_pixels: usize,
+    off_fail_pixels: usize,
+    deadline_hit: bool,
 }
 
 impl CachedShapeOutcome {
-    fn into_stats(self, shape: &str, instances: usize, runtime_s: f64) -> ShapeFractureStats {
+    fn into_stats(
+        self,
+        shape: &str,
+        instances: usize,
+        runtime_s: f64,
+        cache: &'static str,
+    ) -> ShapeFractureStats {
         ShapeFractureStats {
             shape: shape.to_owned(),
             shots_per_instance: self.shots_per_instance,
@@ -237,6 +284,11 @@ impl CachedShapeOutcome {
             method: self.method,
             error: self.error,
             attempts: self.attempts,
+            iterations: self.iterations,
+            on_fail_pixels: self.on_fail_pixels,
+            off_fail_pixels: self.off_fail_pixels,
+            cache: cache.to_owned(),
+            deadline_hit: self.deadline_hit,
         }
     }
 }
@@ -372,25 +424,45 @@ pub fn fracture_layout_opts(
                             method: outcome.method.to_owned(),
                             error: outcome.error,
                             attempts: outcome.attempts,
+                            iterations: outcome.result.iterations,
+                            on_fail_pixels: outcome.result.summary.on_fails,
+                            off_fail_pixels: outcome.result.summary.off_fails,
+                            deadline_hit: outcome.result.deadline_hit,
                         }
                     };
-                    let (cached, computed) = match &cache {
+                    let (cached, lookup) = match &cache {
                         Some(cache) => {
                             let key = geometry_key(polygon);
                             cache.get_or_compute(&key, || fracture(&mut scratch))
                         }
-                        None => (fracture(&mut scratch), true),
+                        None => (fracture(&mut scratch), crate::cache::CacheLookup::Computed),
                     };
-                    if !computed {
+                    if !lookup.computed() {
                         // Replay the status tally the skipped pipeline
                         // would have recorded, so per-shape status counts
                         // stay complete under deduplication.
                         maskfrac_obs::counter(status_counter_name(cached.status)).incr();
                     }
-                    let stats =
-                        cached.into_stats(name, counts[name], started.elapsed().as_secs_f64());
+                    let cache_label = if cache.is_some() { lookup.label() } else { "off" };
+                    let stats = cached.into_stats(
+                        name,
+                        counts[name],
+                        started.elapsed().as_secs_f64(),
+                        cache_label,
+                    );
                     maskfrac_obs::counter!("mdp.shapes_fractured").incr();
                     maskfrac_obs::counter!("mdp.instances_covered").add(stats.instances as u64);
+                    // Event-stream breadcrumb: one point per shape, so the
+                    // Chrome trace shows worker handoffs and cache reuse.
+                    maskfrac_obs::point_with(
+                        "mdp.shape_done",
+                        [
+                            ("shape", name.into()),
+                            ("shots", (stats.shots_per_instance as u64).into()),
+                            ("cache", cache_label.into()),
+                            ("status", stats.status.label().into()),
+                        ],
+                    );
                     // A worker that somehow dies mid-push must not strand
                     // the run: recover the data from a poisoned lock.
                     results
@@ -561,6 +633,11 @@ mod tests {
             method: "proto-eda".into(),
             error: Some("ours: injected".into()),
             attempts: 3,
+            iterations: 40,
+            on_fail_pixels: 0,
+            off_fail_pixels: 0,
+            cache: "computed".into(),
+            deadline_hit: false,
         };
         let json = serde_json::to_string(&stats).unwrap();
         let back: ShapeFractureStats = serde_json::from_str(&json).unwrap();
@@ -572,5 +649,36 @@ mod tests {
         assert_eq!(back.status, FractureStatus::Ok);
         assert_eq!(back.attempts, 0);
         assert!(back.error.is_none());
+        assert_eq!(back.cache, "");
+        assert!(!back.deadline_hit);
+    }
+
+    #[test]
+    fn ledger_records_mirror_stats() {
+        let layout = demo_layout();
+        let report = fracture_layout(&layout, &FractureConfig::default(), 2);
+        for s in &report.per_shape {
+            let rec = s.ledger_record();
+            assert_eq!(rec.id, s.shape);
+            assert_eq!(rec.shots, s.shots_per_instance);
+            assert_eq!(rec.status, s.status.label());
+            assert_eq!(rec.on_fail_pixels + rec.off_fail_pixels, rec.fail_pixels);
+            assert!(["computed", "hit", "inflight-wait", "off"].contains(&rec.cache.as_str()));
+        }
+    }
+
+    #[test]
+    fn cache_off_labels_every_shape_off() {
+        let report = fracture_layout_opts(
+            &demo_layout(),
+            &FractureConfig::default(),
+            &LayoutOptions {
+                threads: 2,
+                dedup_cache: false,
+            },
+        );
+        for s in &report.per_shape {
+            assert_eq!(s.cache, "off");
+        }
     }
 }

@@ -46,12 +46,24 @@ impl Counter {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+/// Retained-sample cap per histogram. When the reservoir fills it is
+/// decimated to every other sample and the keep-stride doubles, so memory
+/// stays bounded while the kept samples remain a deterministic systematic
+/// sample of the whole stream (no RNG — snapshots are reproducible).
+const RESERVOIR_CAP: usize = 2048;
+
+#[derive(Debug, Clone)]
 struct HistState {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    /// Systematic sample of observations, for quantile estimates.
+    samples: Vec<f32>,
+    /// Keep every `stride`-th observation (doubles on decimation).
+    stride: u32,
+    /// Observations until the next kept sample (0 = keep the next one).
+    phase: u32,
 }
 
 impl HistState {
@@ -60,6 +72,9 @@ impl HistState {
         sum: 0.0,
         min: f64::INFINITY,
         max: f64::NEG_INFINITY,
+        samples: Vec::new(),
+        stride: 1,
+        phase: 0,
     };
 
     fn record(&mut self, v: f64) {
@@ -67,7 +82,34 @@ impl HistState {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        if self.phase == 0 {
+            self.samples.push(v as f32);
+            self.phase = self.stride - 1;
+            if self.samples.len() >= RESERVOIR_CAP {
+                let mut keep = false;
+                self.samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride = self.stride.saturating_mul(2);
+            }
+        } else {
+            self.phase -= 1;
+        }
     }
+}
+
+/// Nearest-rank quantile of an unsorted sample copy (`q` in `[0, 1]`),
+/// clamped into `[min, max]` so f32 reservoir rounding can never push an
+/// estimate outside the exactly-tracked bounds.
+fn sample_quantile(samples: &[f32], q: f64, min: f64, max: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = samples.to_vec();
+    sorted.sort_by(f32::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    f64::from(sorted[rank - 1]).clamp(min, max)
 }
 
 /// A streaming value distribution: count, sum, min, max (and hence mean).
@@ -94,7 +136,7 @@ impl Histogram {
 
     /// Snapshot of the distribution so far.
     pub fn summary(&self) -> HistogramSummary {
-        HistogramSummary::from_state(*self.lock())
+        HistogramSummary::from_state(&self.lock())
     }
 
     fn reset(&self) {
@@ -110,6 +152,11 @@ impl Histogram {
 }
 
 /// Serializable summary of a [`Histogram`].
+///
+/// The quantile fields are estimates over a bounded deterministic sample
+/// of the stream (exact up to [`RESERVOIR_CAP`] observations), always
+/// within `[min, max]`; they default to 0 when parsing pre-quantile
+/// (schema v1) reports.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
     /// Number of recorded observations.
@@ -120,16 +167,28 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest observation (0 when `count` is 0).
     pub max: f64,
+    /// Median estimate (0 when `count` is 0).
+    #[serde(default)]
+    pub p50: f64,
+    /// 90th-percentile estimate (0 when `count` is 0).
+    #[serde(default)]
+    pub p90: f64,
+    /// 99th-percentile estimate (0 when `count` is 0).
+    #[serde(default)]
+    pub p99: f64,
 }
 
 impl HistogramSummary {
-    fn from_state(s: HistState) -> Self {
+    fn from_state(s: &HistState) -> Self {
         if s.count == 0 {
             HistogramSummary {
                 count: 0,
                 sum: 0.0,
                 min: 0.0,
                 max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
             }
         } else {
             HistogramSummary {
@@ -137,6 +196,9 @@ impl HistogramSummary {
                 sum: s.sum,
                 min: s.min,
                 max: s.max,
+                p50: sample_quantile(&s.samples, 0.50, s.min, s.max),
+                p90: sample_quantile(&s.samples, 0.90, s.min, s.max),
+                p99: sample_quantile(&s.samples, 0.99, s.min, s.max),
             }
         }
     }
@@ -163,6 +225,16 @@ pub struct StageStats {
     pub min_s: f64,
     /// Longest single span, seconds.
     pub max_s: f64,
+    /// Median span duration estimate, seconds (see
+    /// [`HistogramSummary`] for sampling semantics; 0 in v1 reports).
+    #[serde(default)]
+    pub p50_s: f64,
+    /// 90th-percentile span duration estimate, seconds.
+    #[serde(default)]
+    pub p90_s: f64,
+    /// 99th-percentile span duration estimate, seconds.
+    #[serde(default)]
+    pub p99_s: f64,
 }
 
 impl StageStats {
@@ -255,6 +327,9 @@ impl Registry {
                         total_s: s.sum,
                         min_s: s.min,
                         max_s: s.max,
+                        p50_s: s.p50,
+                        p90_s: s.p90,
+                        p99_s: s.p99,
                     },
                 )
             })
@@ -379,6 +454,51 @@ mod tests {
         assert_eq!(s.min, 2.0);
         assert_eq!(s.max, 8.0);
         assert!((s.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_exact_below_the_reservoir_cap() {
+        let r = Registry::new();
+        let h = r.histogram("t.hist.quantiles");
+        // 1..=100 in a scrambled order: quantiles must not depend on
+        // arrival order.
+        for i in 0..100u64 {
+            h.record(((i * 37) % 100 + 1) as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn quantiles_survive_reservoir_decimation() {
+        let r = Registry::new();
+        let h = r.histogram("t.hist.decimated");
+        // 3x the cap: the reservoir decimates twice; estimates stay close
+        // on a uniform ramp and inside the exact bounds.
+        let n = (super::RESERVOIR_CAP * 3) as u64;
+        for i in 1..=n {
+            h.record(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, n);
+        assert!((s.p50 - n as f64 * 0.5).abs() < n as f64 * 0.02, "p50 {}", s.p50);
+        assert!((s.p90 - n as f64 * 0.9).abs() < n as f64 * 0.02, "p90 {}", s.p90);
+        assert!(s.min <= s.p50 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn stage_stats_carry_quantiles() {
+        let r = Registry::new();
+        for ms in [10u64, 20, 30, 40] {
+            r.record_span("t.stage.q", Duration::from_millis(ms));
+        }
+        let s = r.snapshot().stages["t.stage.q"];
+        assert!(s.p50_s >= s.min_s && s.p50_s <= s.p90_s);
+        assert!(s.p99_s <= s.max_s + 1e-9);
     }
 
     #[test]

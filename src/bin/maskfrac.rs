@@ -1,8 +1,8 @@
 //! `maskfrac` — command-line mask fracturing.
 //!
 //! ```text
-//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--refine-threads N] [--trace] [--metrics-out REPORT.json]
-//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--refine-threads N] [--deadline-ms MS] [--trace] [--metrics-out REPORT.json]
+//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--refine-threads N] [OBS FLAGS]
+//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--refine-threads N] [--deadline-ms MS] [OBS FLAGS]
 //! maskfrac generate-ilt <out.json> [--seed N] [--radius NM]
 //! maskfrac generate-benchmark <out.json> [--shots K] [--seed N]
 //! maskfrac verify <shape.json>
@@ -20,8 +20,18 @@
 //! parallelism (capped by the layout worker limit); `--refine-threads`
 //! sets the candidate-scoring workers inside one shape's refinement
 //! (`0` = auto, default 1 — results are identical at any setting).
-//! `--trace` prints the pipeline span tree to stderr and `--metrics-out`
-//! writes the versioned run report documented in `docs/observability.md`.
+//!
+//! Both fracture subcommands share the observability flags (none of which
+//! changes the shot output — see `docs/observability.md`):
+//!
+//! - `--trace` prints the pipeline span tree to stderr;
+//! - `--metrics-out REPORT.json` writes the versioned run report
+//!   (schema v2: per-shape ledger, worst-K outliers, anomaly flags);
+//! - `--trace-out TRACE.json` captures structured events and exports them
+//!   in Chrome trace format (loadable in Perfetto / `chrome://tracing`);
+//! - `--events-out EVENTS.jsonl` writes the same events as raw JSON Lines;
+//! - `--progress-ms N` prints a live progress line to stderr every N ms
+//!   (shapes done, shots so far, cache hit rate).
 
 use maskfrac::baselines::{
     Conventional, ExhaustiveOptimal, GreedySetCover, MaskFracturer, MatchingPursuit, Ours,
@@ -69,14 +79,75 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// Applies the shared observability flags: `--trace` turns on the stderr
-/// span tree, `--metrics-out <path>` selects where the run report goes.
-/// Returns the report path, if requested.
-fn obs_from_flags(args: &[String]) -> Option<std::path::PathBuf> {
+/// Shared observability flags, accepted by every fracture subcommand.
+const OBS_FLAGS: [&str; 5] = [
+    "--trace",
+    "--metrics-out",
+    "--trace-out",
+    "--events-out",
+    "--progress-ms",
+];
+
+/// The shared observability flags, parsed and applied:
+/// `--trace` turns on the stderr span tree, `--metrics-out <path>` selects
+/// where the run report goes, `--trace-out <path>` / `--events-out <path>`
+/// enable structured event capture (Chrome trace / JSON Lines), and
+/// `--progress-ms <n>` starts the live progress sampler.
+struct ObsFlags {
+    metrics_out: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
+    events_out: Option<std::path::PathBuf>,
+    progress: Option<std::time::Duration>,
+}
+
+fn obs_from_flags(args: &[String]) -> Result<ObsFlags, Box<dyn std::error::Error>> {
     if args.iter().any(|a| a == "--trace") {
         maskfrac::obs::set_trace(true);
     }
-    flag_value(args, "--metrics-out").map(std::path::PathBuf::from)
+    let flags = ObsFlags {
+        metrics_out: flag_value(args, "--metrics-out").map(std::path::PathBuf::from),
+        trace_out: flag_value(args, "--trace-out").map(std::path::PathBuf::from),
+        events_out: flag_value(args, "--events-out").map(std::path::PathBuf::from),
+        progress: match parsed_flag::<u64>(args, "--progress-ms")? {
+            Some(0) => return Err("--progress-ms must be positive".into()),
+            ms => ms.map(std::time::Duration::from_millis),
+        },
+    };
+    if flags.trace_out.is_some() || flags.events_out.is_some() {
+        maskfrac::obs::set_capture(true);
+    }
+    Ok(flags)
+}
+
+impl ObsFlags {
+    /// Starts the live progress sampler when `--progress-ms` was given.
+    /// Keep the returned guard alive for the duration of the run.
+    fn start_progress(&self, total_shapes: Option<u64>) -> Option<maskfrac::obs::ProgressSampler> {
+        self.progress
+            .map(|interval| maskfrac::obs::ProgressSampler::start(interval, total_shapes))
+    }
+
+    /// Flushes captured events to `--trace-out`/`--events-out`, checking
+    /// their structural invariants (parent resolution, begin/end pairing,
+    /// per-thread timestamp order) first.
+    fn flush_events(&self) -> Result<(), Box<dyn std::error::Error>> {
+        if self.trace_out.is_none() && self.events_out.is_none() {
+            return Ok(());
+        }
+        let events = maskfrac::obs::event::flush_to_files(
+            self.trace_out.as_deref(),
+            self.events_out.as_deref(),
+        )?;
+        maskfrac::obs::event::validate(&events)
+            .map_err(|e| format!("event stream failed validation: {e}"))?;
+        for path in [self.trace_out.as_deref(), self.events_out.as_deref()]
+            .into_iter()
+            .flatten()
+        {
+            println!("wrote {}", path.display());
+        }
+        Ok(())
+    }
 }
 
 /// Captures the metrics gathered since `started` into a validated
@@ -157,18 +228,9 @@ fn default_layout_threads() -> usize {
 }
 
 fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    check_flags(
-        args,
-        &[
-            "--method",
-            "--svg",
-            "--out",
-            "--deadline-ms",
-            "--refine-threads",
-            "--trace",
-            "--metrics-out",
-        ],
-    )?;
+    let mut allowed = vec!["--method", "--svg", "--out", "--deadline-ms", "--refine-threads"];
+    allowed.extend_from_slice(&OBS_FLAGS);
+    check_flags(args, &allowed)?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
@@ -176,7 +238,7 @@ fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let file = ShapeFile::load(path)?;
     let method = flag_value(args, "--method").unwrap_or("ours");
     let cfg = config_from_flags(args)?;
-    let metrics_out = obs_from_flags(args);
+    let obs = obs_from_flags(args)?;
     let started = std::time::Instant::now();
 
     let fracturer: Box<dyn MaskFracturer> = match method {
@@ -189,7 +251,7 @@ fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .try_fracture(&file.polygon)
                 .map_err(|e| format!("shape {:?}: {e}", file.id))?;
             report(&file.id, "ours", &result, args, &file)?;
-            emit_shape_report(&file.id, "ours", &result, started, metrics_out.as_deref())?;
+            emit_shape_report(&file.id, "ours", &result, started, &obs)?;
             return Ok(());
         }
         "gsc" => Box::new(GreedySetCover::new(cfg.clone())),
@@ -201,25 +263,27 @@ fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             let exact = ExhaustiveOptimal::new(cfg.clone());
             let result = exact.run(&file.polygon);
             report(&file.id, "exact", &result, args, &file)?;
-            emit_shape_report(&file.id, "exact", &result, started, metrics_out.as_deref())?;
+            emit_shape_report(&file.id, "exact", &result, started, &obs)?;
             return Ok(());
         }
         other => return Err(format!("unknown method {other:?}").into()),
     };
     let result = fracturer.fracture(&file.polygon);
     report(&file.id, method, &result, args, &file)?;
-    emit_shape_report(&file.id, method, &result, started, metrics_out.as_deref())
+    emit_shape_report(&file.id, method, &result, started, &obs)
 }
 
-/// Writes the single-shape run report when `--metrics-out` was given.
+/// Finishes the single-shape run: flushes captured events and writes the
+/// run report when `--metrics-out` was given.
 fn emit_shape_report(
     id: &str,
     method: &str,
     result: &maskfrac::fracture::FractureResult,
     started: std::time::Instant,
-    metrics_out: Option<&std::path::Path>,
+    obs: &ObsFlags,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let Some(path) = metrics_out else {
+    obs.flush_events()?;
+    let Some(path) = obs.metrics_out.as_deref() else {
         return Ok(());
     };
     let shapes = vec![maskfrac::obs::ShapeRecord {
@@ -230,6 +294,11 @@ fn emit_shape_report(
         fail_pixels: result.summary.fail_count(),
         runtime_s: result.runtime.as_secs_f64(),
         attempts: 1,
+        iterations: result.iterations,
+        on_fail_pixels: result.summary.on_fails,
+        off_fail_pixels: result.summary.off_fails,
+        cache: String::new(),
+        deadline_hit: result.deadline_hit,
     }];
     write_run_report("maskfrac", started, path, shapes)
 }
@@ -275,10 +344,9 @@ fn report(
 }
 
 fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    check_flags(
-        args,
-        &["--threads", "--refine-threads", "--deadline-ms", "--trace", "--metrics-out"],
-    )?;
+    let mut allowed = vec!["--threads", "--refine-threads", "--deadline-ms"];
+    allowed.extend_from_slice(&OBS_FLAGS);
+    check_flags(args, &allowed)?;
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
@@ -303,23 +371,16 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
         layout.instance_count()
     );
     let cfg = config_from_flags(args)?;
-    let metrics_out = obs_from_flags(args);
+    let obs = obs_from_flags(args)?;
     let started = std::time::Instant::now();
+    let progress = obs.start_progress(Some(layout.shape_count() as u64));
     let report = maskfrac::mdp::fracture_layout(&layout, &cfg, threads);
-    if let Some(path) = &metrics_out {
-        let shapes = report
-            .per_shape
-            .iter()
-            .map(|s| maskfrac::obs::ShapeRecord {
-                id: s.shape.clone(),
-                status: s.status.label().to_owned(),
-                method: s.method.clone(),
-                shots: s.shots_per_instance,
-                fail_pixels: s.fail_pixels,
-                runtime_s: s.runtime_s,
-                attempts: s.attempts as usize,
-            })
-            .collect();
+    if let Some(sampler) = progress {
+        sampler.stop();
+    }
+    obs.flush_events()?;
+    if let Some(path) = obs.metrics_out.as_deref() {
+        let shapes = report.per_shape.iter().map(|s| s.ledger_record()).collect();
         write_run_report("maskfrac", started, path, shapes)?;
     }
     for s in &report.per_shape {
