@@ -7,12 +7,18 @@
 //!
 //! 1. **model-based** — [`ModelBasedFracturer::try_fracture`], the
 //!    validating front door;
-//! 2. **model-based retry** — once more under a perturbed configuration
-//!    (one extra refinement iteration allowed), which also draws a fresh
-//!    fault-injection decision for transient injected faults;
-//! 3. **proto-eda** — the tolerant-slab-seeded surrogate baseline,
+//! 2. **model-based retries** — up to [`RetryPolicy::retries`] more
+//!    attempts under perturbed configurations (each allows one extra
+//!    refinement iteration, which also draws a fresh fault-injection
+//!    decision for transient injected faults), separated by the policy's
+//!    bounded exponential backoff;
+//! 3. **model-based degraded** — a deliberately coarser configuration
+//!    (quartered iteration budget, no reduction sweep, no plateau
+//!    restarts) once the retry budget is exhausted; a delivery here is
+//!    journaled as at-least-[`FractureStatus::Degraded`];
+//! 4. **proto-eda** — the tolerant-slab-seeded surrogate baseline,
 //!    tagged [`FractureStatus::Fallback`];
-//! 4. **conventional** — plain geometric partitioning, the method of
+//! 5. **conventional** — plain geometric partitioning, the method of
 //!    last resort, also tagged `Fallback`.
 //!
 //! Only when every rung fails does the outcome carry
@@ -24,7 +30,7 @@ use crate::proto::ProtoEda;
 use maskfrac_ebeam::FailureSummary;
 use maskfrac_fracture::{
     FractureConfig, FractureError, FractureResult, FractureScratch, FractureStatus,
-    ModelBasedFracturer,
+    ModelBasedFracturer, RetryPolicy,
 };
 use maskfrac_geom::Polygon;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -38,8 +44,8 @@ pub struct FallbackOutcome {
     /// when a baseline produced the shots, and [`FractureStatus::Failed`]
     /// (empty shot list) when every rung failed.
     pub result: FractureResult,
-    /// Which rung delivered: `"ours"`, `"ours-retry"`, `"proto-eda"`,
-    /// `"conventional"`, or `"none"`.
+    /// Which rung delivered: `"ours"`, `"ours-retry"`, `"ours-degraded"`,
+    /// `"proto-eda"`, `"conventional"`, or `"none"`.
     pub method: &'static str,
     /// Rungs attempted (1 when the first attempt succeeded).
     pub attempts: u32,
@@ -65,34 +71,58 @@ pub struct FallbackOutcome {
 /// ```
 pub struct FallbackFracturer {
     config: FractureConfig,
-    primary: Result<ModelBasedFracturer, String>,
-    relaxed: Result<ModelBasedFracturer, String>,
+    policy: RetryPolicy,
+    /// Model-based attempts in ladder order: `model[0]` is the primary
+    /// configuration, `model[i]` allows `i` extra refinement iterations.
+    model: Vec<Result<ModelBasedFracturer, String>>,
+    /// The coarser degraded-tier fracturer, tried after the retry budget
+    /// is exhausted and before the baseline rungs.
+    degraded: Result<ModelBasedFracturer, String>,
 }
 
 impl FallbackFracturer {
-    /// Builds the ladder. An invalid `config` is not an error here — the
-    /// model-based rungs will report it and the ladder falls through to
-    /// the baselines (whose own constructors are also guarded).
+    /// Builds the ladder under the default [`RetryPolicy`] (one retry,
+    /// matching the original two-rung model-based ladder).
     pub fn new(config: FractureConfig) -> Self {
-        let primary = ModelBasedFracturer::try_new(config.clone()).map_err(|e| e.to_string());
-        // One extra refinement iteration: a harmless perturbation that
-        // changes the per-(shape, config) fault-injection fingerprint, so
-        // the retry draws an independent decision under injected faults.
-        let relaxed_cfg = FractureConfig {
-            max_iterations: config.max_iterations.saturating_add(1),
-            ..config.clone()
-        };
-        let relaxed = ModelBasedFracturer::try_new(relaxed_cfg).map_err(|e| e.to_string());
+        Self::with_policy(config, RetryPolicy::default())
+    }
+
+    /// Builds the ladder with an explicit supervisor `policy`. An
+    /// invalid `config` is not an error here — the model-based rungs
+    /// will report it and the ladder falls through to the baselines
+    /// (whose own constructors are also guarded).
+    pub fn with_policy(config: FractureConfig, policy: RetryPolicy) -> Self {
+        // Each re-attempt allows one more refinement iteration: a
+        // harmless perturbation that changes the per-(shape, config)
+        // fault-injection fingerprint, so every retry draws an
+        // independent decision under injected faults.
+        let model = (0..policy.model_attempts() as usize)
+            .map(|extra| {
+                let cfg = FractureConfig {
+                    max_iterations: config.max_iterations.saturating_add(extra),
+                    ..config.clone()
+                };
+                ModelBasedFracturer::try_new(cfg).map_err(|e| e.to_string())
+            })
+            .collect();
+        let degraded =
+            ModelBasedFracturer::try_new(degraded_config(&config)).map_err(|e| e.to_string());
         FallbackFracturer {
             config,
-            primary,
-            relaxed,
+            policy,
+            model,
+            degraded,
         }
     }
 
     /// The configuration the ladder runs with.
     pub fn config(&self) -> &FractureConfig {
         &self.config
+    }
+
+    /// The supervisor policy the ladder runs under.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
     }
 
     /// Fractures one shape, descending the ladder until a rung delivers.
@@ -116,7 +146,18 @@ impl FallbackFracturer {
         let mut errors: Vec<String> = Vec::new();
         let mut attempts = 0u32;
 
-        for (method, fracturer) in [("ours", &self.primary), ("ours-retry", &self.relaxed)] {
+        for (retry_index, fracturer) in self.model.iter().enumerate() {
+            let method = if retry_index == 0 { "ours" } else { "ours-retry" };
+            if retry_index > 0 {
+                // Bounded exponential pause before every re-attempt: a
+                // transient cause (injected panic, contended machine) is
+                // not immediately re-hit.
+                let pause = self.policy.backoff(retry_index as u32);
+                if !pause.is_zero() {
+                    maskfrac_obs::counter!("fallback.backoff_sleeps").incr();
+                    std::thread::sleep(pause);
+                }
+            }
             attempts += 1;
             maskfrac_obs::counter(rung_attempt_counter(method)).incr();
             match fracturer {
@@ -139,6 +180,39 @@ impl FallbackFracturer {
                     maskfrac_obs::counter!("fallback.rung_failures").incr();
                     errors.push(format!("{method}: {cause}"));
                 }
+            }
+        }
+
+        // Degraded tier: the retry budget is exhausted, so trade shot
+        // quality for a verdict under a coarser configuration before
+        // surrendering to the baselines. A delivery here is always
+        // journaled as at-least-Degraded, even if the coarse run itself
+        // came back clean.
+        attempts += 1;
+        maskfrac_obs::counter(rung_attempt_counter("ours-degraded")).incr();
+        match &self.degraded {
+            Ok(f) => match guarded(|| f.try_fracture_with(target, &mut *scratch)) {
+                Ok(mut result) => {
+                    if result.status < FractureStatus::Degraded {
+                        result.status = FractureStatus::Degraded;
+                        maskfrac_obs::counter!("fracture.status.degraded").incr();
+                    }
+                    maskfrac_obs::counter(rung_delivered_counter("ours-degraded")).incr();
+                    return FallbackOutcome {
+                        result,
+                        method: "ours-degraded",
+                        attempts,
+                        error: join_errors(&errors),
+                    };
+                }
+                Err(cause) => {
+                    maskfrac_obs::counter!("fallback.rung_failures").incr();
+                    errors.push(format!("ours-degraded: {cause}"));
+                }
+            },
+            Err(cause) => {
+                maskfrac_obs::counter!("fallback.rung_failures").incr();
+                errors.push(format!("ours-degraded: {cause}"));
             }
         }
 
@@ -199,6 +273,7 @@ fn rung_attempt_counter(method: &str) -> &'static str {
     match method {
         "ours" => "fallback.rung.ours.attempts",
         "ours-retry" => "fallback.rung.ours-retry.attempts",
+        "ours-degraded" => "fallback.rung.ours-degraded.attempts",
         "proto-eda" => "fallback.rung.proto-eda.attempts",
         _ => "fallback.rung.conventional.attempts",
     }
@@ -209,8 +284,24 @@ fn rung_delivered_counter(method: &str) -> &'static str {
     match method {
         "ours" => "fallback.rung.ours.delivered",
         "ours-retry" => "fallback.rung.ours-retry.delivered",
+        "ours-degraded" => "fallback.rung.ours-degraded.delivered",
         "proto-eda" => "fallback.rung.proto-eda.delivered",
         _ => "fallback.rung.conventional.delivered",
+    }
+}
+
+/// The degraded-tier configuration: a deliberately coarser variant of
+/// `config` that finishes fast when the full-budget attempts could not —
+/// a quarter of the iteration budget, no reduction sweep, a single
+/// plateau restart. Validation knobs (`min_shot_size`, `max_extent`,
+/// model parameters) are untouched: a shape the front door rejects is
+/// still rejected here and falls through to the baselines.
+fn degraded_config(config: &FractureConfig) -> FractureConfig {
+    FractureConfig {
+        max_iterations: (config.max_iterations / 4).max(1),
+        reduction_sweep: false,
+        max_plateau_restarts: 1,
+        ..config.clone()
     }
 }
 
@@ -297,6 +388,55 @@ mod tests {
         assert_eq!(out.result.status, FractureStatus::Fallback);
         assert!(out.error.expect("causes").contains("panicked"));
         assert!(!out.result.shots.is_empty());
+    }
+
+    #[test]
+    fn retry_budget_controls_model_attempts() {
+        // A sliver fails validation on every model-based attempt, so the
+        // attempt count exposes the ladder length directly:
+        // (1 + retries) model rungs + degraded + proto-eda.
+        let sliver = Polygon::from_rect(Rect::new(0, 0, 60, 4).unwrap());
+        for retries in [0u32, 1, 3] {
+            let f = FallbackFracturer::with_policy(
+                FractureConfig::default(),
+                RetryPolicy {
+                    retries,
+                    backoff_base_ms: 0,
+                    backoff_max_ms: 0,
+                },
+            );
+            let out = f.fracture(&sliver);
+            assert_eq!(out.result.status, FractureStatus::Fallback);
+            assert_eq!(out.attempts, retries + 3, "retries={retries}");
+            assert!(out.error.as_deref().unwrap_or("").contains("ours-degraded:"));
+        }
+    }
+
+    #[test]
+    fn degraded_tier_delivery_is_journaled_as_degraded() {
+        // Fault decisions are a pure hash of (seed, stage, config
+        // fingerprint), and the degraded tier runs under a different
+        // configuration than the full-budget attempts — so some seed
+        // panics the primary attempt but spares the degraded one. Scan
+        // for it deterministically.
+        let target = Polygon::from_rect(Rect::new(0, 0, 50, 50).unwrap());
+        let f = FallbackFracturer::with_policy(FractureConfig::default(), RetryPolicy::none());
+        let mut seen_degraded = false;
+        for seed in 0..64u64 {
+            let _scope = faults::arm_scoped(FaultPlan::only(seed, Fault::Panic, 0.5));
+            let out = f.fracture(&target);
+            if out.method == "ours-degraded" {
+                assert!(
+                    out.result.status >= FractureStatus::Degraded,
+                    "degraded delivery must not report a clean status"
+                );
+                assert!(out.error.expect("primary cause recorded").contains("ours:"));
+                assert_eq!(out.attempts, 2, "ours + ours-degraded");
+                seen_degraded = true;
+                break;
+            }
+        }
+        assert!(seen_degraded, "no seed in 0..64 exercised the degraded tier");
     }
 
     #[test]

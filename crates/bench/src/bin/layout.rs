@@ -187,6 +187,7 @@ fn main() {
         let opts = LayoutOptions {
             threads: mode.threads,
             dedup_cache: mode.dedup_cache,
+            ..LayoutOptions::default()
         };
         let t0 = std::time::Instant::now();
         let report = fracture_layout_opts(&layout, &cfg, &opts);

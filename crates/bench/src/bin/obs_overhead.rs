@@ -108,7 +108,7 @@ fn main() {
 
     let layout = synth_layout();
     let cfg = FractureConfig::default();
-    let opts = LayoutOptions { threads: THREADS, dedup_cache: true };
+    let opts = LayoutOptions { threads: THREADS, ..LayoutOptions::default() };
     println!(
         "== Event-capture overhead: {} entries, {} instances, {} threads, {reps} reps/mode ==",
         layout.shape_count(),

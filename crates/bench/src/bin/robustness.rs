@@ -43,6 +43,31 @@ struct RobustnessRow {
     gsc_shots: usize,
 }
 
+/// FNV-1a hash of the clip ids and vertex coordinates this mode
+/// fractures, published in the run report as the
+/// `robustness.bench.suite_fingerprint` counter. CI's drift check on
+/// `results/BENCH_robustness.json` keys on it (same discipline as the
+/// refine and layout baselines): shot counts are only comparable
+/// between runs over the same geometry, so a baseline from a different
+/// generator build bootstraps instead of flagging a false regression.
+fn suite_fingerprint(clips: &[(String, maskfrac_geom::Polygon)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (id, polygon) in clips {
+        eat(id.as_bytes());
+        for p in polygon.vertices() {
+            eat(&p.x.to_le_bytes());
+            eat(&p.y.to_le_bytes());
+        }
+    }
+    h
+}
+
 fn mean_and_std(values: &[f64]) -> (f64, f64) {
     let n = values.len() as f64;
     let mean = values.iter().sum::<f64>() / n;
@@ -98,6 +123,9 @@ fn injection_harness(seed: u64, rate: f64, shapes: &mut Vec<ShapeRecord>) -> Exi
                 maskfrac_geom::Rect::new(0, 0, 60, 4).expect("rect"),
             ),
         ));
+        let fingerprint = suite_fingerprint(&clips);
+        maskfrac_obs::counter!("robustness.bench.suite_fingerprint").add(fingerprint);
+        println!("suite fingerprint {fingerprint:#018x}");
         for (id, polygon) in &clips {
             let out = ladder.fracture(polygon);
             *status_counts.entry(out.result.status).or_insert(0) += 1;
@@ -216,6 +244,21 @@ fn ranking_study(shapes: &mut Vec<ShapeRecord>) {
     let gsc = GreedySetCover::new(cfg);
 
     println!("== Robustness: 20 fresh random clips ==");
+    let clips: Vec<(String, maskfrac_geom::Polygon)> = (0..20u64)
+        .map(|k| {
+            let clip = generate_ilt_clip(&IltParams {
+                base_radius: 34.0 + 3.0 * (k % 8) as f64,
+                irregularity: 0.15 + 0.02 * (k % 6) as f64,
+                lobes: 1 + (k % 3) as usize,
+                seed: 0x40B0_5700 + k,
+                ..IltParams::default()
+            });
+            (format!("random-clip-{k}"), clip)
+        })
+        .collect();
+    let fingerprint = suite_fingerprint(&clips);
+    maskfrac_obs::counter!("robustness.bench.suite_fingerprint").add(fingerprint);
+    println!("suite fingerprint {fingerprint:#018x}");
     println!(
         "{:>6} {:>11} {:>11} {:>10} {:>12} {:>11}",
         "seed", "ours", "proto-eda", "gsc", "ours/proto", "ours/gsc"
@@ -223,17 +266,11 @@ fn ranking_study(shapes: &mut Vec<ShapeRecord>) {
     let mut rows = Vec::new();
     let mut vs_proto = Vec::new();
     let mut vs_gsc = Vec::new();
-    for k in 0..20u64 {
-        let clip = generate_ilt_clip(&IltParams {
-            base_radius: 34.0 + 3.0 * (k % 8) as f64,
-            irregularity: 0.15 + 0.02 * (k % 6) as f64,
-            lobes: 1 + (k % 3) as usize,
-            seed: 0x40B0_5700 + k,
-            ..IltParams::default()
-        });
-        let r_ours = ours.fracture(&clip);
-        let r_proto = proto.fracture(&clip);
-        let r_gsc = gsc.fracture(&clip);
+    for (k, (id, clip)) in clips.iter().enumerate() {
+        let k = k as u64;
+        let r_ours = ours.fracture(clip);
+        let r_proto = proto.fracture(clip);
+        let r_gsc = gsc.fracture(clip);
         let ratio_proto = r_ours.shot_count() as f64 / r_proto.shot_count().max(1) as f64;
         let ratio_gsc = r_ours.shot_count() as f64 / r_gsc.shot_count().max(1) as f64;
         vs_proto.push(ratio_proto);
@@ -256,7 +293,7 @@ fn ranking_study(shapes: &mut Vec<ShapeRecord>) {
             gsc_shots: r_gsc.shot_count(),
         });
         shapes.push(ShapeRecord {
-            id: format!("random-clip-{k}"),
+            id: id.clone(),
             status: r_ours.status.label().to_owned(),
             method: "ours".to_owned(),
             shots: r_ours.shot_count(),

@@ -11,7 +11,13 @@
 //! * [`Fault::Timeout`] — the pipeline behaves as if its wall-clock
 //!   deadline expired immediately (exercises degraded best-so-far paths);
 //! * [`Fault::Infeasible`] — the pipeline reports an infeasible residue
-//!   (exercises the fallback ladder).
+//!   (exercises the fallback ladder);
+//! * [`Fault::CrashPoint`] — the *process* should die at this probe
+//!   (exercises durable checkpoint/resume; see `docs/robustness.md`).
+//!   Unlike the in-process kinds, crash probes live on the journal write
+//!   path in `maskfrac-mdp`, and the actor is expected to tear the write
+//!   in progress and `abort()` — a crash harness decision, never an
+//!   in-process error.
 //!
 //! Decisions are *pure*: a splitmix64 hash of `(seed, stage, key)` — no
 //! RNG state — so they are independent of thread scheduling and identical
@@ -34,14 +40,20 @@ pub enum Fault {
     Timeout,
     /// Report an infeasible residue from refinement.
     Infeasible,
+    /// Kill the process at this probe (torn-write crash injection).
+    CrashPoint,
 }
 
 /// Seeded fault schedule: independent rates for each fault kind.
 ///
 /// For a given probe the unit sample `r = hash(seed, stage, key)` selects
 /// `Panic` when `r < panic_rate`, `Timeout` when
-/// `r < panic_rate + timeout_rate`, and `Infeasible` when
-/// `r < panic_rate + timeout_rate + infeasible_rate`.
+/// `r < panic_rate + timeout_rate`, `Infeasible` when
+/// `r < panic_rate + timeout_rate + infeasible_rate`, and `CrashPoint`
+/// when `r` falls in the next `crash_rate`-wide band. Crash probes are
+/// opt-in: [`FaultPlan::uniform`] keeps `crash_rate` at zero so the
+/// in-process robustness suites never kill their own test binary; use
+/// [`FaultPlan::with_crash_rate`] or [`FaultPlan::only`] to arm crashes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Seed of the deterministic schedule.
@@ -52,16 +64,21 @@ pub struct FaultPlan {
     pub timeout_rate: f64,
     /// Probability of [`Fault::Infeasible`] per probe.
     pub infeasible_rate: f64,
+    /// Probability of [`Fault::CrashPoint`] per probe.
+    pub crash_rate: f64,
 }
 
 impl FaultPlan {
-    /// A plan firing each fault kind with the same `rate`.
+    /// A plan firing each in-process fault kind with the same `rate`.
+    /// Crash probes stay disarmed; chain [`FaultPlan::with_crash_rate`]
+    /// to add them.
     pub fn uniform(seed: u64, rate: f64) -> Self {
         FaultPlan {
             seed,
             panic_rate: rate,
             timeout_rate: rate,
             infeasible_rate: rate,
+            crash_rate: 0.0,
         }
     }
 
@@ -72,13 +89,21 @@ impl FaultPlan {
             panic_rate: 0.0,
             timeout_rate: 0.0,
             infeasible_rate: 0.0,
+            crash_rate: 0.0,
         };
         match fault {
             Fault::Panic => plan.panic_rate = rate,
             Fault::Timeout => plan.timeout_rate = rate,
             Fault::Infeasible => plan.infeasible_rate = rate,
+            Fault::CrashPoint => plan.crash_rate = rate,
         }
         plan
+    }
+
+    /// The same plan with its crash-probe band set to `rate`.
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        self.crash_rate = rate;
+        self
     }
 
     /// Pure decision for one probe point.
@@ -90,6 +115,8 @@ impl FaultPlan {
             Some(Fault::Timeout)
         } else if r < self.panic_rate + self.timeout_rate + self.infeasible_rate {
             Some(Fault::Infeasible)
+        } else if r < self.panic_rate + self.timeout_rate + self.infeasible_rate + self.crash_rate {
+            Some(Fault::CrashPoint)
         } else {
             None
         }
@@ -222,6 +249,48 @@ mod tests {
         }
         assert!(!armed());
         assert_eq!(fire("scope-test", 1), None);
+    }
+
+    #[test]
+    fn uniform_plans_never_draw_a_crash() {
+        let plan = FaultPlan::uniform(9, 0.2);
+        assert!((0..10_000u64).all(|k| plan.decide("journal.append", k) != Some(Fault::CrashPoint)));
+    }
+
+    #[test]
+    fn crash_band_sits_after_the_in_process_bands() {
+        let plan = FaultPlan::uniform(13, 0.1).with_crash_rate(0.3);
+        let mut counts = [0usize; 4];
+        for k in 0..10_000u64 {
+            match plan.decide("journal.append", k) {
+                Some(Fault::Panic) => counts[0] += 1,
+                Some(Fault::Timeout) => counts[1] += 1,
+                Some(Fault::Infeasible) => counts[2] += 1,
+                Some(Fault::CrashPoint) => counts[3] += 1,
+                None => {}
+            }
+        }
+        // Each in-process band ~10%, crash band ~30%.
+        for c in &counts[..3] {
+            assert!((600..=1_400).contains(c), "in-process band {counts:?}");
+        }
+        assert!((2_400..=3_600).contains(&counts[3]), "crash band {counts:?}");
+        // Adding a crash band must not disturb the in-process decisions.
+        let base = FaultPlan::uniform(13, 0.1);
+        for k in 0..1_000u64 {
+            match base.decide("journal.append", k) {
+                Some(f) => assert_eq!(plan.decide("journal.append", k), Some(f)),
+                None => {}
+            }
+        }
+    }
+
+    #[test]
+    fn only_crash_point_fires_nothing_else() {
+        let plan = FaultPlan::only(17, Fault::CrashPoint, 1.0);
+        for k in 0..100u64 {
+            assert_eq!(plan.decide("journal.append", k), Some(Fault::CrashPoint));
+        }
     }
 
     #[test]

@@ -221,7 +221,9 @@ impl ModelBasedFracturer {
                     message: "injected infeasible residue (fault-injection harness)".into(),
                 });
             }
-            None => {}
+            // Crash probes belong to the journal write path (the process
+            // dies there, torn-write style); in-pipeline they are inert.
+            Some(Fault::CrashPoint) | None => {}
         }
         let deadline = self.config.deadline.map(|d| Instant::now() + d);
         let (result, _, _) = self.fracture_region_traced_until(target, deadline, scratch);

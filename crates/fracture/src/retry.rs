@@ -1,0 +1,123 @@
+//! Supervised retry policy: bounded exponential backoff and the
+//! degraded-tier knobs the fallback ladder runs under.
+//!
+//! PR 1's ladder hard-coded one model-based retry; at layout scale the
+//! supervisor wants that budget tunable per run (`--retries`), with a
+//! bounded exponential pause between model-based attempts so a transient
+//! failure (an injected panic, a contended arena) is not immediately
+//! re-hit, and an explicit *degraded* tier — a deliberately coarser
+//! model-based configuration — between exhausting the retry budget and
+//! surrendering to the baseline rungs. All knobs are integers so the
+//! types stay `Eq` and can live inside `LayoutOptions`.
+//!
+//! The policy itself is pure data: `maskfrac-baselines` interprets it
+//! (the ladder lives there), the layout driver in `maskfrac-mdp` threads
+//! it through, and `docs/robustness.md` documents the semantics.
+
+use std::time::Duration;
+
+/// Retry budget and backoff schedule for the model-based rungs of the
+/// fallback ladder.
+///
+/// Attempt 1 is the primary configuration; attempts `2..=1 + retries`
+/// are perturbed re-attempts (each adds one refinement iteration, which
+/// also re-rolls the fault-injection fingerprint). Before re-attempt
+/// `n` the supervisor sleeps [`backoff`](Self::backoff)`(n)` — capped
+/// exponential, so a run with a deep retry budget cannot stall a worker
+/// unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    /// Model-based re-attempts after the primary attempt fails.
+    /// `1` reproduces the PR 1 ladder (`ours` then `ours-retry`).
+    pub retries: u32,
+    /// Backoff before the first re-attempt, in milliseconds; doubled per
+    /// further re-attempt. `0` disables sleeping entirely.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff sleep, in milliseconds.
+    pub backoff_max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 1,
+            backoff_base_ms: 10,
+            backoff_max_ms: 500,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No re-attempts and no sleeping: the primary model-based rung
+    /// falls straight through to the degraded tier.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+        }
+    }
+
+    /// A policy with `retries` re-attempts and the default backoff.
+    pub fn with_retries(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The bounded exponential pause before re-attempt `attempt`
+    /// (1-based: `1` is the first re-attempt). Zero when sleeping is
+    /// disabled.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if self.backoff_base_ms == 0 || attempt == 0 {
+            return Duration::ZERO;
+        }
+        let factor = 1u64 << attempt.saturating_sub(1).min(16);
+        let ms = self
+            .backoff_base_ms
+            .saturating_mul(factor)
+            .min(self.backoff_max_ms);
+        Duration::from_millis(ms)
+    }
+
+    /// Total model-based attempts this policy allows (primary included,
+    /// degraded tier excluded).
+    pub fn model_attempts(&self) -> u32 {
+        self.retries.saturating_add(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_pr1_ladder() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.retries, 1);
+        assert_eq!(p.model_attempts(), 2);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            retries: 8,
+            backoff_base_ms: 10,
+            backoff_max_ms: 50,
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(50));
+        assert_eq!(p.backoff(30), Duration::from_millis(50), "shift stays bounded");
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let p = RetryPolicy::none();
+        for attempt in 0..8 {
+            assert_eq!(p.backoff(attempt), Duration::ZERO);
+        }
+    }
+}

@@ -116,6 +116,94 @@ impl std::error::Error for LayoutIoError {
     }
 }
 
+/// Error touching a checkpoint journal (see [`crate::journal`]). Like
+/// [`LayoutIoError`], every variant names the offending path so a
+/// supervisor juggling many runs can say exactly which journal broke.
+///
+/// Torn tails are deliberately *not* an error: a journal truncated
+/// mid-frame is the expected aftermath of a crash, and the reader
+/// recovers the valid prefix (reporting the tail via
+/// [`crate::journal::JournalReplay::torn_tail_bytes`]). Only structural
+/// problems — an unreadable file, a foreign header, a fingerprint from a
+/// different layout/config — refuse the journal.
+#[derive(Debug)]
+pub enum CheckpointIoError {
+    /// The journal could not be opened or read.
+    Read {
+        /// Offending path.
+        path: PathBuf,
+        /// Underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// The journal could not be created, appended to, or flushed.
+    Write {
+        /// Offending path.
+        path: PathBuf,
+        /// Underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// The file exists but does not start with a valid journal header
+    /// (wrong magic, unsupported version, or a header torn so short the
+    /// run cannot even be identified).
+    Header {
+        /// Offending path.
+        path: PathBuf,
+        /// What was wrong with the header.
+        message: String,
+    },
+    /// The header is valid but belongs to a different run: its
+    /// layout/config fingerprint does not match the one this run
+    /// derives. Resuming would silently mix results across
+    /// configurations, so it is refused.
+    FingerprintMismatch {
+        /// Offending path.
+        path: PathBuf,
+        /// Fingerprint recorded in the journal header.
+        found: u64,
+        /// Fingerprint of the layout/config pair being resumed.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for CheckpointIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointIoError::Read { path, source } => {
+                write!(f, "cannot read checkpoint {}: {source}", path.display())
+            }
+            CheckpointIoError::Write { path, source } => {
+                write!(f, "cannot write checkpoint {}: {source}", path.display())
+            }
+            CheckpointIoError::Header { path, message } => {
+                write!(f, "{}: not a maskfrac checkpoint: {message}", path.display())
+            }
+            CheckpointIoError::FingerprintMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{}: checkpoint belongs to a different run: journal fingerprint \
+                 {found:#018x}, this layout/config is {expected:#018x}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointIoError::Read { source, .. } | CheckpointIoError::Write { source, .. } => {
+                Some(source)
+            }
+            CheckpointIoError::Header { .. } | CheckpointIoError::FingerprintMismatch { .. } => {
+                None
+            }
+        }
+    }
+}
+
 /// Serializes a layout to the text format.
 ///
 /// # Example

@@ -8,11 +8,15 @@
 //! scale with placements.
 
 use crate::cache::ShardedCache;
-use maskfrac_baselines::FallbackFracturer;
-use maskfrac_fracture::{FractureConfig, FractureScratch, FractureStatus};
+use crate::io::CheckpointIoError;
+use crate::journal::{self, JournalRecord, JournalWriter};
+use maskfrac_baselines::{FallbackFracturer, FallbackOutcome};
+use maskfrac_fracture::{FractureConfig, FractureScratch, FractureStatus, RetryPolicy};
 use maskfrac_geom::{Point, Polygon, Rect};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Upper bound on worker threads a layout run will spawn; requests above
@@ -157,7 +161,8 @@ pub struct ShapeFractureStats {
     #[serde(default)]
     pub off_fail_pixels: usize,
     /// Dedup-cache outcome for this library entry: `computed`, `hit`,
-    /// `inflight-wait`, or `off` (cache disabled).
+    /// `inflight-wait`, `off` (cache disabled), or `resumed` (served
+    /// from a checkpoint journal without re-fracturing).
     #[serde(default)]
     pub cache: String,
     /// Whether the per-shape deadline cut refinement short.
@@ -314,6 +319,16 @@ pub struct LayoutOptions {
     /// cache (on by default; turning it off fractures every library
     /// entry independently — the A/B knob of the layout benchmark).
     pub dedup_cache: bool,
+    /// Supervisor policy for the per-shape fallback ladder: model-based
+    /// re-attempts and their bounded exponential backoff.
+    pub retry: RetryPolicy,
+    /// Watchdog threshold: flag a freshly-computed shape whose wall
+    /// time exceeds this multiple of the running p99 of prior computed
+    /// shapes (`mdp.watchdog.flagged`). `0` disables the watchdog.
+    pub hung_shape_multiple: u32,
+    /// Computed-shape samples the watchdog needs before it starts
+    /// flagging (a p99 over a handful of samples is noise).
+    pub watchdog_min_samples: usize,
 }
 
 impl Default for LayoutOptions {
@@ -321,8 +336,24 @@ impl Default for LayoutOptions {
         LayoutOptions {
             threads: 1,
             dedup_cache: true,
+            retry: RetryPolicy::default(),
+            hung_shape_multiple: 4,
+            watchdog_min_samples: 8,
         }
     }
+}
+
+/// Where (and whether) a layout run journals its progress; see
+/// [`fracture_layout_journaled`] and [`crate::journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    /// Journal path. Created (truncated) for a fresh run; validated and
+    /// extended for a resume.
+    pub path: PathBuf,
+    /// Replay an existing journal at `path` instead of starting fresh.
+    /// A missing file is not an error — the run simply starts from
+    /// zero, so a supervisor can always pass `--resume`.
+    pub resume: bool,
 }
 
 /// Cache key: the exact vertex list, byte-encoded. Two library entries
@@ -384,6 +415,121 @@ pub fn fracture_layout_opts(
     config: &FractureConfig,
     options: &LayoutOptions,
 ) -> LayoutFractureReport {
+    drive_layout(layout, config, options, None)
+}
+
+/// [`fracture_layout_opts`] with a durable checkpoint journal: every
+/// completed distinct geometry is appended to `checkpoint.path` as a
+/// framed, checksummed [`JournalRecord`], and with `checkpoint.resume`
+/// the valid prefix of an existing journal is replayed instead of
+/// re-fractured — shapes served this way carry the `resumed` cache
+/// label, zero wall time, and never touch the pipeline, so a resumed
+/// run's shot counts are bit-identical to an uninterrupted one.
+///
+/// A journal append failure mid-run never takes the run down: the
+/// checkpoint degrades to disabled (one stderr warning,
+/// `mdp.journal.append_failures` counts the losses) and fracturing
+/// continues.
+///
+/// # Errors
+///
+/// Setup errors only: the journal cannot be created
+/// ([`CheckpointIoError::Write`]), an existing journal cannot be read or
+/// is not a journal ([`CheckpointIoError::Read`] /
+/// [`CheckpointIoError::Header`]), or it belongs to a different
+/// layout/config ([`CheckpointIoError::FingerprintMismatch`]).
+pub fn fracture_layout_journaled(
+    layout: &Layout,
+    config: &FractureConfig,
+    options: &LayoutOptions,
+    checkpoint: &CheckpointOptions,
+) -> Result<LayoutFractureReport, CheckpointIoError> {
+    let fingerprint = journal::run_fingerprint(layout, config);
+    let mut replay: HashMap<u64, JournalRecord> = HashMap::new();
+    let writer = if checkpoint.resume && checkpoint.path.exists() {
+        let recovered = journal::read_journal(&checkpoint.path)?;
+        if recovered.fingerprint != fingerprint {
+            return Err(CheckpointIoError::FingerprintMismatch {
+                path: checkpoint.path.clone(),
+                found: recovered.fingerprint,
+                expected: fingerprint,
+            });
+        }
+        if recovered.torn_tail_bytes > 0 {
+            maskfrac_obs::counter!("mdp.journal.torn_tails").incr();
+        }
+        for record in recovered.records {
+            // First record wins; a duplicate geometry (two racing
+            // pre-crash runs) is harmless because records are pure
+            // functions of (geometry, config).
+            replay.entry(record.geometry).or_insert(record);
+        }
+        JournalWriter::resume(&checkpoint.path, recovered.valid_len)?
+    } else {
+        JournalWriter::create(&checkpoint.path, fingerprint)?
+    };
+    maskfrac_obs::counter!("mdp.journal.replayed").add(replay.len() as u64);
+    let state = JournalState {
+        writer,
+        replay,
+        append_ok: AtomicBool::new(true),
+    };
+    Ok(drive_layout(layout, config, options, Some(&state)))
+}
+
+/// Journal plumbing one checkpointed run threads through its workers.
+struct JournalState {
+    writer: JournalWriter,
+    /// Valid records of the resumed journal, by geometry fingerprint.
+    replay: HashMap<u64, JournalRecord>,
+    /// Cleared on the first append failure: the checkpoint degrades to
+    /// disabled instead of failing the run.
+    append_ok: AtomicBool,
+}
+
+/// Running watchdog over computed-shape wall times: keeps a sorted
+/// sample vector and flags completions exceeding
+/// `multiple × p99(prior samples)`. Cache hits and resumed shapes are
+/// excluded — their near-zero wall times would drag the p99 to nothing
+/// and flag every real computation.
+struct Watchdog {
+    multiple: u32,
+    min_samples: usize,
+    samples: Mutex<Vec<f64>>,
+}
+
+impl Watchdog {
+    fn new(options: &LayoutOptions) -> Option<Self> {
+        (options.hung_shape_multiple > 0).then(|| Watchdog {
+            multiple: options.hung_shape_multiple,
+            min_samples: options.watchdog_min_samples.max(1),
+            samples: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Records one computed shape's wall time; returns whether the
+    /// shape should be flagged as hung (against the p99 of *prior*
+    /// samples, so one monster shape cannot hide itself).
+    fn observe(&self, runtime_s: f64) -> bool {
+        let mut samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        let flagged = samples.len() >= self.min_samples && {
+            let p99 = samples[(samples.len() - 1).min(samples.len() * 99 / 100)];
+            runtime_s > f64::from(self.multiple) * p99
+        };
+        let at = samples.partition_point(|&s| s <= runtime_s);
+        samples.insert(at, runtime_s);
+        flagged
+    }
+}
+
+/// The shared layout driver behind [`fracture_layout_opts`] and
+/// [`fracture_layout_journaled`].
+fn drive_layout(
+    layout: &Layout,
+    config: &FractureConfig,
+    options: &LayoutOptions,
+    journal: Option<&JournalState>,
+) -> LayoutFractureReport {
     let _span = maskfrac_obs::span("mdp.fracture_layout");
     let threads = options.threads.clamp(1, MAX_LAYOUT_THREADS);
     let counts = layout.placement_counts();
@@ -400,6 +546,7 @@ pub fn fracture_layout_opts(
     // fracturing run serves them all.
     let cache: Option<ShardedCache<CachedShapeOutcome>> =
         options.dedup_cache.then(ShardedCache::new);
+    let watchdog = Watchdog::new(options);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(work.len().max(1)) {
@@ -407,16 +554,49 @@ pub fn fracture_layout_opts(
                 // One ladder and one scratch arena per worker: Lth
                 // derivation and the hot-path buffers are shared per
                 // thread, shapes pull work-stealing style off the queue.
-                let fracturer = FallbackFracturer::new(config.clone());
+                let fracturer = FallbackFracturer::with_policy(config.clone(), options.retry);
                 let mut scratch = FractureScratch::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(&(name, polygon)) = work.get(i) else {
                         break;
                     };
+                    let key = geometry_key(polygon);
+                    let geometry = journal::geometry_fingerprint(&key);
+
+                    // A journal replay serves the shape without touching
+                    // the pipeline: no ladder spans, no wall time, so a
+                    // resumed run cannot skew stage quantiles.
+                    if let Some(record) =
+                        journal.and_then(|state| state.replay.get(&geometry))
+                    {
+                        let stats = stats_from_record(record, name, counts[name]);
+                        maskfrac_obs::counter(status_counter_name(stats.status)).incr();
+                        maskfrac_obs::counter!("mdp.shapes_fractured").incr();
+                        maskfrac_obs::counter!("mdp.instances_covered")
+                            .add(stats.instances as u64);
+                        maskfrac_obs::point_with(
+                            "mdp.shape_done",
+                            [
+                                ("shape", name.into()),
+                                ("shots", (stats.shots_per_instance as u64).into()),
+                                ("cache", "resumed".into()),
+                                ("status", stats.status.label().into()),
+                            ],
+                        );
+                        results
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .push(stats);
+                        continue;
+                    }
+
                     let started = std::time::Instant::now();
                     let fracture = |scratch: &mut FractureScratch| {
                         let outcome = fracturer.fracture_with(polygon, scratch);
+                        if let Some(state) = journal {
+                            append_record(state, geometry, &outcome);
+                        }
                         CachedShapeOutcome {
                             shots_per_instance: outcome.result.shot_count(),
                             fail_pixels: outcome.result.summary.fail_count(),
@@ -431,10 +611,7 @@ pub fn fracture_layout_opts(
                         }
                     };
                     let (cached, lookup) = match &cache {
-                        Some(cache) => {
-                            let key = geometry_key(polygon);
-                            cache.get_or_compute(&key, || fracture(&mut scratch))
-                        }
+                        Some(cache) => cache.get_or_compute(&key, || fracture(&mut scratch)),
                         None => (fracture(&mut scratch), crate::cache::CacheLookup::Computed),
                     };
                     if !lookup.computed() {
@@ -444,12 +621,27 @@ pub fn fracture_layout_opts(
                         maskfrac_obs::counter(status_counter_name(cached.status)).incr();
                     }
                     let cache_label = if cache.is_some() { lookup.label() } else { "off" };
-                    let stats = cached.into_stats(
-                        name,
-                        counts[name],
-                        started.elapsed().as_secs_f64(),
-                        cache_label,
-                    );
+                    let runtime_s = started.elapsed().as_secs_f64();
+                    if lookup.computed() {
+                        if let Some(w) = &watchdog {
+                            if w.observe(runtime_s) {
+                                maskfrac_obs::counter!("mdp.watchdog.flagged").incr();
+                                maskfrac_obs::point_with(
+                                    "mdp.watchdog_flag",
+                                    [
+                                        ("shape", name.into()),
+                                        ("runtime_ms", ((runtime_s * 1e3) as u64).into()),
+                                    ],
+                                );
+                                eprintln!(
+                                    "maskfrac: watchdog: shape {name:?} took {runtime_s:.3}s, \
+                                     over {}x the p99 of prior shapes",
+                                    w.multiple
+                                );
+                            }
+                        }
+                    }
+                    let stats = cached.into_stats(name, counts[name], runtime_s, cache_label);
                     maskfrac_obs::counter!("mdp.shapes_fractured").incr();
                     maskfrac_obs::counter!("mdp.instances_covered").add(stats.instances as u64);
                     // Event-stream breadcrumb: one point per shape, so the
@@ -481,6 +673,59 @@ pub fn fracture_layout_opts(
     LayoutFractureReport {
         layout: layout.name.clone(),
         per_shape,
+    }
+}
+
+/// A [`ShapeFractureStats`] row reconstructed from a journal record:
+/// `resumed` cache label and zero wall time (the work was paid for by
+/// the crashed run, not this one).
+fn stats_from_record(record: &JournalRecord, shape: &str, instances: usize) -> ShapeFractureStats {
+    ShapeFractureStats {
+        shape: shape.to_owned(),
+        shots_per_instance: record.shots.len(),
+        instances,
+        fail_pixels: record.fail_pixels as usize,
+        runtime_s: 0.0,
+        status: record.status,
+        method: record.method.clone(),
+        error: record.error.clone(),
+        attempts: record.attempts,
+        iterations: record.iterations as usize,
+        on_fail_pixels: record.on_fail_pixels as usize,
+        off_fail_pixels: record.off_fail_pixels as usize,
+        cache: "resumed".to_owned(),
+        deadline_hit: record.deadline_hit,
+    }
+}
+
+/// Journals one freshly-computed outcome, degrading the checkpoint to
+/// disabled (rather than failing the run) on a write error.
+fn append_record(state: &JournalState, geometry: u64, outcome: &FallbackOutcome) {
+    if !state.append_ok.load(Ordering::Relaxed) {
+        maskfrac_obs::counter!("mdp.journal.append_failures").incr();
+        return;
+    }
+    let record = JournalRecord {
+        geometry,
+        status: outcome.result.status,
+        method: outcome.method.to_owned(),
+        error: outcome.error.clone(),
+        attempts: outcome.attempts,
+        iterations: outcome.result.iterations as u64,
+        on_fail_pixels: outcome.result.summary.on_fails as u64,
+        off_fail_pixels: outcome.result.summary.off_fails as u64,
+        fail_pixels: outcome.result.summary.fail_count() as u64,
+        deadline_hit: outcome.result.deadline_hit,
+        shots: outcome.result.shots.clone(),
+    };
+    match state.writer.append(&record) {
+        Ok(()) => maskfrac_obs::counter!("mdp.journal.appended").incr(),
+        Err(e) => {
+            maskfrac_obs::counter!("mdp.journal.append_failures").incr();
+            if state.append_ok.swap(false, Ordering::Relaxed) {
+                eprintln!("maskfrac: checkpoint journaling disabled: {e}");
+            }
+        }
     }
 }
 
@@ -663,7 +908,10 @@ mod tests {
             assert_eq!(rec.shots, s.shots_per_instance);
             assert_eq!(rec.status, s.status.label());
             assert_eq!(rec.on_fail_pixels + rec.off_fail_pixels, rec.fail_pixels);
-            assert!(["computed", "hit", "inflight-wait", "off"].contains(&rec.cache.as_str()));
+            assert!(
+                ["computed", "hit", "inflight-wait", "off", "resumed"]
+                    .contains(&rec.cache.as_str())
+            );
         }
     }
 
@@ -675,10 +923,172 @@ mod tests {
             &LayoutOptions {
                 threads: 2,
                 dedup_cache: false,
+                ..LayoutOptions::default()
             },
         );
         for s in &report.per_shape {
             assert_eq!(s.cache, "off");
         }
+    }
+
+    fn tmp_journal(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("maskfrac-layout-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.mfj", std::process::id()))
+    }
+
+    /// The shape-order-independent view of a report used for
+    /// resumed-vs-uninterrupted comparisons: everything except wall time
+    /// and the cache label, which legitimately differ across runs.
+    fn essence(report: &LayoutFractureReport) -> Vec<(String, usize, usize, FractureStatus, String)> {
+        report
+            .per_shape
+            .iter()
+            .map(|s| {
+                (
+                    s.shape.clone(),
+                    s.shots_per_instance,
+                    s.fail_pixels,
+                    s.status,
+                    s.method.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn journaled_run_then_resume_is_bit_identical() {
+        let layout = demo_layout();
+        let cfg = FractureConfig::default();
+        let opts = LayoutOptions::default();
+        let path = tmp_journal("resume");
+        let _ = std::fs::remove_file(&path);
+
+        let checkpoint = CheckpointOptions {
+            path: path.clone(),
+            resume: false,
+        };
+        let first = fracture_layout_journaled(&layout, &cfg, &opts, &checkpoint).unwrap();
+
+        let resumed = fracture_layout_journaled(
+            &layout,
+            &cfg,
+            &opts,
+            &CheckpointOptions {
+                path: path.clone(),
+                resume: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(essence(&first), essence(&resumed));
+        for s in &resumed.per_shape {
+            assert_eq!(s.cache, "resumed", "{}", s.shape);
+            assert_eq!(s.runtime_s, 0.0, "resumed shapes must not re-count wall time");
+        }
+
+        // A torn tail (simulated mid-record crash) only loses the torn
+        // record: the resumed run recomputes it and matches regardless.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let retorn = fracture_layout_journaled(
+            &layout,
+            &cfg,
+            &opts,
+            &CheckpointOptions {
+                path: path.clone(),
+                resume: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(essence(&first), essence(&retorn));
+        assert!(retorn.per_shape.iter().any(|s| s.cache == "resumed"));
+        assert!(retorn.per_shape.iter().any(|s| s.cache != "resumed"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_refuses_a_foreign_fingerprint() {
+        let layout = demo_layout();
+        let cfg = FractureConfig::default();
+        let opts = LayoutOptions::default();
+        let path = tmp_journal("foreign");
+        let _ = std::fs::remove_file(&path);
+        fracture_layout_journaled(
+            &layout,
+            &cfg,
+            &opts,
+            &CheckpointOptions {
+                path: path.clone(),
+                resume: false,
+            },
+        )
+        .unwrap();
+
+        let other = FractureConfig {
+            gamma: cfg.gamma * 2.0,
+            ..cfg.clone()
+        };
+        let err = fracture_layout_journaled(
+            &layout,
+            &other,
+            &opts,
+            &CheckpointOptions {
+                path: path.clone(),
+                resume: true,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CheckpointIoError::FingerprintMismatch { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_without_an_existing_journal_starts_fresh() {
+        let layout = demo_layout();
+        let path = tmp_journal("fresh");
+        let _ = std::fs::remove_file(&path);
+        let report = fracture_layout_journaled(
+            &layout,
+            &FractureConfig::default(),
+            &LayoutOptions::default(),
+            &CheckpointOptions {
+                path: path.clone(),
+                resume: true,
+            },
+        )
+        .unwrap();
+        assert!(report.per_shape.iter().all(|s| s.cache != "resumed"));
+        assert!(path.exists(), "a fresh journal must still be written");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn watchdog_flags_only_genuine_outliers() {
+        let w = Watchdog::new(&LayoutOptions {
+            hung_shape_multiple: 4,
+            watchdog_min_samples: 4,
+            ..LayoutOptions::default()
+        })
+        .unwrap();
+        for _ in 0..4 {
+            assert!(!w.observe(1.0), "baseline samples are never flagged");
+        }
+        assert!(!w.observe(3.9), "under the multiple");
+        // The 3.9 joined the samples, so the p99 (max, at this sample
+        // count) is now 3.9 and the bar sits at 15.6.
+        assert!(!w.observe(15.5), "under the lifted bar");
+        assert!(w.observe(70.0), "well past 4x the p99");
+    }
+
+    #[test]
+    fn watchdog_disabled_when_multiple_is_zero() {
+        assert!(Watchdog::new(&LayoutOptions {
+            hung_shape_multiple: 0,
+            ..LayoutOptions::default()
+        })
+        .is_none());
     }
 }

@@ -42,6 +42,7 @@
 mod cache;
 pub mod cost;
 pub mod io;
+pub mod journal;
 pub mod layout;
 pub mod ordering;
 pub mod writetime;
@@ -49,10 +50,15 @@ pub mod writetime;
 pub use cost::{CostModel, MaskCostReport};
 pub use ordering::{order_shots, OrderingReport};
 pub use io::{
-    load_layout, parse_layout, save_layout, write_layout, LayoutIoError, ParseLayoutError,
+    load_layout, parse_layout, save_layout, write_layout, CheckpointIoError, LayoutIoError,
+    ParseLayoutError,
+};
+pub use journal::{
+    read_journal, run_fingerprint, JournalReplay, JournalRecord, JournalWriter, JOURNAL_MAGIC,
+    JOURNAL_VERSION,
 };
 pub use layout::{
-    fracture_layout, fracture_layout_opts, Layout, LayoutFractureReport, LayoutOptions, Placement,
-    ShapeFractureStats, MAX_LAYOUT_THREADS,
+    fracture_layout, fracture_layout_journaled, fracture_layout_opts, CheckpointOptions, Layout,
+    LayoutFractureReport, LayoutOptions, Placement, ShapeFractureStats, MAX_LAYOUT_THREADS,
 };
 pub use writetime::{WriteTimeModel, WriteTimeReport};

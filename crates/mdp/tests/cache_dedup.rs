@@ -104,6 +104,7 @@ fn pipeline_runs_exactly_once_per_distinct_geometry() {
         &LayoutOptions {
             threads: 2,
             dedup_cache: false,
+            ..LayoutOptions::default()
         },
     );
     assert_eq!(counter("mdp.cache.misses") - misses0, 0);

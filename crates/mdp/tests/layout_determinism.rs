@@ -91,6 +91,7 @@ fn report_is_identical_across_thread_counts_under_injected_faults() {
         &LayoutOptions {
             threads: 1,
             dedup_cache: true,
+            ..LayoutOptions::default()
         },
     );
     let reference = strip(&reference_report);
@@ -108,6 +109,7 @@ fn report_is_identical_across_thread_counts_under_injected_faults() {
             &LayoutOptions {
                 threads,
                 dedup_cache: true,
+                ..LayoutOptions::default()
             },
         );
         assert_eq!(

@@ -30,7 +30,7 @@ pub const MAX_ANOMALY_IDS: usize = 32;
 
 /// Cache-outcome labels a [`ShapeRecord::cache`] may carry. The empty
 /// string is also accepted (records from paths without a dedup cache).
-pub const KNOWN_CACHE_LABELS: [&str; 4] = ["computed", "hit", "inflight-wait", "off"];
+pub const KNOWN_CACHE_LABELS: [&str; 5] = ["computed", "hit", "inflight-wait", "off", "resumed"];
 
 /// One row of the worst-K outlier table: a shape that dominated the run's
 /// wall clock.

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--refine-threads N] [OBS FLAGS]
-//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--refine-threads N] [--deadline-ms MS] [OBS FLAGS]
+//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--refine-threads N] [--deadline-ms MS]
+//!                          [--checkpoint J.mfj] [--resume] [--retries N] [--hung-multiple N]
+//!                          [--fault-seed N] [--fault-rate R] [--fault-crash-rate R] [OBS FLAGS]
 //! maskfrac generate-ilt <out.json> [--seed N] [--radius NM]
 //! maskfrac generate-benchmark <out.json> [--shots K] [--seed N]
 //! maskfrac verify <shape.json>
@@ -32,6 +34,16 @@
 //! - `--events-out EVENTS.jsonl` writes the same events as raw JSON Lines;
 //! - `--progress-ms N` prints a live progress line to stderr every N ms
 //!   (shapes done, shots so far, cache hit rate).
+//!
+//! `fracture-layout` additionally speaks the robustness flags
+//! (`docs/robustness.md`): `--checkpoint <path>` journals every
+//! completed distinct geometry to a durable, checksummed file and
+//! `--resume` replays its valid prefix instead of re-fracturing;
+//! `--retries N` sets the supervised model-retry budget and
+//! `--hung-multiple N` the hung-shape watchdog threshold (`0` off);
+//! the `--fault-*` flags arm deterministic fault injection (including
+//! `--fault-crash-rate`, which kills the process mid-journal-append —
+//! the crash half of the kill-and-resume test harness).
 
 use maskfrac::baselines::{
     Conventional, ExhaustiveOptimal, GreedySetCover, MaskFracturer, MatchingPursuit, Ours,
@@ -343,8 +355,60 @@ fn report(
     Ok(())
 }
 
+/// Parses the supervised-robustness flags shared semantics: retry
+/// budget, checkpoint journal, and the crash-injection fault plan used
+/// by the kill-and-resume tests.
+fn layout_options_from_flags(
+    args: &[String],
+) -> Result<maskfrac::mdp::LayoutOptions, Box<dyn std::error::Error>> {
+    let mut options = maskfrac::mdp::LayoutOptions::default();
+    if let Some(retries) = parsed_flag::<u32>(args, "--retries")? {
+        options.retry = maskfrac::fracture::RetryPolicy::with_retries(retries);
+    }
+    if let Some(multiple) = parsed_flag::<u32>(args, "--hung-multiple")? {
+        options.hung_shape_multiple = multiple; // 0 disables the watchdog
+    }
+    Ok(options)
+}
+
+/// Arms the fault-injection plan requested by `--fault-rate` /
+/// `--fault-crash-rate` (keyed by `--fault-seed`, default 0). Returns
+/// the scope guard keeping the plan armed, or `None` when no fault flag
+/// was given.
+fn fault_scope_from_flags(
+    args: &[String],
+) -> Result<Option<maskfrac::fracture::faults::FaultScope>, Box<dyn std::error::Error>> {
+    let rate = parsed_flag::<f64>(args, "--fault-rate")?;
+    let crash = parsed_flag::<f64>(args, "--fault-crash-rate")?;
+    if rate.is_none() && crash.is_none() {
+        return Ok(None);
+    }
+    for (flag, value) in [("--fault-rate", rate), ("--fault-crash-rate", crash)] {
+        if let Some(v) = value {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{flag} {v} must be within [0, 1]").into());
+            }
+        }
+    }
+    let seed = parsed_flag::<u64>(args, "--fault-seed")?.unwrap_or(0);
+    let plan = maskfrac::fracture::FaultPlan::uniform(seed, rate.unwrap_or(0.0))
+        .with_crash_rate(crash.unwrap_or(0.0));
+    Ok(Some(maskfrac::fracture::faults::arm_scoped(plan)))
+}
+
 fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let mut allowed = vec!["--threads", "--refine-threads", "--deadline-ms"];
+    let mut allowed = vec![
+        "--threads",
+        "--refine-threads",
+        "--deadline-ms",
+        "--checkpoint",
+        "--resume",
+        "--retries",
+        "--hung-multiple",
+        "--fault-seed",
+        "--fault-rate",
+        "--fault-crash-rate",
+    ];
     allowed.extend_from_slice(&OBS_FLAGS);
     check_flags(args, &allowed)?;
     let path = args
@@ -363,6 +427,13 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
         )
         .into());
     }
+    let checkpoint = flag_value(args, "--checkpoint").map(|p| maskfrac::mdp::CheckpointOptions {
+        path: std::path::PathBuf::from(p),
+        resume: args.iter().any(|a| a == "--resume"),
+    });
+    if checkpoint.is_none() && args.iter().any(|a| a == "--resume") {
+        return Err("--resume needs --checkpoint <path>".into());
+    }
     let layout = maskfrac::mdp::load_layout(path)?;
     println!(
         "layout {:?}: {} shapes, {} instances",
@@ -371,10 +442,18 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
         layout.instance_count()
     );
     let cfg = config_from_flags(args)?;
+    let mut options = layout_options_from_flags(args)?;
+    options.threads = threads;
     let obs = obs_from_flags(args)?;
+    let _faults = fault_scope_from_flags(args)?;
     let started = std::time::Instant::now();
     let progress = obs.start_progress(Some(layout.shape_count() as u64));
-    let report = maskfrac::mdp::fracture_layout(&layout, &cfg, threads);
+    let report = match &checkpoint {
+        Some(checkpoint) => {
+            maskfrac::mdp::fracture_layout_journaled(&layout, &cfg, &options, checkpoint)?
+        }
+        None => maskfrac::mdp::fracture_layout_opts(&layout, &cfg, &options),
+    };
     if let Some(sampler) = progress {
         sampler.stop();
     }

@@ -1,0 +1,246 @@
+//! Crash-injection harness: kills `maskfrac fracture-layout` at
+//! randomized journal-append points (via `--fault-crash-rate`), resumes
+//! from the checkpoint, and asserts the resumed run is bit-identical to
+//! an uninterrupted one — same per-shape shot counts, same total, and a
+//! run report that passes strict validation — at 1 and 4 worker
+//! threads.
+//!
+//! Crash points are randomized by the fault plan's seed: each attempt
+//! re-arms the plan with a fresh seed, so which geometry's append dies
+//! (and therefore how much of the journal survives) varies from attempt
+//! to attempt. The harness loops seed-by-seed until the layout
+//! completes, requiring at least three injected kills along the way.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const LAYOUT: &str = "examples/layouts/smoke.layout";
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("maskfrac-crash-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_maskfrac"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn maskfrac")
+}
+
+/// The comparable essence of a `fracture-layout` stdout: the per-shape
+/// lines with their wall-time field removed (the one legitimately
+/// run-dependent datum), plus the total-shots line.
+fn essence(stdout: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(stdout);
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.contains("shots/instance") {
+            // "...(N failing px, 0.12 s) [ok via ours]" — drop the
+            // seconds between the comma and the closing parenthesis.
+            let (head, tail) = match (line.rfind("px,"), line.rfind(") [")) {
+                (Some(a), Some(b)) if a < b => (&line[..a + 3], &line[b..]),
+                _ => panic!("unparseable shape line: {line}"),
+            };
+            out.push(format!("{head}{tail}"));
+        } else if line.starts_with("total ") {
+            // Keep only the shot count; write-time estimates are derived.
+            let shots = line
+                .split_whitespace()
+                .nth(1)
+                .expect("total line carries a count");
+            out.push(format!("total {shots}"));
+        }
+    }
+    assert!(!out.is_empty(), "no shape lines found in: {text}");
+    out
+}
+
+fn injected_crash_geometry(stderr: &[u8]) -> Option<String> {
+    String::from_utf8_lossy(stderr)
+        .lines()
+        .find(|l| l.contains("injected CrashPoint at journal.append"))
+        .map(String::from)
+}
+
+#[cfg(unix)]
+fn assert_killed(output: &Output) {
+    use std::os::unix::process::ExitStatusExt;
+    assert_eq!(
+        output.status.signal(),
+        Some(libc_sigabrt()),
+        "crashed child should die by SIGABRT, got {:?}",
+        output.status
+    );
+}
+
+#[cfg(unix)]
+fn libc_sigabrt() -> i32 {
+    6
+}
+
+#[cfg(not(unix))]
+fn assert_killed(output: &Output) {
+    assert!(!output.status.success());
+}
+
+/// Kills, resumes, and compares against the uninterrupted run for one
+/// worker-thread count. Returns the set of distinct crash points hit.
+fn kill_and_resume_matches_uninterrupted(threads: usize) -> BTreeSet<String> {
+    let threads_s = threads.to_string();
+    let journal = scratch_dir().join(format!("crash-{threads}-{}.mfj", std::process::id()));
+    let journal_s = journal.to_string_lossy().into_owned();
+    let _ = std::fs::remove_file(&journal);
+
+    let reference = run(&[
+        "fracture-layout",
+        LAYOUT,
+        "--threads",
+        &threads_s,
+    ]);
+    assert!(
+        reference.status.success(),
+        "uninterrupted run failed: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let want = essence(&reference.stdout);
+
+    // Crash-until-done: every attempt arms a fresh fault seed, so the
+    // kill lands on a different (geometry, progress) point; appends that
+    // completed before the kill survive in the journal and are replayed
+    // on the next attempt. A 50% per-append crash rate terminates
+    // quickly while still exercising several distinct kill sites.
+    let mut crash_points = BTreeSet::new();
+    let mut kills = 0u32;
+    let mut completed = None;
+    for attempt in 0..200u32 {
+        if completed.is_some() && kills >= 3 {
+            break;
+        }
+        if completed.is_some() {
+            // Completed before three kills: restart the whole exercise
+            // from an empty journal under new seeds.
+            let _ = std::fs::remove_file(&journal);
+            completed = None;
+        }
+        let seed = (threads as u32 * 1000 + attempt).to_string();
+        let output = run(&[
+            "fracture-layout",
+            LAYOUT,
+            "--threads",
+            &threads_s,
+            "--checkpoint",
+            &journal_s,
+            "--resume",
+            "--fault-seed",
+            &seed,
+            "--fault-crash-rate",
+            "0.5",
+        ]);
+        if output.status.success() {
+            assert!(
+                injected_crash_geometry(&output.stderr).is_none(),
+                "a successful run must not report a crash"
+            );
+            completed = Some(output);
+            continue;
+        }
+        assert_killed(&output);
+        let point = injected_crash_geometry(&output.stderr)
+            .expect("killed child should name its crash point on stderr");
+        crash_points.insert(point);
+        kills += 1;
+    }
+    let completed = completed.expect("the layout should complete within the attempt budget");
+    assert!(kills >= 3, "want at least three injected kills, got {kills}");
+    assert_eq!(
+        essence(&completed.stdout),
+        want,
+        "resumed run diverged from the uninterrupted run at {threads} threads"
+    );
+
+    // The run that completed after the last kill replayed a non-empty
+    // journal prefix; a final resume of the now-complete journal must
+    // also match (everything served from the checkpoint).
+    let replay_only = run(&[
+        "fracture-layout",
+        LAYOUT,
+        "--threads",
+        &threads_s,
+        "--checkpoint",
+        &journal_s,
+        "--resume",
+    ]);
+    assert!(replay_only.status.success());
+    assert_eq!(essence(&replay_only.stdout), want);
+
+    let _ = std::fs::remove_file(&journal);
+    crash_points
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_single_thread() {
+    let points = kill_and_resume_matches_uninterrupted(1);
+    assert!(
+        points.len() >= 2,
+        "kills should land on distinct geometries across seeds: {points:?}"
+    );
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_four_threads() {
+    kill_and_resume_matches_uninterrupted(4);
+}
+
+/// The resumed report passes the run-report v2 strict validator: the
+/// `resumed` cache label is known, zero wall times are legal, and the
+/// replayed ledger rows carry complete status/method attribution.
+#[test]
+fn resumed_run_report_passes_strict_validation() {
+    let journal = scratch_dir().join(format!("validate-{}.mfj", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let layout = maskfrac::mdp::load_layout(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join(LAYOUT),
+    )
+    .unwrap();
+    let cfg = maskfrac::fracture::FractureConfig::default();
+    let opts = maskfrac::mdp::LayoutOptions::default();
+    let started = std::time::Instant::now();
+
+    let first = maskfrac::mdp::fracture_layout_journaled(
+        &layout,
+        &cfg,
+        &opts,
+        &maskfrac::mdp::CheckpointOptions {
+            path: journal.clone(),
+            resume: false,
+        },
+    )
+    .unwrap();
+    let resumed = maskfrac::mdp::fracture_layout_journaled(
+        &layout,
+        &cfg,
+        &opts,
+        &maskfrac::mdp::CheckpointOptions {
+            path: journal.clone(),
+            resume: true,
+        },
+    )
+    .unwrap();
+    assert!(resumed.per_shape.iter().all(|s| s.cache == "resumed"));
+    assert_eq!(
+        first.per_shape.iter().map(|s| s.shots_per_instance).collect::<Vec<_>>(),
+        resumed.per_shape.iter().map(|s| s.shots_per_instance).collect::<Vec<_>>(),
+    );
+
+    for report in [&first, &resumed] {
+        let shapes = report.per_shape.iter().map(|s| s.ledger_record()).collect();
+        let run = maskfrac::obs::RunReport::capture("crash-resume-test", started)
+            .with_shapes(shapes);
+        run.validate().expect("run report must pass strict validation");
+    }
+    let _ = std::fs::remove_file(&journal);
+}
