@@ -7,7 +7,7 @@
 //! unconstrained.
 
 use maskfrac_geom::morph::boundary_band;
-use maskfrac_geom::{Bitmap, Frame, Polygon, Region};
+use maskfrac_geom::{Bitmap, Frame, Point, Polygon, Region};
 use serde::{Deserialize, Serialize};
 
 /// Constraint class of one pixel.
@@ -205,6 +205,88 @@ impl Classification {
         self.band_count
     }
 
+    /// Block-reduces the classification onto a `k×` coarser pixel lattice
+    /// (the coarse tier of coarse-to-fine refinement).
+    ///
+    /// Each coarse pixel covers a `k×k` block of fine pixels, aligned to
+    /// the absolute `k`-nm lattice (so coarse shot edges scale back to the
+    /// fine lattice by a pure `×k`). The reduction is *conservative*:
+    ///
+    /// - `On` only if the block lies fully in-frame and every fine pixel
+    ///   is `On` — a coarse `Pon` constraint never asks for exposure the
+    ///   fine problem does not also require;
+    /// - `Off` only if every in-frame fine pixel is `Off` (out-of-frame
+    ///   pixels count as `Off`) — likewise for darkness;
+    /// - `Band` otherwise, widening the don't-care band at mixed blocks
+    ///   so the coarse solve is never over-constrained relative to fine.
+    ///
+    /// The coarse target bitmap is set only where the whole block is
+    /// target. `coarsen(1)` is an identity copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn coarsen(&self, k: usize) -> Classification {
+        assert!(k >= 1, "coarsening factor must be at least 1");
+        if k == 1 {
+            return self.clone();
+        }
+        let ki = k as i64;
+        let o = self.frame.origin();
+        let (fw, fh) = (self.frame.width() as i64, self.frame.height() as i64);
+        let cx0 = o.x.div_euclid(ki);
+        let cy0 = o.y.div_euclid(ki);
+        let cw = ((o.x + fw + ki - 1).div_euclid(ki) - cx0).max(0) as usize;
+        let ch = ((o.y + fh + ki - 1).div_euclid(ki) - cy0).max(0) as usize;
+        let frame = Frame::new(Point::new(cx0, cy0), cw, ch);
+        let mut classes = Vec::with_capacity(frame.len());
+        let mut target = Bitmap::new(cw, ch);
+        let (mut on_count, mut off_count, mut band_count) = (0, 0, 0);
+        for ciy in 0..ch {
+            let fy0 = (cy0 + ciy as i64) * ki - o.y;
+            let ys = fy0.max(0)..(fy0 + ki).min(fh);
+            for cix in 0..cw {
+                let fx0 = (cx0 + cix as i64) * ki - o.x;
+                let xs = fx0.max(0)..(fx0 + ki).min(fw);
+                let in_frame = (xs.end - xs.start).max(0) * (ys.end - ys.start).max(0);
+                let (mut ons, mut offs, mut targets) = (0i64, 0i64, 0i64);
+                for fy in ys.clone() {
+                    for fx in xs.clone() {
+                        match self.class(fx as usize, fy as usize) {
+                            PixelClass::On => ons += 1,
+                            PixelClass::Off => offs += 1,
+                            PixelClass::Band => {}
+                        }
+                        targets += self.target.get(fx as usize, fy as usize) as i64;
+                    }
+                }
+                let full = in_frame == ki * ki;
+                let class = if full && ons == in_frame {
+                    on_count += 1;
+                    PixelClass::On
+                } else if offs == in_frame {
+                    off_count += 1;
+                    PixelClass::Off
+                } else {
+                    band_count += 1;
+                    PixelClass::Band
+                };
+                if full && targets == in_frame {
+                    target.set(cix, ciy, true);
+                }
+                classes.push(class);
+            }
+        }
+        Classification {
+            frame,
+            classes,
+            target,
+            on_count,
+            off_count,
+            band_count,
+        }
+    }
+
     /// Iterator over `(ix, iy)` of all `Pon` pixels.
     pub fn on_pixels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let f = self.frame;
@@ -283,6 +365,62 @@ mod tests {
         assert_eq!(c.on_pixels().count(), c.on_count());
         for (ix, iy) in c.on_pixels().take(10) {
             assert_eq!(c.class(ix, iy), PixelClass::On);
+        }
+    }
+
+    #[test]
+    fn coarsen_identity_at_factor_one() {
+        let c = square_classification();
+        let c1 = c.coarsen(1);
+        assert_eq!(c1.frame(), c.frame());
+        assert_eq!(c1.on_count(), c.on_count());
+        assert_eq!(c1.off_count(), c.off_count());
+        assert_eq!(c1.band_count(), c.band_count());
+    }
+
+    #[test]
+    fn coarsen_is_conservative() {
+        let c = square_classification();
+        for k in [2usize, 3, 4] {
+            let cc = c.coarsen(k);
+            let ki = k as i64;
+            assert_eq!(
+                cc.on_count() + cc.off_count() + cc.band_count(),
+                cc.frame().len(),
+                "k={k}"
+            );
+            assert!(cc.on_count() > 0 && cc.off_count() > 0 && cc.band_count() > 0);
+            let co = cc.frame().origin();
+            let fo = c.frame().origin();
+            for ciy in 0..cc.frame().height() {
+                for cix in 0..cc.frame().width() {
+                    // Every fine pixel of the block, in fine frame coords.
+                    let fx0 = (co.x + cix as i64) * ki - fo.x;
+                    let fy0 = (co.y + ciy as i64) * ki - fo.y;
+                    let mut fine = Vec::new();
+                    for dy in 0..ki {
+                        for dx in 0..ki {
+                            let (fx, fy) = (fx0 + dx, fy0 + dy);
+                            if (0..c.frame().width() as i64).contains(&fx)
+                                && (0..c.frame().height() as i64).contains(&fy)
+                            {
+                                fine.push(c.class(fx as usize, fy as usize));
+                            } else {
+                                fine.push(PixelClass::Off); // out-of-frame
+                            }
+                        }
+                    }
+                    match cc.class(cix, ciy) {
+                        PixelClass::On => {
+                            assert!(fine.iter().all(|&f| f == PixelClass::On), "k={k}")
+                        }
+                        PixelClass::Off => {
+                            assert!(fine.iter().all(|&f| f == PixelClass::Off), "k={k}")
+                        }
+                        PixelClass::Band => {}
+                    }
+                }
+            }
         }
     }
 

@@ -5,6 +5,13 @@
 //! 7.1.26 rational approximation with absolute error below `1.5e-7` — far
 //! tighter than the `1e-4` intensity tolerances used anywhere in the
 //! fracturing pipeline.
+//!
+//! This is the root of every evaluation tier in [`crate::intensity`]: the
+//! interpolated [`EdgeLut`](crate::intensity) and the integer-lattice
+//! [`LatticeLut`](crate::intensity::LatticeLut) both tabulate the edge
+//! profile `Φ(t) = ½(1 + erf(t))` built from this function, so their
+//! accuracy floors (and the documented tier tolerances in
+//! `docs/performance.md`) inherit the `1.5e-7` bound here.
 
 /// The error function `erf(x) = 2/√π ∫₀ˣ e^(−t²) dt`.
 ///

@@ -10,12 +10,43 @@
 //! ```
 //!
 //! The paper's kernel is truncated at `3σ`, which perturbs intensities by
-//! at most ~1.2·10⁻⁴ — two orders of magnitude below the CD-tolerance
-//! scale the algorithms operate at. [`ExposureModel`] therefore uses the
-//! closed form (through a lookup table, mirroring the paper's "lookup
-//! table based method" for fast convolution) and
-//! [`ExposureModel::shot_intensity_truncated_ref`] provides the exact
-//! truncated-kernel quadrature as a test reference.
+//! at most `exp(−9) ≈ 1.2·10⁻⁴` of mass — two orders of magnitude below
+//! the CD-tolerance scale the algorithms operate at. [`ExposureModel`]
+//! therefore uses the untruncated closed form and treats `3σ` purely as
+//! the *locality* radius for windowed updates (see
+//! [`ExposureModel::support_radius`] for the exact bookkeeping of what
+//! each representation leaves outside that window).
+//!
+//! # Evaluation tiers and their exactness contracts
+//!
+//! Every kernel evaluation in the workspace goes through one of three
+//! tiers, ordered fastest-first:
+//!
+//! 1. **Interpolated LUT** ([`ExposureModel::edge_factor`],
+//!    [`ExposureModel::shot_intensity`]) — the default hot path,
+//!    mirroring the paper's "lookup table based method": `Φ(t) =
+//!    ½(1 + erf(t))` tabulated at 512 samples per unit of `t = d/σ` over
+//!    `±4σ`, linearly interpolated. Absolute error vs direct `erf` is
+//!    below `10⁻⁶`. This tier defines the workspace's **bit-exactness
+//!    contract**: refinement baselines, the parity harness and the CI
+//!    shot-count gates all assume edge factors come from this table with
+//!    this accumulation order.
+//! 2. **Integer-lattice table** ([`LatticeLut`], via
+//!    [`ExposureModel::lattice_lut`]) — the *relaxed* tier. Shot edges
+//!    sit on the integer nm grid and pixel centres at integer + ½, so
+//!    every edge-profile argument is `(m − ½)/σ` for integer `m`: a small
+//!    per-`σ` table of direct `erf` evaluations answers every lattice
+//!    query with **no interpolation at all**. It is *more* accurate than
+//!    tier 1 (error is the `erf` approximation's own `1.5·10⁻⁷`), but its
+//!    values differ from the interpolated table in the last ULPs, so any
+//!    path using it is opt-in (`FractureConfig::relaxed_scoring`) and
+//!    excluded from bit-parity gates.
+//! 3. **Reference quadrature**
+//!    ([`ExposureModel::shot_intensity_truncated_ref`]) — midpoint
+//!    integration of the *truncated* kernel over the kernel–shot
+//!    intersection. `O((6σ/step)²)` per point; exists solely to validate
+//!    the closed form in tests (they agree to the truncation mass,
+//!    ~`1.2·10⁻⁴`, plus quadrature error).
 
 use crate::erf::erf;
 use crate::kernel::ProximityKernel;
@@ -132,8 +163,25 @@ impl ExposureModel {
 
     /// Radius (nm) beyond which a shot's intensity is treated as zero.
     ///
-    /// The truncated kernel vanishes at `3σ`; the closed form decays below
-    /// `10⁻⁶` slightly earlier. `3σ` is used for all locality windows.
+    /// This is the truncation radius `3σ` of the paper's kernel (Eq. 2),
+    /// and it is the single locality constant every windowed update in
+    /// the workspace keys on. The two representations bracket it
+    /// differently:
+    ///
+    /// * the **truncated kernel** ([`ProximityKernel::value`]) is
+    ///   identically zero beyond `3σ` by definition;
+    /// * the **untruncated closed form** this model evaluates still
+    ///   leaves `½·erfc(3) ≈ 1.1·10⁻⁵` of edge profile at `3σ` and only
+    ///   decays below `10⁻⁶` near `3.37σ` — so clamping updates to the
+    ///   `3σ` window drops up to ~`1.1·10⁻⁵` of intensity per strip
+    ///   operation (the bound asserted by the map-consistency tests), and
+    ///   the edge-profile tables saturate at `4σ`, where the residue is
+    ///   below `2·10⁻⁸`.
+    ///
+    /// Both residues sit orders of magnitude below the `γ`-band tolerance
+    /// the fracturing constraints are evaluated at; see
+    /// `support_radius_is_three_sigma_and_pins_the_residues` for the
+    /// pinned numbers.
     #[inline]
     pub fn support_radius(&self) -> f64 {
         self.kernel.support_radius()
@@ -147,11 +195,36 @@ impl ExposureModel {
     }
 
     /// 1-D edge factor for a shot spanning `[a, b]`, evaluated at `t`.
+    ///
+    /// Tier-1 evaluation (see the module docs): `Φ((b−t)/σ) − Φ((a−t)/σ)`
+    /// through the shared interpolated lookup table. This is the exactness
+    /// reference for the bit-parity harness.
     #[inline]
     pub fn edge_factor(&self, a: f64, b: f64, t: f64) -> f64 {
         let s = self.sigma();
         let lut = edge_lut();
         lut.phi((b - t) / s) - lut.phi((a - t) / s)
+    }
+
+    /// The per-`σ` integer-lattice edge-profile table for this model
+    /// (tier 2, the relaxed tier — see the module docs).
+    ///
+    /// Built once per distinct `σ` process-wide and shared; fetch it once
+    /// per windowed operation, then answer per-pixel queries through
+    /// [`LatticeLut::edge_factor`] without touching the cache again.
+    pub fn lattice_lut(&self) -> std::sync::Arc<LatticeLut> {
+        LatticeLut::shared(self.sigma())
+    }
+
+    /// Lattice-tier counterpart of [`edge_factor`](Self::edge_factor) for
+    /// a shot spanning the integer interval `[a, b]`, evaluated at the
+    /// pixel centre `c + ½`.
+    ///
+    /// Convenience for tests and one-off queries; hot loops should hold
+    /// the [`lattice_lut`](Self::lattice_lut) and call it directly.
+    #[inline]
+    pub fn edge_factor_lattice(&self, a: i64, b: i64, c: i64) -> f64 {
+        self.lattice_lut().edge_factor(a, b, c)
     }
 
     /// Intensity of shot `s` at the continuous point `(x, y)` using the
@@ -178,22 +251,39 @@ impl ExposureModel {
     /// Reference intensity under the **truncated** kernel, by midpoint
     /// quadrature of the kernel over its intersection with the shot.
     ///
+    /// The quadrature domain is the exact intersection of the shot with
+    /// the kernel's `[−3σ, 3σ]²` bounding box (an earlier version sampled
+    /// the whole bounding box and point-tested shot containment, which
+    /// resolved shot edges only to `O(step)` and contradicted this very
+    /// doc comment — see the truncation audit). With the domain aligned,
+    /// the integrand is smooth except on the truncation circle, where the
+    /// kernel's jump is only `e⁻⁹/(πσ²)`, so quadrature error is
+    /// `O(step²)` plus a negligible circle term.
+    ///
     /// Cost is `O((6σ/step)²)`; this exists to validate the closed form
-    /// (they differ by at most the truncation mass, ~1.2·10⁻⁴).
+    /// (they differ by at most the truncation mass, ~`1.2·10⁻⁴`).
     pub fn shot_intensity_truncated_ref(&self, s: &Rect, x: f64, y: f64, step: f64) -> f64 {
         let r = self.support_radius();
-        let n = (2.0 * r / step).ceil() as i64;
+        let x0 = (s.x0() as f64).max(x - r);
+        let x1 = (s.x1() as f64).min(x + r);
+        let y0 = (s.y0() as f64).max(y - r);
+        let y1 = (s.y1() as f64).min(y + r);
+        if x0 >= x1 || y0 >= y1 {
+            return 0.0;
+        }
+        let nx = ((x1 - x0) / step).ceil().max(1.0) as i64;
+        let ny = ((y1 - y0) / step).ceil().max(1.0) as i64;
+        let hx = (x1 - x0) / nx as f64;
+        let hy = (y1 - y0) / ny as f64;
         let mut acc = 0.0;
-        for iy in 0..n {
-            let dy = -r + (iy as f64 + 0.5) * step;
-            for ix in 0..n {
-                let dx = -r + (ix as f64 + 0.5) * step;
-                if s.contains_f64(x + dx, y + dy) {
-                    acc += self.kernel.value(dx, dy);
-                }
+        for iy in 0..ny {
+            let dy = y0 + (iy as f64 + 0.5) * hy - y;
+            for ix in 0..nx {
+                let dx = x0 + (ix as f64 + 0.5) * hx - x;
+                acc += self.kernel.value(dx, dy);
             }
         }
-        acc * step * step
+        acc * hx * hy
     }
 }
 
@@ -256,6 +346,97 @@ impl EdgeLut {
         let frac = pos - i as f64;
         // `i + 1` is in range because t < LUT_RANGE strictly.
         self.values[i] * (1.0 - frac) + self.values[i + 1] * frac
+    }
+}
+
+/// Integer-lattice edge-profile table: `Φ((m − ½)/σ)` for every integer
+/// `m` with `|m − ½| < 4σ` (the relaxed evaluation tier, see the module
+/// docs).
+///
+/// All fracturing geometry lives on the 1 nm integer grid — shot edges at
+/// integers, pixel centres at integer + ½ — so the distance from any shot
+/// edge `e` to any pixel centre `c + ½` is `(m − ½)` nm with `m = e − c`.
+/// One direct-`erf` evaluation per lattice offset therefore answers every
+/// edge-profile query a windowed kernel can pose, with **no
+/// interpolation**: accuracy is the `erf` approximation's own `1.5·10⁻⁷`,
+/// an order better than the interpolated tier-1 table. The two tiers
+/// nevertheless differ in the last ULPs, which is why lattice profiles
+/// are opt-in (they would silently break the bit-parity gates).
+///
+/// Beyond the tabulated range the profile saturates to exactly `0`/`1`;
+/// the residue at `4σ` is below `2·10⁻⁸`.
+///
+/// # Example
+///
+/// ```
+/// use maskfrac_ebeam::ExposureModel;
+///
+/// let model = ExposureModel::paper_default();
+/// let lut = model.lattice_lut();
+/// // Pixel centred at 10.5, shot spanning [0, 40]: identical query
+/// // through the lattice table and through direct erf.
+/// let fast = lut.edge_factor(0, 40, 10);
+/// let s = model.sigma();
+/// let exact = 0.5 * (maskfrac_ebeam::erf::erf((40.0 - 10.5) / s)
+///     - maskfrac_ebeam::erf::erf((0.0 - 10.5) / s));
+/// // Agreement is limited only by table saturation beyond 4σ (< 2e-8).
+/// assert!((fast - exact).abs() < 2e-8);
+/// ```
+#[derive(Debug)]
+pub struct LatticeLut {
+    /// `values[i] = Φ((m − ½)/σ)` with `m = i as i64 − half_range`.
+    values: Vec<f64>,
+    /// Largest tabulated `|m|`; queries beyond saturate to 0/1.
+    half_range: i64,
+}
+
+/// Process-wide cache of lattice tables, keyed by `σ` bit pattern. A
+/// process uses a handful of distinct `σ` values (the paper's default
+/// plus one per coarse-to-fine factor), so a scanned `Vec` beats a map.
+static LATTICE_LUTS: std::sync::Mutex<Vec<(u64, std::sync::Arc<LatticeLut>)>> =
+    std::sync::Mutex::new(Vec::new());
+
+impl LatticeLut {
+    /// Returns the shared table for `sigma`, building it on first use
+    /// (`ebeam.lut.lattice_builds` counts builds — one per distinct `σ`).
+    fn shared(sigma: f64) -> std::sync::Arc<LatticeLut> {
+        let key = sigma.to_bits();
+        let mut cache = LATTICE_LUTS.lock().expect("lattice lut cache poisoned");
+        if let Some((_, lut)) = cache.iter().find(|(k, _)| *k == key) {
+            return lut.clone();
+        }
+        maskfrac_obs::counter!("ebeam.lut.lattice_builds").incr();
+        let lut = std::sync::Arc::new(LatticeLut::new(sigma));
+        cache.push((key, lut.clone()));
+        lut
+    }
+
+    fn new(sigma: f64) -> Self {
+        let half_range = (LUT_RANGE * sigma).ceil() as i64 + 1;
+        let values = (-half_range..=half_range)
+            .map(|m| 0.5 * (1.0 + erf((m as f64 - 0.5) / sigma)))
+            .collect();
+        LatticeLut { values, half_range }
+    }
+
+    /// `Φ((m − ½)/σ)` for the lattice offset `m`, saturating outside the
+    /// tabulated `±4σ` range.
+    #[inline]
+    pub fn phi(&self, m: i64) -> f64 {
+        if m < -self.half_range {
+            return 0.0;
+        }
+        if m > self.half_range {
+            return 1.0;
+        }
+        self.values[(m + self.half_range) as usize]
+    }
+
+    /// 1-D edge factor of a shot spanning the integer interval `[a, b]`
+    /// at the pixel centre `c + ½`.
+    #[inline]
+    pub fn edge_factor(&self, a: i64, b: i64, c: i64) -> f64 {
+        self.phi(b - c) - self.phi(a - c)
     }
 }
 
@@ -367,6 +548,103 @@ mod tests {
             let sum = m.shot_intensity_exact(&a, x, y) + m.shot_intensity_exact(&b, x, y);
             let whole = m.shot_intensity_exact(&u, x, y);
             assert!((sum - whole).abs() < 1e-12, "at ({x}, {y})");
+        }
+    }
+
+    /// The truncation-radius audit test: pins `3σ` as the one locality
+    /// constant and the residues each representation leaves there, so the
+    /// constants and the doc comments in `kernel.rs` / `intensity.rs` /
+    /// `erf.rs` cannot silently drift apart again.
+    #[test]
+    fn support_radius_is_three_sigma_and_pins_the_residues() {
+        let m = model();
+        // The locality constant is exactly 3σ, shared by model and kernel.
+        assert_eq!(m.support_radius(), 3.0 * m.sigma());
+        assert_eq!(m.support_radius(), m.kernel().support_radius());
+        // The truncated kernel is identically zero beyond it...
+        assert_eq!(m.kernel().value(m.support_radius() + 1e-9, 0.0), 0.0);
+        assert!(m.kernel().value(m.support_radius() - 1e-9, 0.0) > 0.0);
+        // ...while the closed form's straight-edge profile leaves exactly
+        // ½·erfc(3) ≈ 1.1e-5 there (NOT below 1e-6, as a doc comment once
+        // claimed): the profile only crosses 1e-6 near 3.37σ.
+        let edge = 0.5 * crate::erf::erfc(3.0);
+        assert!((1.0e-5..1.2e-5).contains(&edge), "residue at 3σ: {edge}");
+        let v3 = m.shot_intensity_exact(&big_shot(), 200.0 + m.support_radius(), 0.0);
+        assert!((v3 - edge).abs() < 1e-7, "profile at 3σ: {v3} vs {edge}");
+        assert!(v3 > 1e-6, "the 3σ residue is above 1e-6, not below");
+        let v337 = m.shot_intensity_exact(&big_shot(), 200.0 + 3.37 * m.sigma(), 0.0);
+        assert!(v337 < 1.1e-6, "profile decays through 1e-6 near 3.37σ: {v337}");
+        // The tables saturate at 4σ, where the residue is below 2e-8.
+        let v4 = 0.5 * crate::erf::erfc(4.0);
+        assert!(v4 < 2e-8, "residue at 4σ: {v4}");
+    }
+
+    #[test]
+    fn lattice_lut_matches_direct_erf_everywhere() {
+        let m = model();
+        let lut = m.lattice_lut();
+        let s = m.sigma();
+        // Every lattice offset the support window can pose, both edges.
+        for a in -50i64..=50 {
+            for c in -30i64..=30 {
+                let t = c as f64 + 0.5;
+                let want = 0.5 * (erf((40.0 - t) / s) - erf((a as f64 - t) / s));
+                let got = lut.edge_factor(a, 40, c);
+                assert!(
+                    (got - want).abs() < 5e-8,
+                    "lattice edge factor at a={a}, c={c}: {got} vs {want}"
+                );
+            }
+        }
+        // Saturation far outside the table.
+        assert_eq!(lut.phi(10_000), 1.0);
+        assert_eq!(lut.phi(-10_000), 0.0);
+        // The shared cache hands back the same table per σ.
+        assert!(std::sync::Arc::ptr_eq(&m.lattice_lut(), &lut));
+    }
+
+    /// Property test (satellite of the separable rewrite): across
+    /// randomized shots, evaluation points and kernel widths, the
+    /// separable closed form agrees with the dense truncated-kernel
+    /// quadrature to the documented tolerance (truncation mass ~1.2e-4
+    /// plus quadrature error). Deterministic seeded sweep so the test is
+    /// reproducible in every environment.
+    #[test]
+    fn separable_form_matches_dense_quadrature_on_random_shots() {
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut rng = move |lo: i64, hi: i64| lo + (next() % ((hi - lo + 1) as u64)) as i64;
+        for trial in 0..40 {
+            let sigma = [3.0, 4.5, 6.25, 9.0][trial % 4];
+            let m = ExposureModel::new(sigma, 0.5);
+            let x0 = rng(-30, 10);
+            let y0 = rng(-30, 10);
+            let s = Rect::new(x0, y0, x0 + rng(8, 60), y0 + rng(8, 60)).unwrap();
+            // Points spread over interior, edge band and outside.
+            let px = x0 as f64 + rng(-15, 75) as f64 * 0.97;
+            let py = y0 as f64 + rng(-15, 75) as f64 * 1.03;
+            let closed = m.shot_intensity(&s, px, py);
+            let dense = m.shot_intensity_truncated_ref(&s, px, py, 0.1);
+            assert!(
+                (closed - dense).abs() < 4e-4,
+                "trial {trial}: σ={sigma} shot={s} at ({px}, {py}): \
+                 separable {closed} vs dense {dense}"
+            );
+            // And the lattice tier agrees with the closed form at lattice
+            // points to its own (tighter) tolerance.
+            let (cx, cy) = (rng(-10, 70), rng(-10, 70));
+            let lut = m.lattice_lut();
+            let lattice = lut.edge_factor(s.x0(), s.x1(), cx) * lut.edge_factor(s.y0(), s.y1(), cy);
+            let reference = m.shot_intensity(&s, cx as f64 + 0.5, cy as f64 + 0.5);
+            assert!(
+                (lattice - reference).abs() < 2e-6,
+                "trial {trial}: lattice {lattice} vs closed {reference} at ({cx}, {cy})"
+            );
         }
     }
 

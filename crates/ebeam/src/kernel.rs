@@ -12,7 +12,12 @@ use serde::{Deserialize, Serialize};
 /// Note the paper's convention: the exponent is `-(r²)/σ²` (not `r²/2σ²`),
 /// so the Gaussian's standard deviation is `σ/√2`. The prefactor makes the
 /// *untruncated* kernel integrate to exactly 1; truncation at `3σ` removes
-/// only `exp(-9) ≈ 1.2e-4` of the mass.
+/// only `exp(-9) ≈ 1.2e-4` of the mass. The closed-form separable
+/// evaluation integrates the *untruncated* kernel, so the two conventions
+/// differ by at most that truncation mass; per 1-D edge the residue at
+/// `3σ` is `erfc(3)/2 ≈ 1.1e-5` — see the truncation audit on
+/// [`ExposureModel::support_radius`](crate::intensity::ExposureModel::support_radius),
+/// whose unit tests pin both bounds.
 ///
 /// # Example
 ///

@@ -5,6 +5,30 @@
 //! shot's intensity is separable and has bounded support (`3σ`), adding or
 //! removing a shot touches only a local window and costs
 //! `O(w + h)` edge-profile evaluations plus `O(w·h)` multiply-adds.
+//!
+//! # Evaluation strategy and exactness contract
+//!
+//! Every update is *separable*: the shot's 2-D intensity over the window
+//! is the outer product of two 1-D edge-profile vectors (`fx` per column,
+//! `fy` per row), so a `w×h` window costs `w + h` profile evaluations —
+//! never `w·h`. The profile evaluations come in two tiers (see
+//! [`crate::intensity`] for the tier table):
+//!
+//! - **Default (tier 1, bit-exact):** [`ExposureModel::edge_factor`]
+//!   through the interpolated edge-profile LUT. This is the
+//!   tier the refinement parity harness pins: `add_shot` / `remove_shot` /
+//!   [`IntensityMap::replace_shot`] / [`IntensityMap::apply_shot_visit`]
+//!   all produce byte-identical grids for the same mutation sequence.
+//! - **Lattice (tier 2, relaxed):** after
+//!   [`IntensityMap::enable_lattice_profiles`], profiles are read from the
+//!   integer-lattice [`crate::intensity::LatticeLut`] — a direct table hit
+//!   per row/column, no interpolation. Values differ from tier 1 by ULPs
+//!   (bounded by the erf approximation's own `1.5e-7`), so this tier is
+//!   only used where the caller opted into relaxed exactness (the
+//!   coarse phase of coarse-to-fine refinement, `relaxed_scoring`).
+//!
+//! Whichever tier fills the profiles, the multiply-add composition loops
+//! are identical, deterministic and sequential per row.
 
 use crate::intensity::ExposureModel;
 use maskfrac_geom::{Frame, Rect};
@@ -44,6 +68,8 @@ pub struct IntensityMap {
     fy: Vec<f64>,
     fx2: Vec<f64>,
     fy2: Vec<f64>,
+    // Tier-2 profile table; `None` selects the bit-exact default tier.
+    lattice: Option<std::sync::Arc<crate::intensity::LatticeLut>>,
 }
 
 impl IntensityMap {
@@ -69,7 +95,25 @@ impl IntensityMap {
             fy: Vec::new(),
             fx2: Vec::new(),
             fy2: Vec::new(),
+            lattice: None,
         }
+    }
+
+    /// Switches edge-profile evaluation to the relaxed integer-lattice
+    /// tier ([`crate::intensity::LatticeLut`]).
+    ///
+    /// Shot edges and pixel centres both live on the 1 nm lattice, so
+    /// every profile argument the map can pose is answered by one table
+    /// lookup with no interpolation. Values agree with the default tier to
+    /// within the erf approximation error (`< 1.5e-7` per factor) but are
+    /// **not** bit-identical — callers that need the parity contract must
+    /// stay on the default tier. Used by the coarse phase of
+    /// coarse-to-fine refinement, where exactness is relaxed anyway.
+    ///
+    /// Must be called before any shot is applied: mixing tiers across
+    /// add/remove of the same shot would leave ULP residue behind.
+    pub fn enable_lattice_profiles(&mut self) {
+        self.lattice = Some(self.model.lattice_lut());
     }
 
     /// Consumes the map, returning the backing value buffer for reuse.
@@ -226,11 +270,25 @@ impl IntensityMap {
         fy: &mut Vec<f64>,
     ) {
         fx.clear();
+        fy.clear();
+        if let Some(lut) = &self.lattice {
+            // Tier 2: pure integer offsets from edge to pixel centre —
+            // one table hit per row/column, no interpolation.
+            let origin = self.frame.origin();
+            fx.extend(
+                xs.clone()
+                    .map(|ix| lut.edge_factor(shot.x0(), shot.x1(), origin.x + ix as i64)),
+            );
+            fy.extend(
+                ys.clone()
+                    .map(|iy| lut.edge_factor(shot.y0(), shot.y1(), origin.y + iy as i64)),
+            );
+            return;
+        }
         fx.extend(xs.clone().map(|ix| {
             let (cx, _) = self.frame.pixel_center(ix, 0);
             self.model.edge_factor(shot.x0() as f64, shot.x1() as f64, cx)
         }));
-        fy.clear();
         fy.extend(ys.clone().map(|iy| {
             let (_, cy) = self.frame.pixel_center(0, iy);
             self.model.edge_factor(shot.y0() as f64, shot.y1() as f64, cy)
@@ -418,6 +476,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lattice_tier_tracks_exact_tier_within_tolerance() {
+        let mut exact = map();
+        let mut lattice = map();
+        lattice.enable_lattice_profiles();
+        let shots = vec![
+            Rect::new(0, 0, 30, 30).unwrap(),
+            Rect::new(25, 5, 65, 40).unwrap(),
+            Rect::new(-10, 20, 20, 70).unwrap(),
+        ];
+        for s in &shots {
+            exact.add_shot(s);
+            lattice.add_shot(s);
+        }
+        let moved = shots[1].with_edge(maskfrac_geom::rect::Edge::Right, 70).unwrap();
+        exact.replace_shot(&shots[1], &moved);
+        lattice.replace_shot(&shots[1], &moved);
+        // Per edge factor the tiers differ by at most the erf
+        // approximation error (1.5e-7); three shots compound it.
+        assert!(lattice.max_abs_diff(&exact) < 1e-6);
+        // And removal still returns to (lattice-tier) zero exactly.
+        lattice.replace_shot(&moved, &shots[1]);
+        for s in &shots {
+            lattice.remove_shot(s);
+        }
+        let zero = map();
+        assert!(lattice.max_abs_diff(&zero) < 1e-12);
     }
 
     #[test]

@@ -292,9 +292,89 @@ pub fn cost_delta_for_strip(
     })
 }
 
+/// Relaxed-exactness variant of [`cost_delta_for_strip`]: same score, same
+/// window, same chunking — but edge factors come from the integer-lattice
+/// [`crate::intensity::LatticeLut`] (one table hit per row/column, no
+/// interpolation) and each chunk's terms are folded through a 4-lane
+/// multi-accumulator instead of one serial chain, so the compiler can keep
+/// four independent FMA chains in flight.
+///
+/// # Exactness contract
+///
+/// The returned delta agrees with [`cost_delta_for_strip`] to within the
+/// erf-approximation error times the window mass (observed `< 1e-5` per
+/// strip on paper-default σ) but is **not** bit-identical: profile values
+/// differ by ULPs and the summation order differs. It must therefore only
+/// be selected on tiers where the parity harness does not pin byte
+/// equality — the coarse phase of coarse-to-fine refinement
+/// (`FractureConfig::relaxed_scoring`). Greedy acceptance stays
+/// deterministic for a fixed tier choice: the same inputs produce the
+/// same f64 on every run and at every thread count.
+pub fn cost_delta_for_strip_relaxed(
+    cls: &Classification,
+    map: &IntensityMap,
+    strip: &Rect,
+    sign: f64,
+) -> f64 {
+    const CHUNK: usize = 16;
+    let model = map.model();
+    let rho = model.rho();
+    let frame = cls.frame();
+    let (xs, ys) = map.affected_window(strip);
+    if xs.is_empty() || ys.is_empty() {
+        return 0.0;
+    }
+    let lut = model.lattice_lut();
+    let origin = frame.origin();
+    STRIP_FACTORS.with(|cell| {
+        let (fx, fy) = &mut *cell.borrow_mut();
+        fx.clear();
+        fx.extend(
+            xs.clone()
+                .map(|ix| lut.edge_factor(strip.x0(), strip.x1(), origin.x + ix as i64)),
+        );
+        fy.clear();
+        fy.extend(
+            ys.clone()
+                .map(|iy| lut.edge_factor(strip.y0(), strip.y1(), origin.y + iy as i64)),
+        );
+        // Four independent accumulator lanes; the serial `delta += t` chain
+        // of the exact scorer is the one dependency the autovectorizer
+        // cannot break on its own without `-ffast-math`.
+        let mut acc = [0.0f64; 4];
+        let mut terms = [0.0f64; CHUNK];
+        for (j, iy) in ys.clone().enumerate() {
+            let fyv = fy[j] * sign;
+            if fyv == 0.0 {
+                continue;
+            }
+            let values = map.row(iy, xs.clone());
+            let classes = cls.class_row(iy, xs.clone());
+            for ((fxc, clc), vc) in fx
+                .chunks(CHUNK)
+                .zip(classes.chunks(CHUNK))
+                .zip(values.chunks(CHUNK))
+            {
+                let n = fxc.len();
+                for k in 0..n {
+                    let s = clc[k].cost_sign();
+                    let old = vc[k];
+                    let new = old + fxc[k] * fyv;
+                    terms[k] = (s * (new - rho)).max(0.0) - (s * (old - rho)).max(0.0);
+                }
+                for (k, &t) in terms[..n].iter().enumerate() {
+                    acc[k & 3] += t;
+                }
+            }
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
+    })
+}
+
 thread_local! {
-    /// Per-thread edge-factor scratch for [`cost_delta_for_strip`]
-    /// (`fx`, `fy`). Grow-only; cleared and refilled on every call.
+    /// Per-thread edge-factor scratch for [`cost_delta_for_strip`] and
+    /// [`cost_delta_for_strip_relaxed`] (`fx`, `fy`). Grow-only; cleared
+    /// and refilled on every call.
     static STRIP_FACTORS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
         const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
@@ -416,6 +496,27 @@ mod tests {
         map.add_shot(&Rect::new(-8, -8, 2, 2).unwrap());
         tracker.resync(&cls, &map);
         assert_eq!(tracker.summary(), evaluate(&cls, &map));
+    }
+
+    #[test]
+    fn relaxed_strip_delta_tracks_exact_scorer() {
+        let shot = Rect::new(0, 0, 40, 30).unwrap();
+        let (cls, map) = setup(&[shot]);
+        // Sweep every 1-px horizontal and vertical candidate strip the
+        // greedy engine would pose around this shot, both signs.
+        for x in -5..45i64 {
+            for &(y0, y1) in &[(29i64, 30i64), (30, 31), (0, 1)] {
+                let strip = Rect::new(x, y0, x + 1, y1).unwrap();
+                for sign in [1.0, -1.0] {
+                    let exact = cost_delta_for_strip(&cls, &map, &strip, sign);
+                    let relaxed = cost_delta_for_strip_relaxed(&cls, &map, &strip, sign);
+                    assert!(
+                        (exact - relaxed).abs() < 1e-5,
+                        "strip {strip} sign {sign}: exact {exact} vs relaxed {relaxed}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

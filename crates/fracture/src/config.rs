@@ -87,10 +87,59 @@ pub struct FractureConfig {
     /// the per-shape pipeline (whose intensity map is dense in the bbox).
     #[serde(default = "default_max_extent")]
     pub max_extent: i64,
+    /// Coarse-to-fine refinement factor `k` (CLI: `--coarse-factor`).
+    ///
+    /// `1` (the default) runs refinement at the paper's 1 nm pixel pitch
+    /// only and is byte-identical to the legacy path. `2..=4` first runs a
+    /// scaled-down copy of the whole problem at `k` nm pitch (coarse
+    /// classification by `k×k` block reduction, kernel `σ/k`, shot
+    /// coordinates `÷k`), then re-seeds the full-resolution run with the
+    /// coarse solution scaled back up and polishes at Δp = 1 nm. Each
+    /// coarse iteration walks ~`k²` fewer pixels; the fine polish starts
+    /// near-converged. The coarse tier always uses the relaxed scoring
+    /// kernels (see [`relaxed_scoring`](Self::relaxed_scoring)) — only the
+    /// fine polish is held to the configured exactness tier, so the final
+    /// shot list is always evaluated at full resolution. See
+    /// `docs/performance.md` for when this is safe and how parity is
+    /// gated.
+    ///
+    /// ```
+    /// use maskfrac_fracture::FractureConfig;
+    ///
+    /// let cfg = FractureConfig { coarse_factor: 4, ..FractureConfig::default() };
+    /// assert!(cfg.validate().is_ok());
+    /// ```
+    #[serde(default = "default_coarse_factor")]
+    pub coarse_factor: usize,
+    /// Opt into the relaxed-exactness scoring kernels.
+    ///
+    /// `false` (the default) keeps the bit-exact hot path: candidate
+    /// scores and map updates reproduce the legacy accumulation order to
+    /// the last ULP, which is what the PR 3/4 parity harness and the CI
+    /// shot-count baselines gate on. `true` enables two documented
+    /// relaxations on the scoring/update kernels — integer-lattice edge
+    /// profiles (direct `erf` table, no LUT interpolation) and multi-lane
+    /// chunk accumulation (summation-order change of at most a few ULPs
+    /// per strip) — which are faster but may steer greedy tie-breaks onto
+    /// a different, equally feasible shot list. See `docs/performance.md`.
+    ///
+    /// ```
+    /// use maskfrac_fracture::FractureConfig;
+    ///
+    /// let cfg = FractureConfig { relaxed_scoring: true, ..FractureConfig::default() };
+    /// assert!(cfg.validate().is_ok());
+    /// assert!(!FractureConfig::default().relaxed_scoring, "exact by default");
+    /// ```
+    #[serde(default)]
+    pub relaxed_scoring: bool,
 }
 
 fn default_max_extent() -> i64 {
     4096
+}
+
+fn default_coarse_factor() -> usize {
+    1
 }
 
 fn default_true() -> bool {
@@ -124,6 +173,8 @@ impl Default for FractureConfig {
             incremental_refine: true,
             refine_threads: 1,
             max_extent: default_max_extent(),
+            coarse_factor: 1,
+            relaxed_scoring: false,
         }
     }
 }
@@ -174,6 +225,9 @@ impl FractureConfig {
         }
         if self.max_extent < self.min_shot_size {
             return Err("max_extent must be at least min_shot_size".into());
+        }
+        if !(1..=4).contains(&self.coarse_factor) {
+            return Err("coarse_factor must be in 1..=4".into());
         }
         Ok(())
     }
@@ -240,6 +294,8 @@ mod tests {
         assert!(c.incremental_refine);
         assert_eq!(c.refine_threads, 1);
         assert_eq!(c.max_extent, default_max_extent());
+        assert_eq!(c.coarse_factor, 1, "legacy configs refine at fine pitch only");
+        assert!(!c.relaxed_scoring, "legacy configs stay on the exact tier");
         assert!(c.validate().is_ok());
     }
 
@@ -256,6 +312,8 @@ mod tests {
             FractureConfig { stall_window: 0, ..base.clone() },
             FractureConfig { max_plateau_restarts: 0, ..base.clone() },
             FractureConfig { max_extent: 5, ..base.clone() },
+            FractureConfig { coarse_factor: 0, ..base.clone() },
+            FractureConfig { coarse_factor: 5, ..base.clone() },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?} should fail validation");

@@ -19,10 +19,37 @@
 //!
 //! The best solution (fewest failing pixels) seen across all iterations is
 //! returned.
+//!
+//! # Evaluation tiers and coarse-to-fine refinement
+//!
+//! Refinement runs on one of two scoring tiers (see `maskfrac_ebeam`'s
+//! `intensity` module for the full tier table):
+//!
+//! * **Exact (default)** — interpolated-LUT edge profiles and the serial
+//!   chunked scorer. Runs are byte-identical across thread counts and
+//!   across the incremental/full-rescan engines; this is the tier every
+//!   parity gate pins.
+//! * **Relaxed** ([`FractureConfig::relaxed_scoring`]) — integer-lattice
+//!   edge profiles and the multi-accumulator scorer
+//!   (`cost_delta_for_strip_relaxed`). Still deterministic for fixed
+//!   inputs (any thread count), but not bit-identical to the exact tier;
+//!   excluded from byte-parity gates.
+//!
+//! When [`FractureConfig::coarse_factor`] ` = k > 1`, refinement runs
+//! **coarse-to-fine**: the classification is block-reduced onto the `k`-nm
+//! lattice ([`Classification::coarsen`]), σ and γ scale by `1/k`, and a
+//! full refinement converges there on the relaxed tier at `1/k²` the pixel
+//! work per window. The coarse shots are then scaled back up (`×k`) and
+//! polished at Δp = 1 nm on the caller's tier, which repairs the ≤ `k` nm
+//! quantization the coarse lattice introduced. `coarse_factor = 1` (the
+//! default) bypasses all of this: the legacy single-tier path runs
+//! unchanged and stays byte-identical to previous releases.
 
 use crate::config::FractureConfig;
 use crate::scratch::FractureScratch;
-use maskfrac_ebeam::violations::{cost_delta_for_strip, evaluate, fail_bitmaps, ViolationTracker};
+use maskfrac_ebeam::violations::{
+    cost_delta_for_strip, cost_delta_for_strip_relaxed, evaluate, fail_bitmaps, ViolationTracker,
+};
 use maskfrac_ebeam::{Classification, ExposureModel, FailureSummary, IntensityMap};
 use maskfrac_geom::rect::Edge;
 use maskfrac_geom::{label_components, Rect};
@@ -103,7 +130,149 @@ pub fn refine_until(
 /// intensity grid and the engine's candidate cache are recycled from (and
 /// handed back to) `scratch`, so repeated calls on one worker thread
 /// allocate nothing in steady state.
+///
+/// With [`FractureConfig::coarse_factor`] ` > 1` this dispatches to the
+/// coarse-to-fine schedule (see the module docs); at the default `1` it is
+/// exactly the legacy single-tier refinement.
 pub fn refine_until_with(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    initial: Vec<Rect>,
+    deadline: Option<std::time::Instant>,
+    scratch: &mut FractureScratch,
+) -> RefineOutcome {
+    if cfg.coarse_factor > 1 {
+        coarse_to_fine(cls, model, cfg, initial, deadline, scratch)
+    } else if cfg.relaxed_scoring {
+        relaxed_with_fallback(cls, model, cfg, initial, deadline, scratch)
+    } else {
+        refine_core(cls, model, cfg, initial, deadline, scratch)
+    }
+}
+
+/// Merges a fast-tier outcome with its exact-path fallback run: the
+/// better solution wins (fewer failing pixels, then fewer shots), and the
+/// iteration count / deadline flag account for both runs.
+fn merge_fallback(mut out: RefineOutcome, fallback: RefineOutcome) -> RefineOutcome {
+    let rank = |o: &RefineOutcome| (o.summary.fail_count(), o.shots.len());
+    let iterations = out.iterations + fallback.iterations;
+    let deadline_hit = out.deadline_hit | fallback.deadline_hit;
+    if rank(&fallback) <= rank(&out) {
+        out = fallback;
+    }
+    out.iterations = iterations;
+    out.deadline_hit = deadline_hit;
+    out
+}
+
+/// Single-tier refinement with [`FractureConfig::relaxed_scoring`], plus
+/// the same safety net as the coarse-to-fine schedule: if the relaxed
+/// trajectory ends infeasible, the seed is re-refined with exact scoring
+/// and the better solution is returned. Relaxed scoring therefore never
+/// ships worse quality than the exact scorer — it only risks its speedup
+/// on the frames that need the fallback.
+fn relaxed_with_fallback(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    initial: Vec<Rect>,
+    deadline: Option<std::time::Instant>,
+    scratch: &mut FractureScratch,
+) -> RefineOutcome {
+    let out = refine_core(cls, model, cfg, initial.clone(), deadline, scratch);
+    if out.summary.fail_count() == 0 || out.deadline_hit {
+        return out;
+    }
+    maskfrac_obs::counter!("fracture.refine.fallback_runs").incr();
+    let exact_cfg = FractureConfig {
+        relaxed_scoring: false,
+        ..cfg.clone()
+    };
+    let fallback = refine_core(cls, model, &exact_cfg, initial, deadline, scratch);
+    merge_fallback(out, fallback)
+}
+
+/// Scales a fine-lattice shot down to the `k`-nm coarse lattice:
+/// outward-rounded (floor the low edges, ceil the high ones) so target
+/// coverage is preserved. `None` only for rects too degenerate to scale.
+fn scale_down_rect(s: &Rect, k: i64) -> Option<Rect> {
+    let ceil_div = |a: i64| a.div_euclid(k) + i64::from(a.rem_euclid(k) != 0);
+    Rect::new(
+        s.x0().div_euclid(k),
+        s.y0().div_euclid(k),
+        ceil_div(s.x1()).max(s.x0().div_euclid(k) + 1),
+        ceil_div(s.y1()).max(s.y0().div_euclid(k) + 1),
+    )
+}
+
+/// The coarse-to-fine schedule: converge on the `k×`-coarser lattice with
+/// relaxed scoring, scale the result back up, polish at Δp = 1 nm. If the
+/// polished result is still infeasible the original seed is re-polished
+/// single-tier and the better of the two solutions is returned, so this
+/// schedule never degrades quality relative to `coarse_factor = 1`.
+///
+/// Iterations are summed across the phases and a deadline hit in any
+/// marks the outcome; the returned history is the fine phase's (the
+/// coarse history describes a different lattice and would not splice).
+fn coarse_to_fine(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    initial: Vec<Rect>,
+    deadline: Option<std::time::Instant>,
+    scratch: &mut FractureScratch,
+) -> RefineOutcome {
+    let k = cfg.coarse_factor as i64;
+    let coarse = {
+        let _span = maskfrac_obs::span("fracture.refine.coarse");
+        let coarse_cls = cls.coarsen(cfg.coarse_factor);
+        let coarse_model = ExposureModel::new(model.sigma() / k as f64, model.rho());
+        let coarse_cfg = FractureConfig {
+            coarse_factor: 1,
+            sigma: cfg.sigma / k as f64,
+            gamma: cfg.gamma / k as f64,
+            min_shot_size: cfg.min_shot_size.div_euclid(k).max(1),
+            // Coarse results are quantized anyway; take the cheap scorer.
+            relaxed_scoring: true,
+            ..cfg.clone()
+        };
+        let coarse_shots = initial.iter().filter_map(|s| scale_down_rect(s, k)).collect();
+        refine_core(&coarse_cls, &coarse_model, &coarse_cfg, coarse_shots, deadline, scratch)
+    };
+    maskfrac_obs::counter!("fracture.refine.coarse_iterations").add(coarse.iterations as u64);
+    let seed: Vec<Rect> = coarse
+        .shots
+        .iter()
+        .filter_map(|s| Rect::new(s.x0() * k, s.y0() * k, s.x1() * k, s.y1() * k))
+        .collect();
+    let fine_cfg = FractureConfig {
+        coarse_factor: 1,
+        ..cfg.clone()
+    };
+    let mut out = {
+        let _span = maskfrac_obs::span("fracture.refine.polish");
+        refine_core(cls, model, &fine_cfg, seed, deadline, scratch)
+    };
+    maskfrac_obs::counter!("fracture.refine.polish_iterations").add(out.iterations as u64);
+    out.iterations += coarse.iterations;
+    out.deadline_hit |= coarse.deadline_hit;
+    // Safety net: a coarse seed can land the polish in a worse basin than
+    // the original shots would have reached. If the polished result is
+    // infeasible, re-polish from the original seed (exactly the
+    // single-tier path) and keep the better solution, so coarse-to-fine
+    // never ships worse quality than `coarse_factor = 1` — it only risks
+    // its speedup on the frames that need the fallback.
+    if out.summary.fail_count() > 0 && !out.deadline_hit {
+        maskfrac_obs::counter!("fracture.refine.fallback_runs").incr();
+        let fallback = refine_core(cls, model, &fine_cfg, initial, deadline, scratch);
+        out = merge_fallback(out, fallback);
+    }
+    out
+}
+
+/// The single-tier refinement loop (legacy body of [`refine_until_with`]).
+fn refine_core(
     cls: &Classification,
     model: &ExposureModel,
     cfg: &FractureConfig,
@@ -118,6 +287,9 @@ pub fn refine_until_with(
         cls.frame(),
         scratch.take_map_values(cls.frame().len()),
     );
+    if cfg.relaxed_scoring {
+        map.enable_lattice_profiles();
+    }
     for s in &shots {
         map.add_shot(s);
     }
@@ -262,6 +434,9 @@ pub fn polish_edges(
 ) -> RefineOutcome {
     let mut shots = initial;
     let mut map = IntensityMap::new(model.clone(), cls.frame());
+    if cfg.relaxed_scoring {
+        map.enable_lattice_profiles();
+    }
     for s in &shots {
         map.add_shot(s);
     }
@@ -425,7 +600,7 @@ pub fn reduce_shots_until_with(
         let mut scored: Vec<(f64, usize)> = current
             .iter()
             .enumerate()
-            .map(|(i, s)| (cost_delta_for_strip(cls, &map, s, -1.0), i))
+            .map(|(i, s)| (strip_delta(cls, &map, s, -1.0, cfg), i))
             .collect();
         scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         scratch.put_map_values(map.into_values());
@@ -454,6 +629,24 @@ pub fn reduce_shots_until_with(
         iterations: total_iterations,
         history: Vec::new(),
         deadline_hit,
+    }
+}
+
+/// Strip scorer dispatch: the exact tier by default, the relaxed
+/// lattice/multi-accumulator scorer when the config opted in (see the
+/// module docs for the exactness contract of each).
+#[inline]
+fn strip_delta(
+    cls: &Classification,
+    map: &IntensityMap,
+    strip: &Rect,
+    sign: f64,
+    cfg: &FractureConfig,
+) -> f64 {
+    if cfg.relaxed_scoring {
+        cost_delta_for_strip_relaxed(cls, map, strip, sign)
+    } else {
+        cost_delta_for_strip(cls, map, strip, sign)
     }
 }
 
@@ -529,7 +722,7 @@ fn score_shot(
                 continue;
             };
             scored += 1;
-            let dc = cost_delta_for_strip(cls, map, &strip, sign);
+            let dc = strip_delta(cls, map, &strip, sign, cfg);
             if dc < -1e-9 {
                 moves.push(ScoredMove {
                     delta_cost: dc,
@@ -923,14 +1116,14 @@ pub fn add_shot(
         // pick the alignment with the least predicted cost (it trades the
         // fixed on-fail gain against collateral Poff exposure).
         let mut placed = rect;
-        let mut best_dc = cost_delta_for_strip(cls, map, &rect, 1.0);
+        let mut best_dc = strip_delta(cls, map, &rect, 1.0, cfg);
         for dx in [-2i64, 0, 2] {
             for dy in [-2i64, 0, 2] {
                 if dx == 0 && dy == 0 {
                     continue;
                 }
                 let cand = rect.translate(maskfrac_geom::Point::new(dx, dy));
-                let dc = cost_delta_for_strip(cls, map, &cand, 1.0);
+                let dc = strip_delta(cls, map, &cand, 1.0, cfg);
                 if dc < best_dc {
                     best_dc = dc;
                     placed = cand;
@@ -956,7 +1149,7 @@ pub fn add_shot(
                 ) else {
                     continue;
                 };
-                let dc = cost_delta_for_strip(cls, map, &grown, 1.0);
+                let dc = strip_delta(cls, map, &grown, 1.0, cfg);
                 if dc < best_dc {
                     best_dc = dc;
                     placed = grown;
@@ -1390,6 +1583,116 @@ mod tests {
             assert_eq!(out.summary.on_fails, reference.summary.on_fails);
             assert_eq!(out.summary.off_fails, reference.summary.off_fails);
         }
+    }
+
+    /// With `coarse_factor = 1` (the default) the dispatcher must be the
+    /// legacy path, byte for byte, at 1 and at 4 scoring threads — this is
+    /// the parity contract that lets every committed shot-count baseline
+    /// survive the coarse-to-fine rewrite.
+    #[test]
+    fn coarse_factor_one_is_byte_identical_to_legacy_refinement() {
+        let target = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(80, 0),
+            Point::new(80, 30),
+            Point::new(30, 30),
+            Point::new(30, 80),
+            Point::new(0, 80),
+        ])
+        .unwrap();
+        let (cls, model, base) = setup(&target);
+        let initial = vec![
+            Rect::new(3, -3, 81, 25).unwrap(),
+            Rect::new(-2, 2, 26, 80).unwrap(),
+        ];
+        for threads in [1usize, 4] {
+            let cfg = FractureConfig {
+                refine_threads: threads,
+                ..base.clone()
+            };
+            // The dispatcher entry (coarse_factor = 1, the default).
+            let dispatched = refine(&cls, &model, &cfg, initial.clone());
+            // The legacy body, called directly.
+            let legacy = refine_core(
+                &cls,
+                &model,
+                &cfg,
+                initial.clone(),
+                None,
+                &mut FractureScratch::new(),
+            );
+            assert_eq!(
+                dispatched.shots, legacy.shots,
+                "shot lists diverged at {threads} threads"
+            );
+            assert_eq!(dispatched.iterations, legacy.iterations);
+            assert_eq!(
+                dispatched.summary.cost.to_bits(),
+                legacy.summary.cost.to_bits(),
+                "cost diverged at {threads} threads"
+            );
+        }
+    }
+
+    /// Relaxed scoring is a different tier (no byte-parity promise), but
+    /// it must still converge to a feasible solution on the same inputs.
+    #[test]
+    fn relaxed_scoring_still_converges() {
+        let target = square(50);
+        let (cls, model, base) = setup(&target);
+        let cfg = FractureConfig {
+            relaxed_scoring: true,
+            ..base
+        };
+        let out = refine(&cls, &model, &cfg, vec![Rect::new(4, -4, 54, 46).unwrap()]);
+        assert!(out.summary.is_feasible(), "{:?}", out.summary);
+        assert_eq!(out.shots.len(), 1);
+    }
+
+    /// Coarse-to-fine end-to-end: every supported factor repairs the same
+    /// offset shot to feasibility, and determinism holds across repeats
+    /// and thread counts (the relaxed tier is deterministic, just not
+    /// bit-identical to the exact tier).
+    #[test]
+    fn coarse_to_fine_converges_and_is_deterministic() {
+        let target = square(50);
+        let (cls, model, base) = setup(&target);
+        for factor in [2usize, 3, 4] {
+            let run = |threads: usize| {
+                let cfg = FractureConfig {
+                    coarse_factor: factor,
+                    refine_threads: threads,
+                    ..base.clone()
+                };
+                refine(&cls, &model, &cfg, vec![Rect::new(4, -4, 54, 46).unwrap()])
+            };
+            let out = run(1);
+            assert!(
+                out.summary.is_feasible(),
+                "factor {factor}: {:?}",
+                out.summary
+            );
+            let again = run(1);
+            assert_eq!(out.shots, again.shots, "factor {factor}: nondeterministic");
+            let threaded = run(4);
+            assert_eq!(
+                out.shots, threaded.shots,
+                "factor {factor}: thread count changed the result"
+            );
+        }
+    }
+
+    /// Scale-down rounds outward (coverage-preserving) and scale-up is the
+    /// exact inverse lattice embedding.
+    #[test]
+    fn scale_down_rounds_outward() {
+        let s = Rect::new(3, -5, 18, 1).unwrap();
+        let down = scale_down_rect(&s, 4).unwrap();
+        assert_eq!(down, Rect::new(0, -2, 5, 1).unwrap());
+        // Degenerate-on-the-coarse-lattice shots keep at least 1 cell.
+        let tiny = Rect::new(5, 5, 7, 7).unwrap();
+        let d = scale_down_rect(&tiny, 4).unwrap();
+        assert_eq!(d, Rect::new(1, 1, 2, 2).unwrap());
     }
 
     /// Biasing must honor the frame clamp: growth stops at the pixel frame

@@ -16,7 +16,7 @@
 //! ```
 //!
 //! * spans emit `span_begin`/`span_end` pairs (same `span_id`) via the
-//!   existing [`span`](crate::span) guards — no call sites change;
+//!   existing [`span`](crate::span()) guards — no call sites change;
 //! * [`point`] / [`point_with`] add instantaneous records parented to the
 //!   innermost open span of the calling thread;
 //! * [`drain`] flushes every thread buffer at run end;

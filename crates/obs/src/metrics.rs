@@ -154,7 +154,7 @@ impl Histogram {
 /// Serializable summary of a [`Histogram`].
 ///
 /// The quantile fields are estimates over a bounded deterministic sample
-/// of the stream (exact up to [`RESERVOIR_CAP`] observations), always
+/// of the stream (exact up to `RESERVOIR_CAP` observations), always
 /// within `[min, max]`; they default to 0 when parsing pre-quantile
 /// (schema v1) reports.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -1,8 +1,8 @@
 //! `maskfrac` — command-line mask fracturing.
 //!
 //! ```text
-//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--refine-threads N] [OBS FLAGS]
-//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--refine-threads N] [--deadline-ms MS]
+//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--refine-threads N] [--coarse-factor K] [--relaxed-scoring] [OBS FLAGS]
+//! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--refine-threads N] [--coarse-factor K] [--relaxed-scoring] [--deadline-ms MS]
 //!                          [--checkpoint J.mfj] [--resume] [--retries N] [--hung-multiple N]
 //!                          [--fault-seed N] [--fault-rate R] [--fault-crash-rate R] [OBS FLAGS]
 //! maskfrac generate-ilt <out.json> [--seed N] [--radius NM]
@@ -22,6 +22,14 @@
 //! parallelism (capped by the layout worker limit); `--refine-threads`
 //! sets the candidate-scoring workers inside one shape's refinement
 //! (`0` = auto, default 1 — results are identical at any setting).
+//! `--coarse-factor K` (1–4, default 1) enables coarse-to-fine
+//! refinement: converge on a `K`-nm lattice first, then polish at
+//! Δp = 1 nm. `K = 1` is the bit-exact legacy path; `K > 1` trades the
+//! byte-parity guarantee for speed. `--relaxed-scoring` swaps the exact
+//! candidate scorer for the integer-lattice tier — also not
+//! byte-identical, same quality guarantee. Both fast tiers fall back to
+//! the exact path when they end infeasible, so they never deliver a
+//! worse solution than the defaults (see `docs/performance.md`).
 //!
 //! Both fracture subcommands share the observability flags (none of which
 //! changes the shot output — see `docs/observability.md`):
@@ -209,7 +217,8 @@ where
 }
 
 /// Builds the fracture configuration shared by the fracture subcommands,
-/// honouring `--deadline-ms` and `--refine-threads`.
+/// honouring `--deadline-ms`, `--refine-threads`, `--coarse-factor` and
+/// `--relaxed-scoring`.
 fn config_from_flags(args: &[String]) -> Result<FractureConfig, Box<dyn std::error::Error>> {
     let mut cfg = FractureConfig::default();
     if let Some(ms) = parsed_flag::<u64>(args, "--deadline-ms")? {
@@ -228,6 +237,17 @@ fn config_from_flags(args: &[String]) -> Result<FractureConfig, Box<dyn std::err
         }
         cfg.refine_threads = n; // 0 = auto-detect
     }
+    if let Some(k) = parsed_flag::<usize>(args, "--coarse-factor")? {
+        if !(1..=4).contains(&k) {
+            return Err(format!("--coarse-factor {k} must be in 1..=4").into());
+        }
+        cfg.coarse_factor = k; // 1 = single-tier (bit-exact legacy path)
+    }
+    if args.iter().any(|a| a == "--relaxed-scoring") {
+        // Lattice-profile scoring: faster candidate evaluation, not
+        // byte-identical to the exact tier (see docs/performance.md).
+        cfg.relaxed_scoring = true;
+    }
     Ok(cfg)
 }
 
@@ -240,7 +260,15 @@ fn default_layout_threads() -> usize {
 }
 
 fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let mut allowed = vec!["--method", "--svg", "--out", "--deadline-ms", "--refine-threads"];
+    let mut allowed = vec![
+        "--method",
+        "--svg",
+        "--out",
+        "--deadline-ms",
+        "--refine-threads",
+        "--coarse-factor",
+        "--relaxed-scoring",
+    ];
     allowed.extend_from_slice(&OBS_FLAGS);
     check_flags(args, &allowed)?;
     let path = args
@@ -400,6 +428,8 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
     let mut allowed = vec![
         "--threads",
         "--refine-threads",
+        "--coarse-factor",
+        "--relaxed-scoring",
         "--deadline-ms",
         "--checkpoint",
         "--resume",

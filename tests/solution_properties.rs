@@ -122,6 +122,11 @@ fn refinement_engines_agree_bit_for_bit_on_clip_suite() {
             let cfg = FractureConfig {
                 incremental_refine: incremental,
                 refine_threads: threads,
+                // The fast-tier knobs at their defaults are part of the
+                // parity contract: coarse-to-fine off and exact scoring
+                // must take exactly the legacy code path.
+                coarse_factor: 1,
+                relaxed_scoring: false,
                 ..base.clone()
             };
             let out = refine(&cls, fracturer.model(), &cfg, approx.shots.clone());
@@ -143,6 +148,63 @@ fn refinement_engines_agree_bit_for_bit_on_clip_suite() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// The non-exact evaluation tiers (relaxed lattice scoring, coarse-to-fine
+/// at 2× and 4×) give up byte-parity but not quality: on every clip they
+/// must leave no more failing pixels than the exact engine does from the
+/// same starting solution (the engine's exact-path fallback enforces
+/// this — see `fracture::refine`), and each tier must be deterministic
+/// across scoring thread counts.
+#[test]
+fn fast_tiers_track_exact_quality_on_clip_suite() {
+    use maskfrac::fracture::approximate_fracture;
+    use maskfrac::fracture::refine::refine;
+
+    let base = FractureConfig {
+        max_iterations: 160,
+        reduction_sweep: false,
+        ..FractureConfig::default()
+    };
+    let fracturer = ModelBasedFracturer::new(base.clone());
+    for clip in maskfrac::shapes::ilt_suite() {
+        let cls = fracturer.classify(&clip.polygon);
+        let approx = approximate_fracture(
+            &clip.polygon,
+            &cls,
+            fracturer.model(),
+            &base,
+            fracturer.lth(),
+        );
+        let exact = refine(&cls, fracturer.model(), &base, approx.shots.clone());
+        for (coarse_factor, relaxed_scoring) in [(1usize, true), (2, false), (4, false)] {
+            let cfg = FractureConfig {
+                coarse_factor,
+                relaxed_scoring,
+                ..base.clone()
+            };
+            let out = refine(&cls, fracturer.model(), &cfg, approx.shots.clone());
+            assert!(
+                out.summary.fail_count() <= exact.summary.fail_count(),
+                "{}: tier (coarse={coarse_factor}, relaxed={relaxed_scoring}) left {} \
+                 failing pixels, exact engine leaves {}",
+                clip.id,
+                out.summary.fail_count(),
+                exact.summary.fail_count()
+            );
+            let t4 = FractureConfig {
+                refine_threads: 4,
+                ..cfg.clone()
+            };
+            let again = refine(&cls, fracturer.model(), &t4, approx.shots.clone());
+            assert_eq!(
+                out.shots, again.shots,
+                "{}: tier (coarse={coarse_factor}, relaxed={relaxed_scoring}) is not \
+                 deterministic across thread counts",
+                clip.id
+            );
         }
     }
 }
