@@ -21,6 +21,11 @@
 //! 5. **conventional** — plain geometric partitioning, the method of
 //!    last resort, also tagged `Fallback`.
 //!
+//! A baseline rung only *delivers* a non-empty shot list; a rung that
+//! comes back empty (proto-eda's min-size filter can drop every slab of
+//! a sub-`lmin` sliver) is recorded as a failure cause and the ladder
+//! keeps descending.
+//!
 //! Only when every rung fails does the outcome carry
 //! [`FractureStatus::Failed`] — with an empty shot list and the collected
 //! failure causes, never a propagated panic.
@@ -227,6 +232,16 @@ impl FallbackFracturer {
             attempts += 1;
             maskfrac_obs::counter(rung_attempt_counter(method)).incr();
             match guarded(|| Ok(rung())) {
+                // An empty shot list is not a delivery: proto-eda's
+                // min-size filter can drop every slab of a sub-`lmin`
+                // sliver, and accepting that as "usable" would hand the
+                // caller a Fallback status with nothing to write (the
+                // `robustness --inject` empty-shot-list violation).
+                // Fall through to the next rung instead.
+                Ok(result) if result.shots.is_empty() => {
+                    maskfrac_obs::counter!("fallback.rung_failures").incr();
+                    errors.push(format!("{method}: delivered an empty shot list"));
+                }
                 Ok(mut result) => {
                     result.status = FractureStatus::Fallback;
                     maskfrac_obs::counter(rung_delivered_counter(method)).incr();
@@ -392,9 +407,10 @@ mod tests {
 
     #[test]
     fn retry_budget_controls_model_attempts() {
-        // A sliver fails validation on every model-based attempt, so the
-        // attempt count exposes the ladder length directly:
-        // (1 + retries) model rungs + degraded + proto-eda.
+        // A sliver fails validation on every model-based attempt and is
+        // dropped whole by proto-eda's min-size filter, so the attempt
+        // count exposes the ladder length directly:
+        // (1 + retries) model rungs + degraded + proto-eda + conventional.
         let sliver = Polygon::from_rect(Rect::new(0, 0, 60, 4).unwrap());
         for retries in [0u32, 1, 3] {
             let f = FallbackFracturer::with_policy(
@@ -407,8 +423,12 @@ mod tests {
             );
             let out = f.fracture(&sliver);
             assert_eq!(out.result.status, FractureStatus::Fallback);
-            assert_eq!(out.attempts, retries + 3, "retries={retries}");
+            assert_eq!(out.attempts, retries + 4, "retries={retries}");
             assert!(out.error.as_deref().unwrap_or("").contains("ours-degraded:"));
+            assert!(
+                out.error.as_deref().unwrap_or("").contains("empty shot list"),
+                "proto-eda's dropped delivery is recorded as a cause"
+            );
         }
     }
 

@@ -9,17 +9,26 @@
 //! harness asserts it row by row — so the timing differences are pure
 //! throughput, never behavioral drift.
 //!
+//! A second, hierarchical suite then exercises the full-chip path: 10²
+//! unique cells placed 10⁵ times under mixed mirrors and rotations, run
+//! cold and then warm against a persistent geometry cache
+//! (`--geom-cache` tier). The cold run must fracture each canonical
+//! cell exactly once, the warm run must compute zero cells, and both
+//! must report identical shots — asserted in-process and published as
+//! `layout.bench.hier.*` counters.
+//!
 //! Run with `cargo run -p maskfrac-bench --release --bin layout`
-//! (`--full` scales the layout up ~4x). Honours `--trace` and
+//! (`--full` scales the flat layout up ~4x). Honours `--trace` and
 //! `--metrics-out <path>`, and always writes the machine-readable run
 //! report `results/BENCH_layout.json` (see `docs/observability.md`).
 //! CI's perf-smoke job compares the per-shape shot counts in that report
 //! against the committed baseline, gated on
-//! `layout.bench.suite_fingerprint`.
+//! `layout.bench.suite_fingerprint` (flat suite) and
+//! `layout.bench.hier_suite_fingerprint` (hierarchical suite).
 
 use maskfrac_bench::{apply_obs_flags, finish_run_report, save_json};
 use maskfrac_fracture::FractureConfig;
-use maskfrac_geom::{Polygon, Rect};
+use maskfrac_geom::{canonicalize, Point, Polygon, Rect, D4};
 use maskfrac_mdp::{fracture_layout_opts, Layout, LayoutFractureReport, LayoutOptions, Placement};
 use maskfrac_obs::ShapeRecord;
 use serde::Serialize;
@@ -29,6 +38,15 @@ const DISTINCT: usize = 6;
 const ALIASES: usize = 4;
 const PLACEMENTS: usize = 8;
 
+/// Hierarchical (full-chip) suite: `HIER_CELLS` unique cells, each
+/// placed `HIER_PLACEMENTS` times under a seeded mix of all eight D4
+/// transforms — 120 × 850 = 102 000 instances, past the ROADMAP's
+/// 10⁵-instance / 10²-unique-cell bar. Memory stays bounded because the
+/// driver keeps one shot list per *cell* (shot-per-instance expansion is
+/// a lazy iterator), so the working set is ~10² cells, not ~10⁵ shots.
+const HIER_CELLS: usize = 120;
+const HIER_PLACEMENTS: usize = 850;
+
 /// One (mode) measurement. Consumed through Serialize (JSON rows).
 #[allow(dead_code)]
 #[derive(Debug, Serialize)]
@@ -36,6 +54,7 @@ struct LayoutRow {
     mode: &'static str,
     threads: usize,
     dedup_cache: bool,
+    geom_cache: bool,
     total_shots: usize,
     total_fail_pixels: usize,
     shapes: usize,
@@ -107,13 +126,45 @@ fn synth_layout(distinct: usize, aliases: usize, placements: usize, seed: u64) -
     layout
 }
 
-/// FNV-1a hash of the library entry names and vertex coordinates,
-/// published in the run report as the `layout.bench.suite_fingerprint`
-/// counter. Per-shape shot counts are only comparable between runs that
-/// fractured the same synthetic layout; CI's drift check keys on this so
-/// a baseline from a different generator build bootstraps instead of
-/// flagging a false regression.
-fn suite_fingerprint(layout: &Layout) -> u64 {
+/// Builds the hierarchical full-chip layout: `cells` unique asymmetric
+/// L-shaped cells (every dimension pair distinct, arms comfortably above
+/// the minimum feature size), each placed `placements` times under a
+/// seeded mix of all eight D4 transforms. The asymmetry keeps the D4
+/// orbits of different cells disjoint — `main` asserts that by counting
+/// canonical forms — so "each canonical cell fractured exactly once" is
+/// a sharp claim, not a tautology.
+fn synth_hier_layout(cells: usize, placements: usize, seed: u64) -> Layout {
+    let mut rng = XorShift64::new(seed);
+    let mut layout = Layout::new("hier-synthetic");
+    for c in 0..cells {
+        let (ci, cj) = (c as i64 % 30, c as i64 / 30);
+        let w = 40 + 2 * ci;
+        let h = 44 + 6 * cj;
+        let ax = 16 + 2 * (c as i64 % 3);
+        let ay = 18 + 2 * (c as i64 % 5);
+        let cell = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(w, 0),
+            Point::new(w, ay),
+            Point::new(ax, ay),
+            Point::new(ax, h),
+            Point::new(0, h),
+        ])
+        .expect("valid L cell");
+        let name = format!("cell{c:03}");
+        layout.add_shape(&name, cell);
+        for p in 0..placements {
+            let t = D4::ALL[(rng.next() % 8) as usize];
+            let x = (p as i64 % 320) * 150;
+            let y = (p as i64 / 320) * 150 + c as i64 * 600;
+            layout.place(&name, Placement::transformed(x, y, t));
+        }
+    }
+    layout
+}
+
+/// FNV-1a over a byte-emitting closure (the repo's stable-hash idiom).
+fn fnv1a(feed: impl FnOnce(&mut dyn FnMut(&[u8]))) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -121,14 +172,48 @@ fn suite_fingerprint(layout: &Layout) -> u64 {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
     };
-    for (name, polygon) in layout.shapes() {
-        eat(name.as_bytes());
-        for p in polygon.vertices() {
-            eat(&p.x.to_le_bytes());
-            eat(&p.y.to_le_bytes());
-        }
-    }
+    feed(&mut eat);
     h
+}
+
+/// FNV-1a hash of the library entry names and vertex coordinates,
+/// published in the run report as the `layout.bench.suite_fingerprint`
+/// counter. Per-shape shot counts are only comparable between runs that
+/// fractured the same synthetic layout; CI's drift check keys on this so
+/// a baseline from a different generator build bootstraps instead of
+/// flagging a false regression.
+fn suite_fingerprint(layout: &Layout) -> u64 {
+    fnv1a(|eat| {
+        for (name, polygon) in layout.shapes() {
+            eat(name.as_bytes());
+            for p in polygon.vertices() {
+                eat(&p.x.to_le_bytes());
+                eat(&p.y.to_le_bytes());
+            }
+        }
+    })
+}
+
+/// Fingerprint of the hierarchical suite, gating CI's drift check on its
+/// rows. Unlike [`suite_fingerprint`] it also folds every placement
+/// (offset and D4 transform index) — a hierarchical run's totals depend
+/// on the instance mix, not just the cell library.
+fn hier_suite_fingerprint(layout: &Layout) -> u64 {
+    fnv1a(|eat| {
+        for (name, polygon) in layout.shapes() {
+            eat(name.as_bytes());
+            for p in polygon.vertices() {
+                eat(&p.x.to_le_bytes());
+                eat(&p.y.to_le_bytes());
+            }
+        }
+        for (name, placement) in layout.placements() {
+            eat(name.as_bytes());
+            eat(&placement.offset.x.to_le_bytes());
+            eat(&placement.offset.y.to_le_bytes());
+            eat(&[placement.transform.index()]);
+        }
+    })
 }
 
 /// One report row minus the wall-clock field: (shape, shots_per_instance,
@@ -214,6 +299,7 @@ fn main() {
             mode: mode.name,
             threads: mode.threads,
             dedup_cache: mode.dedup_cache,
+            geom_cache: false,
             total_shots: report.total_shots(),
             total_fail_pixels: report.total_fail_pixels(),
             shapes: report.per_shape.len(),
@@ -250,6 +336,140 @@ fn main() {
         println!("  {name} = {}", maskfrac_obs::counter(name).get());
     }
 
+    run_hier_suite(&cfg, &mut rows, &mut shapes);
+
     save_json("layout_bench.json", &rows);
     finish_run_report("layout", started, &obs, shapes);
+}
+
+/// The hierarchical full-chip suite: a cold run against an empty
+/// persistent geometry cache, then a warm run against the populated one.
+/// Asserts the tentpole invariants in-process — the cold run fractures
+/// each canonical cell exactly once, the warm run computes *zero* cells,
+/// and both produce identical per-cell reports — and publishes the
+/// totals as `layout.bench.hier.*` counters for CI's drift check.
+fn run_hier_suite(cfg: &FractureConfig, rows: &mut Vec<LayoutRow>, shapes: &mut Vec<ShapeRecord>) {
+    let layout = synth_hier_layout(HIER_CELLS, HIER_PLACEMENTS, SEED ^ 0x6869_6572); // ^ "hier"
+    let fingerprint = hier_suite_fingerprint(&layout);
+    maskfrac_obs::counter!("layout.bench.hier_suite_fingerprint").add(fingerprint);
+
+    // The exactly-once claim is against *canonical* cells: count the
+    // distinct D4 orbits of the library so a congruent-cell slip in the
+    // generator shows up here, not as a silently weaker assertion.
+    let canonical: std::collections::BTreeSet<Vec<(i64, i64)>> = layout
+        .shapes()
+        .map(|(_, polygon)| {
+            canonicalize(polygon)
+                .polygon
+                .vertices()
+                .iter()
+                .map(|v| (v.x, v.y))
+                .collect()
+        })
+        .collect();
+    assert!(
+        canonical.len() >= 100,
+        "hierarchical suite needs >= 100 unique cells, got {}",
+        canonical.len()
+    );
+    assert!(
+        layout.instance_count() >= 100_000,
+        "hierarchical suite needs >= 1e5 instances, got {}",
+        layout.instance_count()
+    );
+    println!(
+        "\n== Hierarchical suite: {} unique cells ({} canonical), {} instances \
+         (suite fingerprint {fingerprint:#018x}) ==",
+        layout.shape_count(),
+        canonical.len(),
+        layout.instance_count()
+    );
+
+    let cache_dir = std::env::temp_dir().join(format!(
+        "maskfrac-layout-bench-geomcache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut reference: Option<(Vec<ReportRow>, usize)> = None;
+    let runs: [(&'static str, usize, &'static str, &'static str); 2] = [
+        (
+            "hier-cold",
+            canonical.len(),
+            "layout.bench.hier.cold_computed",
+            "layout.bench.hier.cold_total_shots",
+        ),
+        (
+            "hier-warm",
+            0,
+            "layout.bench.hier.warm_computed",
+            "layout.bench.hier.warm_total_shots",
+        ),
+    ];
+    for (mode_name, expect_computed, computed_counter, shots_counter) in runs {
+        let opts = LayoutOptions {
+            threads: 4,
+            dedup_cache: true,
+            geom_cache: Some(cache_dir.clone()),
+            ..LayoutOptions::default()
+        };
+        let t0 = std::time::Instant::now();
+        let report = fracture_layout_opts(&layout, cfg, &opts);
+        let dt = t0.elapsed().as_secs_f64();
+        let computed = report
+            .per_shape
+            .iter()
+            .filter(|s| s.cache == "computed")
+            .count();
+        assert_eq!(
+            computed, expect_computed,
+            "{mode_name}: expected exactly {expect_computed} freshly computed cells"
+        );
+        match &reference {
+            None => reference = Some((strip(&report), report.total_shots())),
+            Some((want, want_shots)) => {
+                assert_eq!(
+                    &strip(&report),
+                    want,
+                    "{mode_name} diverged from the cold per-cell report"
+                );
+                assert_eq!(
+                    report.total_shots(),
+                    *want_shots,
+                    "{mode_name} changed the total shot count"
+                );
+            }
+        }
+        println!(
+            "{:<12}  {:>7} shots  {:>3} fails  {:>8.3}s  ({} computed)",
+            mode_name,
+            report.total_shots(),
+            report.total_fail_pixels(),
+            dt,
+            computed
+        );
+        maskfrac_obs::counter(computed_counter).add(computed as u64);
+        maskfrac_obs::counter(shots_counter).add(report.total_shots() as u64);
+        rows.push(LayoutRow {
+            mode: mode_name,
+            threads: 4,
+            dedup_cache: true,
+            geom_cache: true,
+            total_shots: report.total_shots(),
+            total_fail_pixels: report.total_fail_pixels(),
+            shapes: report.per_shape.len(),
+            instances: layout.instance_count(),
+            wall_s: dt,
+        });
+        for s in &report.per_shape {
+            shapes.push(ShapeRecord {
+                method: mode_name.to_owned(),
+                ..s.ledger_record()
+            });
+        }
+    }
+    maskfrac_obs::counter!("layout.bench.hier.unique_cells").add(canonical.len() as u64);
+    maskfrac_obs::counter!("layout.bench.hier.instances").add(layout.instance_count() as u64);
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }

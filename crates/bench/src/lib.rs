@@ -121,11 +121,25 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Writes a serializable value as pretty JSON under `results/`.
+///
+/// Serialization failures (including the offline stub `serde_json`,
+/// which panics instead of serializing) skip the file with a warning
+/// rather than aborting the run — the run report goes through the
+/// hand-rolled writer in `maskfrac_obs` and is never affected.
 pub fn save_json<T: Serialize>(filename: &str, value: &T) {
     let path = results_dir().join(filename);
-    let json = serde_json::to_string_pretty(value).expect("serializable");
-    std::fs::write(&path, json).expect("can write results file");
-    println!("wrote {}", path.display());
+    let serialized =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serde_json::to_string_pretty(value)
+        }));
+    match serialized {
+        Ok(Ok(json)) => {
+            std::fs::write(&path, json).expect("can write results file");
+            println!("wrote {}", path.display());
+        }
+        Ok(Err(e)) => eprintln!("warning: skipped {filename}: {e}"),
+        Err(_) => eprintln!("warning: skipped {filename}: serializer unavailable"),
+    }
 }
 
 /// The observability flags shared by every bench binary, parsed by

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod components;
+pub mod d4;
 pub mod morph;
 pub mod partition;
 pub mod point;
@@ -48,6 +49,7 @@ pub mod sat;
 pub mod svg;
 
 pub use components::{label_components, Component};
+pub use d4::{canonicalize, Canonical, D4};
 pub use point::Point;
 pub use polygon::{Polygon, PolygonError};
 pub use raster::{Bitmap, Frame};

@@ -255,6 +255,41 @@ impl Polygon {
         }
     }
 
+    /// Whether two polygons trace the same closed ring, ignoring which
+    /// vertex the ring happens to start at.
+    ///
+    /// Derived `==` compares vertex sequences exactly, so two rings that
+    /// differ only by a cyclic rotation (e.g. a polygon reconstructed
+    /// from its [canonical form](crate::d4::canonicalize)) compare
+    /// unequal there; this is the geometric identity.
+    pub fn ring_eq(&self, other: &Polygon) -> bool {
+        let n = self.vertices.len();
+        if n != other.vertices.len() {
+            return false;
+        }
+        let Some(start) = other.vertices.iter().position(|v| *v == self.vertices[0]) else {
+            return false;
+        };
+        (0..n).all(|i| self.vertices[i] == other.vertices[(start + i) % n])
+    }
+
+    /// Polygon transformed by a D4 symmetry about the origin.
+    ///
+    /// The ring is re-normalized to counter-clockwise orientation (a
+    /// mirror reverses it), so the result is a valid [`Polygon`] with
+    /// the same area.
+    pub fn transform(&self, t: crate::d4::D4) -> Polygon {
+        let mut vertices: Vec<Point> = self.vertices.iter().map(|&v| t.apply(v)).collect();
+        if t.mirrored() {
+            // Reversing [v0, v1, …, vn] yields [vn, …, v1, v0]; rotate
+            // the start back to the image of v0 so the ring start is a
+            // pure function of the input ring, not of its length.
+            vertices.reverse();
+            vertices.rotate_right(1);
+        }
+        Polygon { vertices }
+    }
+
     /// Fraction of `rect`'s area lying inside the polygon, estimated by
     /// sampling pixel centres at 1 nm pitch.
     ///

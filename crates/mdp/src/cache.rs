@@ -18,9 +18,7 @@
 //! `mdp.cache.inflight_waits` (worker blocked behind another worker's
 //! computation; counted once per wait episode).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Number of independently locked shards. A small power of two: enough to
@@ -96,9 +94,12 @@ impl<V: Clone> ShardedCache<V> {
     }
 
     fn shard(&self, key: &[u8]) -> &Shard<V> {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+        // FNV-1a, the same stable hash the journal uses for geometry
+        // fingerprints — never `DefaultHasher`, whose output may change
+        // across Rust releases and would silently re-shuffle any shard
+        // assignment or fingerprint persisted to disk.
+        let hash = maskfrac_fracture::faults::fingerprint(key);
+        &self.shards[(hash as usize) % SHARD_COUNT]
     }
 
     /// Returns the cached value for `key`, computing it with `compute` if
@@ -251,6 +252,25 @@ mod tests {
 
     fn lock_vec(m: &Mutex<Vec<CacheLookup>>) -> std::sync::MutexGuard<'_, Vec<CacheLookup>> {
         m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn shard_selection_uses_the_stable_journal_hash() {
+        // The shard index must be a pure function of the FNV-1a
+        // fingerprint — the release-stable hash journal records persist
+        // — not of `DefaultHasher`, whose output is unspecified across
+        // Rust releases.
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        for key in [&b"abc"[..], &[0u8; 16], &b"\xff\x00geometry"[..]] {
+            let expected =
+                (maskfrac_fracture::faults::fingerprint(key) as usize) % SHARD_COUNT;
+            let got = cache
+                .shards
+                .iter()
+                .position(|s| std::ptr::eq(s, cache.shard(key)))
+                .expect("shard comes from the shard vector");
+            assert_eq!(got, expected);
+        }
     }
 
     #[test]

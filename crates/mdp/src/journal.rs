@@ -259,8 +259,34 @@ pub fn run_fingerprint(layout: &Layout, config: &FractureConfig) -> u64 {
         bytes.push(0);
         bytes.extend_from_slice(&placement.offset.x.to_le_bytes());
         bytes.extend_from_slice(&placement.offset.y.to_le_bytes());
+        // Transformed placements are tagged; identity placements keep
+        // the pre-hierarchy byte stream, so journals written for
+        // translation-only layouts stay resumable.
+        if !placement.transform.is_identity() {
+            bytes.push(3);
+            bytes.push(placement.transform.index());
+        }
     }
     bytes.push(2);
+    push_config_bytes(&mut bytes, config);
+    faults::fingerprint(&bytes)
+}
+
+/// Fingerprint of every result-affecting configuration field alone —
+/// the identity under which the persistent geometry cache
+/// ([`crate::geomcache`]) namespaces its artifacts: a cached shot list
+/// is valid for exactly one (canonical geometry, config) pair.
+///
+/// Hashes the same config byte stream as [`run_fingerprint`], with the
+/// same `refine_threads` / `incremental_refine` exclusions.
+pub fn config_fingerprint(config: &FractureConfig) -> u64 {
+    let mut bytes = Vec::new();
+    push_config_bytes(&mut bytes, config);
+    faults::fingerprint(&bytes)
+}
+
+/// The result-affecting config fields, byte-encoded for fingerprinting.
+fn push_config_bytes(bytes: &mut Vec<u8>, config: &FractureConfig) {
     for f in [
         config.gamma,
         config.sigma,
@@ -285,10 +311,9 @@ pub fn run_fingerprint(layout: &Layout, config: &FractureConfig) -> u64 {
         bytes.extend_from_slice(&v.to_le_bytes());
     }
     bytes.extend_from_slice(format!("{:?}", config.coloring).as_bytes());
-    faults::fingerprint(&bytes)
 }
 
-fn frame(payload: &[u8]) -> Vec<u8> {
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(12 + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&faults::fingerprint(payload).to_le_bytes());
@@ -468,7 +493,7 @@ pub fn read_journal(path: &Path) -> Result<JournalReplay, CheckpointIoError> {
 /// Extracts the next intact frame: `Some((payload, frame_len))` only if
 /// the length, checksum, and payload are all fully present and
 /// consistent.
-fn next_frame(bytes: &[u8]) -> Option<(&[u8], usize)> {
+pub(crate) fn next_frame(bytes: &[u8]) -> Option<(&[u8], usize)> {
     if bytes.len() < 12 {
         return None;
     }

@@ -8,11 +8,12 @@
 //! scale with placements.
 
 use crate::cache::ShardedCache;
+use crate::geomcache::GeomCache;
 use crate::io::CheckpointIoError;
 use crate::journal::{self, JournalRecord, JournalWriter};
 use maskfrac_baselines::{FallbackFracturer, FallbackOutcome};
 use maskfrac_fracture::{FractureConfig, FractureScratch, FractureStatus, RetryPolicy};
-use maskfrac_geom::{Point, Polygon, Rect};
+use maskfrac_geom::{canonicalize, Canonical, Point, Polygon, Rect, D4};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
@@ -23,11 +24,20 @@ use std::sync::Mutex;
 /// it are clamped (and a request of 0 is treated as 1).
 pub const MAX_LAYOUT_THREADS: usize = 256;
 
-/// A placement (translation) of a library shape.
+/// A placement of a library shape: an optional D4 symmetry (mirror
+/// and/or 90°-rotation about the shape's local origin) followed by a
+/// translation — the full rigid placement vocabulary of hierarchical
+/// mask formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Placement {
-    /// Translation applied to the library shape, nm.
+    /// Translation applied to the (transformed) library shape, nm.
     pub offset: Point,
+    /// Symmetry applied to the library shape about its local origin,
+    /// before the translation. Defaults to the identity, so
+    /// translation-only layouts (including their JSON form) are
+    /// unchanged.
+    #[serde(default)]
+    pub transform: D4,
 }
 
 impl Placement {
@@ -35,6 +45,16 @@ impl Placement {
     pub fn at(x: i64, y: i64) -> Self {
         Placement {
             offset: Point::new(x, y),
+            transform: D4::R0,
+        }
+    }
+
+    /// Places the shape transformed by `transform` about its local
+    /// origin, then translated to `(x, y)` nm.
+    pub fn transformed(x: i64, y: i64, transform: D4) -> Self {
+        Placement {
+            offset: Point::new(x, y),
+            transform,
         }
     }
 }
@@ -117,7 +137,7 @@ impl Layout {
             .iter()
             .map(|(name, p)| {
                 let b = self.shapes[name].bbox();
-                b.translate(p.offset)
+                p.transform.apply_rect(&b).translate(p.offset)
             })
             .reduce(|a, b| a.union_bbox(&b))
     }
@@ -161,8 +181,9 @@ pub struct ShapeFractureStats {
     #[serde(default)]
     pub off_fail_pixels: usize,
     /// Dedup-cache outcome for this library entry: `computed`, `hit`,
-    /// `inflight-wait`, `off` (cache disabled), or `resumed` (served
-    /// from a checkpoint journal without re-fracturing).
+    /// `inflight-wait`, `off` (cache disabled), `resumed` (served from
+    /// a checkpoint journal without re-fracturing), or `disk` (served
+    /// from the persistent geometry-cache tier).
     #[serde(default)]
     pub cache: String,
     /// Whether the per-shape deadline cut refinement short.
@@ -198,9 +219,33 @@ pub struct LayoutFractureReport {
     pub layout: String,
     /// Per-shape statistics, sorted by shape name.
     pub per_shape: Vec<ShapeFractureStats>,
+    /// Shot list per placed library shape, in the shape's **local**
+    /// frame (the canonical-cell result mapped back through the shape's
+    /// canonical transform). One entry per placed shape regardless of
+    /// instance count; expand to placements with [`Self::placed_shots`].
+    #[serde(default)]
+    pub shape_shots: BTreeMap<String, Vec<Rect>>,
 }
 
 impl LayoutFractureReport {
+    /// World-frame shots of every placed instance, in placement order —
+    /// each local shot pushed through the placement's D4 transform and
+    /// translation. Lazily expanded, so a full-chip instance count
+    /// never materializes in memory at once.
+    pub fn placed_shots<'a>(&'a self, layout: &'a Layout) -> impl Iterator<Item = Rect> + 'a {
+        layout.placements().flat_map(move |(name, placement)| {
+            self.shape_shots
+                .get(name)
+                .into_iter()
+                .flatten()
+                .map(move |shot| {
+                    placement
+                        .transform
+                        .apply_rect(shot)
+                        .translate(placement.offset)
+                })
+        })
+    }
     /// Total shots over all placed instances.
     pub fn total_shots(&self) -> usize {
         self.per_shape
@@ -255,11 +300,13 @@ impl LayoutFractureReport {
     }
 }
 
-/// One geometry's fracturing outcome, shared between identically-shaped
-/// library entries by the dedup cache in [`fracture_layout`].
+/// One canonical geometry's fracturing outcome, shared between every
+/// library entry in its D4-and-translation orbit by the dedup cache in
+/// [`fracture_layout`] (and, when enabled, the persistent tier).
 #[derive(Debug, Clone)]
 struct CachedShapeOutcome {
-    shots_per_instance: usize,
+    /// Shot list in the canonical cell's frame.
+    shots: Vec<Rect>,
     fail_pixels: usize,
     status: FractureStatus,
     method: String,
@@ -269,9 +316,29 @@ struct CachedShapeOutcome {
     on_fail_pixels: usize,
     off_fail_pixels: usize,
     deadline_hit: bool,
+    /// Served by the persistent geometry-cache tier rather than
+    /// computed in-process (reported as the `disk` cache label).
+    from_disk: bool,
 }
 
 impl CachedShapeOutcome {
+    /// Rebuilds an outcome from a persisted record (a geometry-cache
+    /// artifact).
+    fn from_record(record: JournalRecord) -> Self {
+        CachedShapeOutcome {
+            shots: record.shots,
+            fail_pixels: record.fail_pixels as usize,
+            status: record.status,
+            method: record.method,
+            error: record.error,
+            attempts: record.attempts,
+            iterations: record.iterations as usize,
+            on_fail_pixels: record.on_fail_pixels as usize,
+            off_fail_pixels: record.off_fail_pixels as usize,
+            deadline_hit: record.deadline_hit,
+            from_disk: true,
+        }
+    }
     fn into_stats(
         self,
         shape: &str,
@@ -281,7 +348,7 @@ impl CachedShapeOutcome {
     ) -> ShapeFractureStats {
         ShapeFractureStats {
             shape: shape.to_owned(),
-            shots_per_instance: self.shots_per_instance,
+            shots_per_instance: self.shots.len(),
             instances,
             fail_pixels: self.fail_pixels,
             runtime_s,
@@ -327,8 +394,18 @@ pub struct LayoutOptions {
     /// shapes (`mdp.watchdog.flagged`). `0` disables the watchdog.
     pub hung_shape_multiple: u32,
     /// Computed-shape samples the watchdog needs before it starts
-    /// flagging (a p99 over a handful of samples is noise).
+    /// flagging. Only *freshly computed* fracturing runs count as
+    /// samples — cache hits, persistent-tier loads, and journal replays
+    /// are excluded on both sides, so a cache-hit-heavy hierarchical
+    /// run (few computed cells, near-zero lookup times) can never
+    /// spuriously flag the remaining real computations.
     pub watchdog_min_samples: usize,
+    /// Root directory of the persistent geometry-cache tier
+    /// ([`crate::geomcache`]); `None` disables it. When set, freshly
+    /// computed canonical geometries are persisted and later runs load
+    /// them instead of re-fracturing (`disk` cache label,
+    /// `mdp.geomcache.*` counters).
+    pub geom_cache: Option<PathBuf>,
 }
 
 impl Default for LayoutOptions {
@@ -339,6 +416,7 @@ impl Default for LayoutOptions {
             retry: RetryPolicy::default(),
             hung_shape_multiple: 4,
             watchdog_min_samples: 8,
+            geom_cache: None,
         }
     }
 }
@@ -356,8 +434,10 @@ pub struct CheckpointOptions {
     pub resume: bool,
 }
 
-/// Cache key: the exact vertex list, byte-encoded. Two library entries
-/// share a fracturing result iff their geometry is bit-identical.
+/// Cache key: a polygon's exact vertex list, byte-encoded. Applied to
+/// the *canonical* form ([`maskfrac_geom::canonicalize`]), so two
+/// library entries share a fracturing result iff their geometries agree
+/// up to translation and D4 symmetry.
 fn geometry_key(polygon: &Polygon) -> Vec<u8> {
     let vertices = polygon.vertices();
     let mut key = Vec::with_capacity(vertices.len() * 16);
@@ -524,6 +604,14 @@ impl Watchdog {
 
 /// The shared layout driver behind [`fracture_layout_opts`] and
 /// [`fracture_layout_journaled`].
+/// One placed library shape, pre-canonicalized: the driver's work unit.
+struct WorkItem<'a> {
+    name: &'a str,
+    canonical: Canonical,
+    key: Vec<u8>,
+    geometry: u64,
+}
+
 fn drive_layout(
     layout: &Layout,
     config: &FractureConfig,
@@ -533,17 +621,41 @@ fn drive_layout(
     let _span = maskfrac_obs::span("mdp.fracture_layout");
     let threads = options.threads.clamp(1, MAX_LAYOUT_THREADS);
     let counts = layout.placement_counts();
-    let work: Vec<(&str, &Polygon)> = layout
+    // Canonicalize up front: every cache tier — in-flight, journal, and
+    // persistent — keys on the canonical form, so mirrored/rotated
+    // library entries of one cell all resolve to the same entry.
+    let work: Vec<WorkItem<'_>> = layout
         .shapes()
         .filter(|(name, _)| counts.contains_key(*name))
+        .map(|(name, polygon)| {
+            let canonical = canonicalize(polygon);
+            let key = geometry_key(&canonical.polygon);
+            let geometry = journal::geometry_fingerprint(&key);
+            WorkItem {
+                name,
+                canonical,
+                key,
+                geometry,
+            }
+        })
         .collect();
 
+    // The persistent tier is strictly optional: a directory that cannot
+    // be opened degrades to an uncached run (stderr warning), exactly
+    // like a failing journal append.
+    let geomcache: Option<GeomCache> = options.geom_cache.as_deref().and_then(|root| {
+        GeomCache::open(root, config)
+            .map_err(|e| eprintln!("maskfrac: geometry cache disabled ({}): {e}", root.display()))
+            .ok()
+    });
+
     let results: Mutex<Vec<ShapeFractureStats>> = Mutex::new(Vec::new());
+    let shot_lists: Mutex<BTreeMap<String, Vec<Rect>>> = Mutex::new(BTreeMap::new());
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-    // Shapes placed under different names but with identical geometry
-    // produce identical results (the whole pipeline — including fault
-    // fingerprints — is a function of geometry and config), so one
-    // fracturing run serves them all.
+    // Shapes placed under different names but with D4-equivalent
+    // geometry produce one shared result (the whole pipeline — including
+    // fault fingerprints — is a function of canonical geometry and
+    // config), so one fracturing run serves them all.
     let cache: Option<ShardedCache<CachedShapeOutcome>> =
         options.dedup_cache.then(ShardedCache::new);
     let watchdog = Watchdog::new(options);
@@ -558,17 +670,29 @@ fn drive_layout(
                 let mut scratch = FractureScratch::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(name, polygon)) = work.get(i) else {
+                    let Some(item) = work.get(i) else {
                         break;
                     };
-                    let key = geometry_key(polygon);
-                    let geometry = journal::geometry_fingerprint(&key);
+                    let name = item.name;
+                    // Canonical-frame shots map back to the shape's
+                    // local frame through its canonical transform.
+                    let localize = |shots: &[Rect]| -> Vec<Rect> {
+                        shots
+                            .iter()
+                            .map(|s| {
+                                item.canonical
+                                    .from_canonical
+                                    .apply_rect(s)
+                                    .translate(item.canonical.offset)
+                            })
+                            .collect()
+                    };
 
                     // A journal replay serves the shape without touching
                     // the pipeline: no ladder spans, no wall time, so a
                     // resumed run cannot skew stage quantiles.
                     if let Some(record) =
-                        journal.and_then(|state| state.replay.get(&geometry))
+                        journal.and_then(|state| state.replay.get(&item.geometry))
                     {
                         let stats = stats_from_record(record, name, counts[name]);
                         maskfrac_obs::counter(status_counter_name(stats.status)).incr();
@@ -584,6 +708,10 @@ fn drive_layout(
                                 ("status", stats.status.label().into()),
                             ],
                         );
+                        shot_lists
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .insert(name.to_owned(), localize(&record.shots));
                         results
                             .lock()
                             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -593,12 +721,32 @@ fn drive_layout(
 
                     let started = std::time::Instant::now();
                     let fracture = |scratch: &mut FractureScratch| {
-                        let outcome = fracturer.fracture_with(polygon, scratch);
+                        // Persistent tier first: an artifact from a
+                        // previous run serves the canonical cell without
+                        // re-fracturing (and is re-journaled so a resume
+                        // stays self-contained without the cache dir).
+                        if let Some(record) =
+                            geomcache.as_ref().and_then(|gc| gc.load(item.geometry))
+                        {
+                            if let Some(state) = journal {
+                                append_journal_record(state, &record);
+                            }
+                            return CachedShapeOutcome::from_record(record);
+                        }
+                        let outcome = fracturer.fracture_with(&item.canonical.polygon, scratch);
+                        let record = outcome_record(item.geometry, &outcome);
                         if let Some(state) = journal {
-                            append_record(state, geometry, &outcome);
+                            append_journal_record(state, &record);
+                        }
+                        if let Some(gc) = &geomcache {
+                            if let Err(e) = gc.store(&record) {
+                                eprintln!(
+                                    "maskfrac: geometry cache store failed for {name:?}: {e}"
+                                );
+                            }
                         }
                         CachedShapeOutcome {
-                            shots_per_instance: outcome.result.shot_count(),
+                            shots: record.shots,
                             fail_pixels: outcome.result.summary.fail_count(),
                             status: outcome.result.status,
                             method: outcome.method.to_owned(),
@@ -608,10 +756,11 @@ fn drive_layout(
                             on_fail_pixels: outcome.result.summary.on_fails,
                             off_fail_pixels: outcome.result.summary.off_fails,
                             deadline_hit: outcome.result.deadline_hit,
+                            from_disk: false,
                         }
                     };
                     let (cached, lookup) = match &cache {
-                        Some(cache) => cache.get_or_compute(&key, || fracture(&mut scratch)),
+                        Some(cache) => cache.get_or_compute(&item.key, || fracture(&mut scratch)),
                         None => (fracture(&mut scratch), crate::cache::CacheLookup::Computed),
                     };
                     if !lookup.computed() {
@@ -620,9 +769,19 @@ fn drive_layout(
                         // stay complete under deduplication.
                         maskfrac_obs::counter(status_counter_name(cached.status)).incr();
                     }
-                    let cache_label = if cache.is_some() { lookup.label() } else { "off" };
+                    let computed_fresh = lookup.computed() && !cached.from_disk;
+                    let cache_label = if cached.from_disk && lookup.computed() {
+                        "disk"
+                    } else if cache.is_some() {
+                        lookup.label()
+                    } else {
+                        "off"
+                    };
                     let runtime_s = started.elapsed().as_secs_f64();
-                    if lookup.computed() {
+                    if computed_fresh {
+                        // Only genuine pipeline runs feed the watchdog:
+                        // disk loads (like cache hits) take microseconds
+                        // and would otherwise crater the p99 baseline.
                         if let Some(w) = &watchdog {
                             if w.observe(runtime_s) {
                                 maskfrac_obs::counter!("mdp.watchdog.flagged").incr();
@@ -641,6 +800,7 @@ fn drive_layout(
                             }
                         }
                     }
+                    let local_shots = localize(&cached.shots);
                     let stats = cached.into_stats(name, counts[name], runtime_s, cache_label);
                     maskfrac_obs::counter!("mdp.shapes_fractured").incr();
                     maskfrac_obs::counter!("mdp.instances_covered").add(stats.instances as u64);
@@ -655,6 +815,10 @@ fn drive_layout(
                             ("status", stats.status.label().into()),
                         ],
                     );
+                    shot_lists
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .insert(name.to_owned(), local_shots);
                     // A worker that somehow dies mid-push must not strand
                     // the run: recover the data from a poisoned lock.
                     results
@@ -673,6 +837,9 @@ fn drive_layout(
     LayoutFractureReport {
         layout: layout.name.clone(),
         per_shape,
+        shape_shots: shot_lists
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()),
     }
 }
 
@@ -698,14 +865,11 @@ fn stats_from_record(record: &JournalRecord, shape: &str, instances: usize) -> S
     }
 }
 
-/// Journals one freshly-computed outcome, degrading the checkpoint to
-/// disabled (rather than failing the run) on a write error.
-fn append_record(state: &JournalState, geometry: u64, outcome: &FallbackOutcome) {
-    if !state.append_ok.load(Ordering::Relaxed) {
-        maskfrac_obs::counter!("mdp.journal.append_failures").incr();
-        return;
-    }
-    let record = JournalRecord {
+/// A ladder outcome as the durable record shared by the checkpoint
+/// journal and the persistent geometry cache. `geometry` is the
+/// canonical-geometry fingerprint; the shot list is in canonical frame.
+fn outcome_record(geometry: u64, outcome: &FallbackOutcome) -> JournalRecord {
+    JournalRecord {
         geometry,
         status: outcome.result.status,
         method: outcome.method.to_owned(),
@@ -717,8 +881,17 @@ fn append_record(state: &JournalState, geometry: u64, outcome: &FallbackOutcome)
         fail_pixels: outcome.result.summary.fail_count() as u64,
         deadline_hit: outcome.result.deadline_hit,
         shots: outcome.result.shots.clone(),
-    };
-    match state.writer.append(&record) {
+    }
+}
+
+/// Journals one completed record, degrading the checkpoint to disabled
+/// (rather than failing the run) on a write error.
+fn append_journal_record(state: &JournalState, record: &JournalRecord) {
+    if !state.append_ok.load(Ordering::Relaxed) {
+        maskfrac_obs::counter!("mdp.journal.append_failures").incr();
+        return;
+    }
+    match state.writer.append(record) {
         Ok(()) => maskfrac_obs::counter!("mdp.journal.appended").incr(),
         Err(e) => {
             maskfrac_obs::counter!("mdp.journal.append_failures").incr();
@@ -909,7 +1082,7 @@ mod tests {
             assert_eq!(rec.status, s.status.label());
             assert_eq!(rec.on_fail_pixels + rec.off_fail_pixels, rec.fail_pixels);
             assert!(
-                ["computed", "hit", "inflight-wait", "off", "resumed"]
+                ["computed", "hit", "inflight-wait", "off", "resumed", "disk"]
                     .contains(&rec.cache.as_str())
             );
         }
@@ -1090,5 +1263,215 @@ mod tests {
             ..LayoutOptions::default()
         })
         .is_none());
+    }
+
+    #[test]
+    fn watchdog_waits_for_its_sample_floor() {
+        // A cache-hit-heavy hierarchical run computes only a handful of
+        // shapes; with near-zero lookup times in the sample pool the old
+        // watchdog flagged every real computation. The sample floor
+        // keeps it silent until enough *computed* samples exist.
+        let w = Watchdog::new(&LayoutOptions {
+            hung_shape_multiple: 4,
+            watchdog_min_samples: 8,
+            ..LayoutOptions::default()
+        })
+        .unwrap();
+        for _ in 0..7 {
+            assert!(!w.observe(0.001));
+        }
+        assert!(
+            !w.observe(900.0),
+            "an outlier below the sample floor never flags"
+        );
+        assert!(
+            w.observe(5000.0),
+            "past the floor the same outlier criterion applies"
+        );
+    }
+
+    /// An asymmetric L-cell: no D4 symmetry, so all 8 images are
+    /// distinct polygons with one shared canonical form.
+    fn l_cell() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(60, 0),
+            Point::new(60, 25),
+            Point::new(25, 25),
+            Point::new(25, 70),
+            Point::new(0, 70),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn d4_equivalent_entries_share_one_canonical_computation() {
+        // Eight library entries, one per D4 image of the same cell (each
+        // at a different translation for good measure): canonical keying
+        // must fracture exactly one of them and serve the rest.
+        let cell = l_cell();
+        let mut layout = Layout::new("d4-orbit");
+        for (i, t) in D4::ALL.into_iter().enumerate() {
+            let name = format!("cell_{}", t.label());
+            layout.add_shape(
+                &name,
+                cell.transform(t).translate(Point::new(13 * i as i64, -7)),
+            );
+            layout.place(&name, Placement::at(i as i64 * 200, 0));
+        }
+        let report = fracture_layout(&layout, &FractureConfig::default(), 1);
+        assert_eq!(report.per_shape.len(), 8);
+        let computed = report
+            .per_shape
+            .iter()
+            .filter(|s| s.cache == "computed")
+            .count();
+        assert_eq!(computed, 1, "one fracture per canonical orbit");
+        assert!(report.per_shape.iter().all(|s| s.cache != "off"));
+        let shots: Vec<usize> = report.per_shape.iter().map(|s| s.shots_per_instance).collect();
+        assert!(
+            shots.windows(2).all(|w| w[0] == w[1]),
+            "every image reports the shared shot count: {shots:?}"
+        );
+    }
+
+    #[test]
+    fn placed_shots_land_in_the_placement_frame() {
+        let bar = Polygon::from_rect(Rect::new(0, 0, 40, 20).unwrap());
+        let cfg = FractureConfig::default();
+
+        let mut identity = Layout::new("id");
+        identity.add_shape("bar", bar.clone());
+        identity.place("bar", Placement::at(0, 0));
+        let local = fracture_layout(&identity, &cfg, 1).shape_shots["bar"].clone();
+        assert!(!local.is_empty());
+
+        let mut rotated = Layout::new("rot");
+        rotated.add_shape("bar", bar);
+        rotated.place("bar", Placement::transformed(100, 50, D4::R90));
+        let report = fracture_layout(&rotated, &cfg, 1);
+        // World shots are exactly the placement transform applied to the
+        // shape-local shots of the identity run.
+        let expected: Vec<Rect> = local
+            .iter()
+            .map(|s| D4::R90.apply_rect(s).translate(Point::new(100, 50)))
+            .collect();
+        let placed: Vec<Rect> = report.placed_shots(&rotated).collect();
+        assert_eq!(placed, expected);
+        // R90 about the local origin maps [0,40]×[0,20] to [-20,0]×[0,40];
+        // the translation then lands the cell at [80,100]×[50,90].
+        assert_eq!(rotated.bbox(), Some(Rect::new(80, 50, 100, 90).unwrap()));
+    }
+
+    fn tmp_geom_cache(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("maskfrac-layout-geomcache-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shot_output_is_identical_across_cache_tiers() {
+        // The same cell served fresh, from the in-flight dedup cache,
+        // and from the persistent tier must yield byte-identical shots.
+        let cell = l_cell();
+        let cfg = FractureConfig::default();
+        let mut base = Layout::new("tiers");
+        base.add_shape("cell", cell.clone());
+        base.place("cell", Placement::at(0, 0));
+
+        // Fresh: every tier disabled.
+        let fresh = fracture_layout_opts(
+            &base,
+            &cfg,
+            &LayoutOptions {
+                threads: 1,
+                dedup_cache: false,
+                ..LayoutOptions::default()
+            },
+        );
+        assert_eq!(fresh.per_shape[0].cache, "off");
+        let fresh_shots = fresh.shape_shots["cell"].clone();
+        assert!(!fresh_shots.is_empty());
+
+        // In-flight tier: a second entry with the same local geometry
+        // hits the dedup cache; its shot list must match exactly.
+        let mut dup = Layout::new("tiers-dup");
+        dup.add_shape("a", cell.clone());
+        dup.add_shape("b", cell.clone());
+        dup.place("a", Placement::at(0, 0));
+        dup.place("b", Placement::at(500, 0));
+        let deduped = fracture_layout_opts(
+            &dup,
+            &cfg,
+            &LayoutOptions {
+                threads: 1,
+                ..LayoutOptions::default()
+            },
+        );
+        let labels: Vec<&str> = deduped.per_shape.iter().map(|s| s.cache.as_str()).collect();
+        assert!(labels.contains(&"computed") && labels.contains(&"hit"), "{labels:?}");
+        assert_eq!(deduped.shape_shots["a"], fresh_shots);
+        assert_eq!(deduped.shape_shots["b"], fresh_shots);
+
+        // Persistent tier: cold run stores, warm run loads from disk.
+        let dir = tmp_geom_cache("tiers");
+        let with_cache = LayoutOptions {
+            threads: 1,
+            geom_cache: Some(dir.clone()),
+            ..LayoutOptions::default()
+        };
+        let cold = fracture_layout_opts(&base, &cfg, &with_cache);
+        assert_eq!(cold.per_shape[0].cache, "computed");
+        let warm = fracture_layout_opts(&base, &cfg, &with_cache);
+        assert_eq!(warm.per_shape[0].cache, "disk");
+        assert_eq!(cold.shape_shots["cell"], fresh_shots);
+        assert_eq!(warm.shape_shots["cell"], fresh_shots);
+        assert_eq!(essence(&cold), essence(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_and_cache_agree_on_geometry_fingerprints() {
+        // The journal persists the same stable FNV-1a fingerprints the
+        // in-flight cache keys on: a save/load round trip must come back
+        // with exactly the canonical fingerprints of the fractured
+        // shapes — on every Rust release (the reason `DefaultHasher`
+        // is banned from both paths).
+        let layout = demo_layout();
+        let cfg = FractureConfig::default();
+        let path = tmp_journal("fingerprint-agreement");
+        let _ = std::fs::remove_file(&path);
+        fracture_layout_journaled(
+            &layout,
+            &cfg,
+            &LayoutOptions::default(),
+            &CheckpointOptions {
+                path: path.clone(),
+                resume: false,
+            },
+        )
+        .unwrap();
+
+        let replay = crate::journal::read_journal(&path).unwrap();
+        assert_eq!(replay.fingerprint, crate::journal::run_fingerprint(&layout, &cfg));
+        let journaled: std::collections::BTreeSet<u64> =
+            replay.records.iter().map(|r| r.geometry).collect();
+        let expected: std::collections::BTreeSet<u64> = layout
+            .placement_counts()
+            .keys()
+            .map(|name| {
+                let polygon = layout
+                    .shapes()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, p)| p)
+                    .unwrap();
+                let canonical = canonicalize(polygon);
+                crate::journal::geometry_fingerprint(&geometry_key(&canonical.polygon))
+            })
+            .collect();
+        assert_eq!(journaled, expected);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -41,6 +41,7 @@
 
 mod cache;
 pub mod cost;
+pub mod geomcache;
 pub mod io;
 pub mod journal;
 pub mod layout;
@@ -48,14 +49,15 @@ pub mod ordering;
 pub mod writetime;
 
 pub use cost::{CostModel, MaskCostReport};
+pub use geomcache::{GeomCache, GEOMCACHE_MAGIC, GEOMCACHE_VERSION};
 pub use ordering::{order_shots, OrderingReport};
 pub use io::{
     load_layout, parse_layout, save_layout, write_layout, CheckpointIoError, LayoutIoError,
     ParseLayoutError,
 };
 pub use journal::{
-    read_journal, run_fingerprint, JournalReplay, JournalRecord, JournalWriter, JOURNAL_MAGIC,
-    JOURNAL_VERSION,
+    config_fingerprint, read_journal, run_fingerprint, JournalReplay, JournalRecord,
+    JournalWriter, JOURNAL_MAGIC, JOURNAL_VERSION,
 };
 pub use layout::{
     fracture_layout, fracture_layout_journaled, fracture_layout_opts, CheckpointOptions, Layout,

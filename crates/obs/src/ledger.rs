@@ -30,7 +30,8 @@ pub const MAX_ANOMALY_IDS: usize = 32;
 
 /// Cache-outcome labels a [`ShapeRecord::cache`] may carry. The empty
 /// string is also accepted (records from paths without a dedup cache).
-pub const KNOWN_CACHE_LABELS: [&str; 5] = ["computed", "hit", "inflight-wait", "off", "resumed"];
+pub const KNOWN_CACHE_LABELS: [&str; 6] =
+    ["computed", "hit", "inflight-wait", "off", "resumed", "disk"];
 
 /// One row of the worst-K outlier table: a shape that dominated the run's
 /// wall clock.

@@ -114,7 +114,8 @@ pub struct ShapeRecord {
     #[serde(default)]
     pub off_fail_pixels: usize,
     /// Dedup-cache outcome: one of [`ledger::KNOWN_CACHE_LABELS`]
-    /// (`computed`, `hit`, `inflight-wait`, `off`) or empty when the
+    /// (`computed`, `hit`, `inflight-wait`, `off`, `resumed`, `disk`) or
+    /// empty when the
     /// producing path has no cache.
     #[serde(default)]
     pub cache: String,

@@ -3,8 +3,8 @@
 //! ```text
 //! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--refine-threads N] [--coarse-factor K] [--relaxed-scoring] [OBS FLAGS]
 //! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--refine-threads N] [--coarse-factor K] [--relaxed-scoring] [--deadline-ms MS]
-//!                          [--checkpoint J.mfj] [--resume] [--retries N] [--hung-multiple N]
-//!                          [--fault-seed N] [--fault-rate R] [--fault-crash-rate R] [OBS FLAGS]
+//!                          [--checkpoint J.mfj] [--resume] [--retries N] [--hung-multiple N] [--watchdog-min-samples N]
+//!                          [--geom-cache DIR] [--fault-seed N] [--fault-rate R] [--fault-crash-rate R] [OBS FLAGS]
 //! maskfrac generate-ilt <out.json> [--seed N] [--radius NM]
 //! maskfrac generate-benchmark <out.json> [--shots K] [--seed N]
 //! maskfrac verify <shape.json>
@@ -47,8 +47,15 @@
 //! (`docs/robustness.md`): `--checkpoint <path>` journals every
 //! completed distinct geometry to a durable, checksummed file and
 //! `--resume` replays its valid prefix instead of re-fracturing;
-//! `--retries N` sets the supervised model-retry budget and
-//! `--hung-multiple N` the hung-shape watchdog threshold (`0` off);
+//! `--retries N` sets the supervised model-retry budget;
+//! `--hung-multiple N` the hung-shape watchdog threshold (`0` off) and
+//! `--watchdog-min-samples N` the computed-shape sample floor the
+//! watchdog needs before it starts flagging (cache hits, persistent
+//! loads and replays never count); `--geom-cache DIR` enables the
+//! persistent, content-addressed geometry-cache tier (`docs/DESIGN.md`)
+//! so a re-run fractures only never-seen canonical cells — hit/miss/
+//! write totals are printed after the run and land in the run report as
+//! `mdp.geomcache.*` counters;
 //! the `--fault-*` flags arm deterministic fault injection (including
 //! `--fault-crash-rate`, which kills the process mid-journal-append —
 //! the crash half of the kill-and-resume test harness).
@@ -396,6 +403,10 @@ fn layout_options_from_flags(
     if let Some(multiple) = parsed_flag::<u32>(args, "--hung-multiple")? {
         options.hung_shape_multiple = multiple; // 0 disables the watchdog
     }
+    if let Some(samples) = parsed_flag::<usize>(args, "--watchdog-min-samples")? {
+        options.watchdog_min_samples = samples;
+    }
+    options.geom_cache = flag_value(args, "--geom-cache").map(std::path::PathBuf::from);
     Ok(options)
 }
 
@@ -435,6 +446,8 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
         "--resume",
         "--retries",
         "--hung-multiple",
+        "--watchdog-min-samples",
+        "--geom-cache",
         "--fault-seed",
         "--fault-rate",
         "--fault-crash-rate",
@@ -501,6 +514,16 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
         if let Some(cause) = &s.error {
             println!("    note: {cause}");
         }
+    }
+    if options.geom_cache.is_some() {
+        // The same totals land in --metrics-out as mdp.geomcache.*.
+        println!(
+            "geometry cache: {} hits, {} misses, {} writes, {} write failures",
+            maskfrac::obs::counter("mdp.geomcache.hits").get(),
+            maskfrac::obs::counter("mdp.geomcache.misses").get(),
+            maskfrac::obs::counter("mdp.geomcache.writes").get(),
+            maskfrac::obs::counter("mdp.geomcache.write_failures").get(),
+        );
     }
     let total = report.total_shots() as u64;
     let wt = maskfrac::mdp::WriteTimeModel::default().estimate(total);

@@ -1,0 +1,70 @@
+//! Property-based tests for the D4 canonical form: random rectilinear
+//! polygons are pushed through every symmetry of the square (plus a
+//! random translation) and must land on one shared canonical polygon,
+//! with a transform record that reconstructs the image exactly.
+
+use maskfrac::geom::{canonicalize, Bitmap, Point, Polygon, D4};
+use proptest::prelude::*;
+
+/// Strategy: a connected union of 1–3 chained rectangles on a 4 nm
+/// grid, traced back to a single rectilinear outer contour. Small on
+/// purpose — canonicalization is pure geometry, no printability needed.
+fn polygon_strategy() -> impl Strategy<Value = Polygon> {
+    proptest::collection::vec((0i64..6, 0i64..6, 1i64..4, 1i64..4), 1..4).prop_filter_map(
+        "chained rect union must trace",
+        |specs| {
+            const GRID: i64 = 4;
+            let mut bm = Bitmap::new(48, 48);
+            let mut cursor = (12i64, 12i64);
+            for (dx, dy, w, h) in specs {
+                let x0 = (cursor.0 + (dx - 3) * GRID).clamp(0, 30);
+                let y0 = (cursor.1 + (dy - 3) * GRID).clamp(0, 30);
+                for iy in y0..(y0 + h * GRID).min(47) {
+                    for ix in x0..(x0 + w * GRID).min(47) {
+                        bm.set(ix as usize, iy as usize, true);
+                    }
+                }
+                cursor = (x0, y0);
+            }
+            bm.largest_outer_contour()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn canonical_form_is_d4_and_translation_invariant(
+        polygon in polygon_strategy(),
+        tx in -40i64..40,
+        ty in -40i64..40,
+    ) {
+        let base = canonicalize(&polygon);
+        for t in D4::ALL {
+            let image = polygon.transform(t).translate(Point::new(tx, ty));
+            let c = canonicalize(&image);
+            // All 8 images (at any offset) share one canonical polygon —
+            // the property the layout cache keys on.
+            prop_assert_eq!(
+                &c.polygon,
+                &base.polygon,
+                "canonical diverged under {} + ({tx}, {ty})",
+                t.label()
+            );
+            // The recorded transform reconstructs the image exactly
+            // (up to the ring's starting vertex).
+            let rebuilt = c.polygon.transform(c.from_canonical).translate(c.offset);
+            prop_assert!(rebuilt.ring_eq(&image), "reconstruction failed under {}", t.label());
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent(polygon in polygon_strategy()) {
+        let once = canonicalize(&polygon);
+        let twice = canonicalize(&once.polygon);
+        prop_assert_eq!(&twice.polygon, &once.polygon);
+        prop_assert!(twice.from_canonical.is_identity());
+        prop_assert_eq!(twice.offset, Point::new(0, 0));
+    }
+}
