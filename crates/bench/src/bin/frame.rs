@@ -1,8 +1,11 @@
 //! Large-frame benchmark: end-to-end refinement wall clock on seeded
 //! synthetic staircase targets — larger than the ILT clip suite — across
 //! the exact incremental engine (1 and 4 threads) and the fast non-exact
-//! tiers (relaxed lattice scoring, coarse-to-fine at 2× and 4×), plus a
-//! chunk-level microbenchmark of the strip scorers themselves.
+//! tiers (relaxed lattice scoring, coarse-to-fine at 2× and 4×, and the
+//! FFT-seeded intensity backend), plus a chunk-level microbenchmark of
+//! the strip scorers themselves and a "sliver storm" map-seeding
+//! comparison (separable serial vs row-parallel vs FFT synthesis, with
+//! the FFT path's ≥5× seeding-speedup contract asserted).
 //!
 //! The targets are generated from a fixed seed so the benchmark is
 //! bit-identical everywhere it runs. Every frame is classified and
@@ -23,14 +26,16 @@
 //! machine-readable run report `results/BENCH_frame.json` (see
 //! `docs/observability.md` and `docs/benchmarks.md`). CI's perf-smoke job
 //! compares the shot counts of the exact modes in that report against the
-//! committed baseline, gated on `frame.bench.suite_fingerprint`.
+//! committed baseline, gated on `frame.bench.suite_fingerprint`, and
+//! requires the `frame.bench.chunk.*` and `frame.bench.rebuild.*`
+//! counters to be present.
 
 use maskfrac_bench::{apply_obs_flags, finish_run_report, save_json};
 use maskfrac_ebeam::violations::{cost_delta_for_strip, cost_delta_for_strip_relaxed};
-use maskfrac_ebeam::IntensityMap;
+use maskfrac_ebeam::{ExposureModel, IntensityMap};
 use maskfrac_fracture::refine::refine;
-use maskfrac_fracture::{approximate_fracture, FractureConfig, ModelBasedFracturer};
-use maskfrac_geom::{Point, Polygon, Rect};
+use maskfrac_fracture::{approximate_fracture, FractureConfig, IntensityBackend, ModelBasedFracturer};
+use maskfrac_geom::{Frame, Point, Polygon, Rect};
 use maskfrac_obs::ShapeRecord;
 use serde::Serialize;
 
@@ -56,17 +61,21 @@ struct Mode {
     coarse: usize,
     /// Lattice-profile + multi-accumulator scoring.
     relaxed: bool,
-    /// Exact modes share the byte-parity contract; relaxed/coarse modes
-    /// only promise quality no worse than the exact reference.
+    /// Seed the intensity map with the FFT full-frame synthesis instead
+    /// of the separable per-shot rebuild.
+    fft: bool,
+    /// Exact modes share the byte-parity contract; relaxed/coarse/fft
+    /// modes only promise quality no worse than the exact reference.
     exact: bool,
 }
 
-const MODES: [Mode; 5] = [
-    Mode { name: "exact-t1", threads: 1, coarse: 1, relaxed: false, exact: true },
-    Mode { name: "exact-t4", threads: 4, coarse: 1, relaxed: false, exact: true },
-    Mode { name: "relaxed-t1", threads: 1, coarse: 1, relaxed: true, exact: false },
-    Mode { name: "coarse2-t1", threads: 1, coarse: 2, relaxed: false, exact: false },
-    Mode { name: "coarse4-t1", threads: 1, coarse: 4, relaxed: false, exact: false },
+const MODES: [Mode; 6] = [
+    Mode { name: "exact-t1", threads: 1, coarse: 1, relaxed: false, fft: false, exact: true },
+    Mode { name: "exact-t4", threads: 4, coarse: 1, relaxed: false, fft: false, exact: true },
+    Mode { name: "relaxed-t1", threads: 1, coarse: 1, relaxed: true, fft: false, exact: false },
+    Mode { name: "coarse2-t1", threads: 1, coarse: 2, relaxed: false, fft: false, exact: false },
+    Mode { name: "coarse4-t1", threads: 1, coarse: 4, relaxed: false, fft: false, exact: false },
+    Mode { name: "fft-t1", threads: 1, coarse: 1, relaxed: false, fft: true, exact: false },
 ];
 
 /// Tiny seeded xorshift64 — the bench crate carries no RNG dependency,
@@ -208,6 +217,73 @@ fn chunk_microbench(fracturer: &ModelBasedFracturer, target: &Polygon, shots: &[
     );
 }
 
+/// Seeds a dense "sliver storm" — tens of thousands of 2–4 nm shots on a
+/// 900×900 nm frame, the regime FFT synthesis is built for — and times
+/// the three ways of building that frame's intensity map from scratch:
+/// the separable per-shot rebuild (serial reference), the row-parallel
+/// rebuild over 4 bands (asserted value-identical to the serial walk),
+/// and the FFT full-frame synthesis. Timings are published as the
+/// `frame.bench.rebuild.*` counters; the FFT path must deliver its
+/// advertised >=5x seeding speedup here, and must agree with the
+/// separable map within the 3-sigma window-truncation bound (the FFT
+/// keeps the kernel tails the windowed rebuild drops; see
+/// `maskfrac_ebeam::fft`).
+fn rebuild_storm(full: bool) {
+    let side: usize = 900;
+    let count: usize = if full { 320_000 } else { 160_000 };
+    let model = ExposureModel::paper_default();
+    let frame = Frame::new(Point::new(0, 0), side, side);
+    let mut rng = XorShift64::new(SEED ^ 0x736c_6976_6572_7321); // "sliver s"
+    let shots: Vec<Rect> = (0..count)
+        .map(|_| {
+            let x = rng.range(0, side as i64 - 5);
+            let y = rng.range(0, side as i64 - 5);
+            let (w, h) = (rng.range(2, 4), rng.range(2, 4));
+            Rect::new(x, y, x + w, y + h).expect("storm shot ordered")
+        })
+        .collect();
+
+    let mut serial = IntensityMap::new(model.clone(), frame);
+    let t0 = std::time::Instant::now();
+    serial.rebuild(shots.iter());
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let mut banded = IntensityMap::new(model.clone(), frame);
+    let t0 = std::time::Instant::now();
+    banded.rebuild_rows(&shots, 4);
+    let banded_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        banded.max_abs_diff(&serial),
+        0.0,
+        "row-parallel rebuild diverged from the serial walk"
+    );
+
+    let mut fft = IntensityMap::new(model, frame);
+    let t0 = std::time::Instant::now();
+    fft.rebuild_fft(&shots);
+    let fft_s = t0.elapsed().as_secs_f64();
+    let fft_diff = fft.max_abs_diff(&serial);
+
+    let speedup = serial_s / fft_s.max(1e-12);
+    println!(
+        "\nrebuild storm ({count} slivers on {side}x{side}): separable {serial_s:.3}s, \
+         row-parallel(4) {banded_s:.3}s, fft {fft_s:.3}s ({speedup:.1}x), \
+         max |fft - separable| = {fft_diff:.2e}"
+    );
+    maskfrac_obs::counter!("frame.bench.rebuild.shots").add(count as u64);
+    maskfrac_obs::counter!("frame.bench.rebuild.separable_us").add((serial_s * 1e6) as u64);
+    maskfrac_obs::counter!("frame.bench.rebuild.rows4_us").add((banded_s * 1e6) as u64);
+    maskfrac_obs::counter!("frame.bench.rebuild.fft_us").add((fft_s * 1e6) as u64);
+    assert!(
+        speedup >= 5.0,
+        "FFT synthesis only {speedup:.1}x faster than the separable rebuild (contract: >=5x)"
+    );
+    assert!(
+        fft_diff < 1e-3,
+        "FFT synthesis diverged from the separable rebuild by {fft_diff:e}"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let started = std::time::Instant::now();
@@ -253,6 +329,11 @@ fn main() {
                 refine_threads: mode.threads,
                 coarse_factor: mode.coarse,
                 relaxed_scoring: mode.relaxed,
+                intensity_backend: if mode.fft {
+                    IntensityBackend::Fft
+                } else {
+                    IntensityBackend::Separable
+                },
                 ..base.clone()
             };
             let t0 = std::time::Instant::now();
@@ -326,6 +407,7 @@ fn main() {
     }
 
     chunk_microbench(&fracturer, &frames[0].1, first_refined.as_deref().unwrap_or(&[]));
+    rebuild_storm(full);
 
     println!("engine counters:");
     for name in [

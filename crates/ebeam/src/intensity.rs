@@ -438,6 +438,13 @@ impl LatticeLut {
     pub fn edge_factor(&self, a: i64, b: i64, c: i64) -> f64 {
         self.phi(b - c) - self.phi(a - c)
     }
+
+    /// Lattice offset beyond which [`phi`](Self::phi) saturates — the
+    /// effective kernel support radius of the lattice tier, in cells.
+    #[inline]
+    pub fn half_range(&self) -> i64 {
+        self.half_range
+    }
 }
 
 #[cfg(test)]

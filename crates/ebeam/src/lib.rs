@@ -44,6 +44,7 @@
 pub mod classify;
 pub mod contour;
 pub mod erf;
+pub mod fft;
 pub mod intensity;
 pub mod kernel;
 pub mod lth;

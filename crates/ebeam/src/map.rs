@@ -33,6 +33,29 @@
 use crate::intensity::ExposureModel;
 use maskfrac_geom::{Frame, Rect};
 
+/// `row[i] += fx[i] * fyv` across a window row, four lanes at a time.
+///
+/// Every pixel's update is independent, so chunking into explicit
+/// `[f64; 4]`-shaped blocks is bit-exact with the scalar loop — the
+/// fixed lane width just hands the backend straight-line vector code
+/// instead of relying on the autovectorizer's judgement, and keeps the
+/// result invariant under any future re-tiling of the surrounding loop.
+#[inline]
+fn axpy_row(row: &mut [f64], fx: &[f64], fyv: f64) {
+    debug_assert_eq!(row.len(), fx.len());
+    let mut rows = row.chunks_exact_mut(4);
+    let mut fxs = fx.chunks_exact(4);
+    for (r, f) in rows.by_ref().zip(fxs.by_ref()) {
+        r[0] += f[0] * fyv;
+        r[1] += f[1] * fyv;
+        r[2] += f[2] * fyv;
+        r[3] += f[3] * fyv;
+    }
+    for (v, &f) in rows.into_remainder().iter_mut().zip(fxs.remainder()) {
+        *v += f * fyv;
+    }
+}
+
 /// Total-intensity grid for a set of shots on a pixel frame.
 ///
 /// The map does not own the shot list — callers (the fracturers) do — it
@@ -198,17 +221,11 @@ impl IntensityMap {
             let base = iy * width;
             if ys_o.contains(&iy) {
                 let fyv = -fy_o[iy - ys_o.start];
-                let row = &mut self.values[base + xs_o.start..base + xs_o.end];
-                for (v, &f) in row.iter_mut().zip(&fx_o) {
-                    *v += f * fyv;
-                }
+                axpy_row(&mut self.values[base + xs_o.start..base + xs_o.end], &fx_o, fyv);
             }
             if ys_n.contains(&iy) {
                 let fyv = fy_n[iy - ys_n.start];
-                let row = &mut self.values[base + xs_n.start..base + xs_n.end];
-                for (v, &f) in row.iter_mut().zip(&fx_n) {
-                    *v += f * fyv;
-                }
+                axpy_row(&mut self.values[base + xs_n.start..base + xs_n.end], &fx_n, fyv);
             }
         }
         (self.fx, self.fy) = (fx_o, fy_o);
@@ -242,6 +259,81 @@ impl IntensityMap {
         for s in shots {
             self.add_shot(s);
         }
+    }
+
+    /// Recomputes the map from scratch over disjoint row bands with up to
+    /// `threads` scoped threads.
+    ///
+    /// **Bit-identical to [`rebuild`](Self::rebuild) at any thread
+    /// count**: every row receives the same additions, from the same
+    /// per-shot edge factors, in the same shot order as the serial
+    /// add-shot loop — band boundaries only partition *which thread* owns
+    /// a row, never the arithmetic within it. Each band walks the full
+    /// shot slice and applies the rows it owns, so a shot whose window
+    /// crosses a band boundary has its factors computed once per touching
+    /// band (cheap: factors are `O(w + h)` while row application is
+    /// `O(w·h)`).
+    ///
+    /// `threads <= 1`, an empty frame, or a frame shorter than the thread
+    /// count degenerate to the serial path.
+    pub fn rebuild_rows(&mut self, shots: &[Rect], threads: usize) {
+        let height = self.frame.height();
+        let width = self.frame.width();
+        let threads = threads.max(1).min(height.max(1));
+        if threads <= 1 || self.frame.is_empty() {
+            self.rebuild(shots.iter());
+            return;
+        }
+        let rows_per_band = height.div_ceil(threads);
+        let bands = height.div_ceil(rows_per_band);
+        maskfrac_obs::counter!("ebeam.rebuild.row_bands").add(bands as u64);
+        maskfrac_obs::counter!("ebeam.kernel.convolutions").add(shots.len() as u64);
+        let mut values = std::mem::take(&mut self.values);
+        values.iter_mut().for_each(|v| *v = 0.0);
+        let this = &*self;
+        std::thread::scope(|scope| {
+            for (b, band) in values.chunks_mut(rows_per_band * width).enumerate() {
+                let y_lo = b * rows_per_band;
+                scope.spawn(move || {
+                    let y_hi = y_lo + band.len() / width;
+                    let (mut fx, mut fy) = (Vec::new(), Vec::new());
+                    for s in shots {
+                        let (xs, ys) = this.affected_window(s);
+                        let lo = ys.start.max(y_lo);
+                        let hi = ys.end.min(y_hi);
+                        if lo >= hi || xs.is_empty() {
+                            continue;
+                        }
+                        this.fill_edge_factors(s, &xs, &ys, &mut fx, &mut fy);
+                        for iy in lo..hi {
+                            let fyv = fy[iy - ys.start];
+                            let base = (iy - y_lo) * width;
+                            axpy_row(&mut band[base + xs.start..base + xs.end], &fx, fyv);
+                        }
+                    }
+                });
+            }
+        });
+        self.values = values;
+    }
+
+    /// Recomputes the map from scratch by whole-frame FFT synthesis
+    /// ([`crate::fft::synthesize_lattice`]) — `O(frame · log frame)`
+    /// regardless of the shot count, versus the per-shot-window cost of
+    /// [`rebuild`](Self::rebuild).
+    ///
+    /// Carries the FFT module's exactness contract, **not** the map's
+    /// bit-parity contract: the seeded values are the untruncated
+    /// lattice-tier convolution, which differs from a shot-by-shot
+    /// rebuild by the `3σ` window-truncation residue (`~1.2e-5` per
+    /// covering shot) on either tier. As with the lattice tier, removing
+    /// one of `shots` later via [`remove_shot`](Self::remove_shot) leaves
+    /// that residue behind rather than returning to exact zero — callers
+    /// that need strict parity must seed with `rebuild`.
+    pub fn rebuild_fft(&mut self, shots: &[Rect]) {
+        let mut values = std::mem::take(&mut self.values);
+        crate::fft::synthesize_lattice(&self.model, self.frame, shots, &mut values);
+        self.values = values;
     }
 
     /// Maximum absolute difference from another map of identical frame.
@@ -307,13 +399,10 @@ impl IntensityMap {
         for (j, iy) in ys.clone().enumerate() {
             let base = iy * width;
             let fyv = fy[j] * sign;
-            // Closure-free multiply-add over contiguous slices — the shape
-            // the autovectorizer turns into SIMD lanes. Bit-exact with the
-            // visit path: same per-pixel `old + fx·fyv` in the same order.
-            let row = &mut self.values[base + xs.start..base + xs.end];
-            for (v, &f) in row.iter_mut().zip(&fx) {
-                *v += f * fyv;
-            }
+            // Explicit four-lane multiply-add over contiguous slices.
+            // Bit-exact with the visit path: same per-pixel `old + fx·fyv`
+            // in the same order.
+            axpy_row(&mut self.values[base + xs.start..base + xs.end], &fx, fyv);
         }
         (self.fx, self.fy) = (fx, fy);
     }
@@ -342,13 +431,35 @@ impl IntensityMap {
         self.fill_edge_factors(shot, &xs, &ys, &mut fx, &mut fy);
         let width = self.frame.width();
         for (j, iy) in ys.clone().enumerate() {
-            let row = iy * width;
+            let base = iy * width;
             let fyv = fy[j] * sign;
-            for (i, ix) in xs.clone().enumerate() {
-                let old = self.values[row + ix];
-                let new = old + fx[i] * fyv;
-                self.values[row + ix] = new;
-                visit(ix, iy, old, new);
+            // New values are computed in the same four-lane blocks as
+            // `axpy_row` (bit-exact — each pixel is independent), then
+            // reported to `visit` strictly left to right.
+            let row = &mut self.values[base + xs.start..base + xs.end];
+            let mut i = 0usize;
+            let mut rows = row.chunks_exact_mut(4);
+            let mut fxs = fx.chunks_exact(4);
+            for (r, f) in rows.by_ref().zip(fxs.by_ref()) {
+                let news = [
+                    r[0] + f[0] * fyv,
+                    r[1] + f[1] * fyv,
+                    r[2] + f[2] * fyv,
+                    r[3] + f[3] * fyv,
+                ];
+                for k in 0..4 {
+                    let old = r[k];
+                    r[k] = news[k];
+                    visit(xs.start + i + k, iy, old, news[k]);
+                }
+                i += 4;
+            }
+            for (v, &f) in rows.into_remainder().iter_mut().zip(fxs.remainder()) {
+                let old = *v;
+                let new = old + f * fyv;
+                *v = new;
+                visit(xs.start + i, iy, old, new);
+                i += 1;
             }
         }
         (self.fx, self.fy) = (fx, fy);
@@ -505,6 +616,63 @@ mod tests {
         }
         let zero = map();
         assert!(lattice.max_abs_diff(&zero) < 1e-12);
+    }
+
+    #[test]
+    fn row_parallel_rebuild_is_bit_identical_at_any_thread_count() {
+        let shots = vec![
+            Rect::new(0, 0, 30, 30).unwrap(),
+            Rect::new(25, 5, 65, 40).unwrap(),
+            Rect::new(-10, 20, 20, 70).unwrap(),
+            Rect::new(-40, -40, -20, 130).unwrap(), // partially off-frame
+            Rect::new(4000, 4000, 4100, 4100).unwrap(), // entirely off-frame
+        ];
+        let mut serial = map();
+        serial.rebuild(shots.iter());
+        // 3 and 7 exercise band splits that don't divide the 120-row
+        // frame evenly; 130 clamps to one band per row.
+        for threads in [1usize, 2, 3, 4, 7, 130] {
+            let mut banded = map();
+            banded.rebuild_rows(&shots, threads);
+            let (w, h) = (serial.frame().width(), serial.frame().height());
+            for iy in 0..h {
+                for ix in 0..w {
+                    assert_eq!(
+                        banded.value(ix, iy).to_bits(),
+                        serial.value(ix, iy).to_bits(),
+                        "pixel ({ix}, {iy}) at {threads} threads"
+                    );
+                }
+            }
+        }
+        // Lattice tier bands identically too.
+        let mut lat_serial = map();
+        lat_serial.enable_lattice_profiles();
+        lat_serial.rebuild(shots.iter());
+        let mut lat_banded = map();
+        lat_banded.enable_lattice_profiles();
+        lat_banded.rebuild_rows(&shots, 4);
+        assert_eq!(lat_banded.max_abs_diff(&lat_serial), 0.0);
+    }
+
+    #[test]
+    fn fft_rebuild_tracks_separable_rebuild_within_truncation_bound() {
+        let shots = vec![
+            Rect::new(0, 0, 30, 30).unwrap(),
+            Rect::new(25, 5, 65, 40).unwrap(),
+            Rect::new(-10, 20, 20, 70).unwrap(),
+        ];
+        let mut separable = map();
+        separable.rebuild(shots.iter());
+        let mut fft = map();
+        fft.rebuild_fft(&shots);
+        // 3σ window-truncation residue (~1.2e-5 per covering shot) plus
+        // the lattice-vs-interpolated tier gap.
+        assert!(fft.max_abs_diff(&separable) < 5e-5);
+        // And determinism: a second synthesis is bit-identical.
+        let mut again = map();
+        again.rebuild_fft(&shots);
+        assert_eq!(again.max_abs_diff(&fft), 0.0);
     }
 
     #[test]

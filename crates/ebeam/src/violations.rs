@@ -218,10 +218,6 @@ pub fn cost_delta_for_strip(
     strip: &Rect,
     sign: f64,
 ) -> f64 {
-    // Fixed chunk width for the scoring inner loop (see below). 16 f64
-    // lanes span two AVX-512 / four AVX2 registers — wide enough to keep
-    // the vector units busy, small enough to live on the stack.
-    const CHUNK: usize = 16;
     let model = map.model();
     let rho = model.rho();
     let frame = cls.frame();
@@ -245,66 +241,90 @@ pub fn cost_delta_for_strip(
             let (_, cy) = frame.pixel_center(0, iy);
             model.edge_factor(strip.y0() as f64, strip.y1() as f64, cy)
         }));
-        let mut delta = 0.0;
-        let mut terms = [0.0f64; CHUNK];
-        for (j, iy) in ys.clone().enumerate() {
-            let fyv = fy[j] * sign;
-            if fyv == 0.0 {
-                continue;
-            }
-            // This loop is the refinement engine's hottest path (tens of
-            // thousands of strip scorings per clip), so it is written
-            // branch-free: row slices instead of per-pixel (ix, iy)
-            // indexing, and `pixel_cost` folded into its
-            // `max(sign * (x - rho), 0)` form ([`PixelClass::cost_sign`]).
-            // Both transformations are bit-exact — IEEE-754 guarantees
-            // `-(x - rho) == rho - x`, and the pixels the branchy form
-            // skipped (band, zero kernel weight) contribute an exact
-            // `+0.0` term here — so the score matches the naive form to
-            // the last ulp and mode parity is unaffected.
-            //
-            // The row is processed in fixed-width chunks: each pixel's
-            // term is computed elementwise into a stack array (no serial
-            // dependency, so the autovectorizer can SIMD it), then the
-            // terms are added into `delta` serially in the original pixel
-            // order — the accumulation chain, and hence the f64 result,
-            // is bit-identical to the unchunked loop.
-            let values = map.row(iy, xs.clone());
-            let classes = cls.class_row(iy, xs.clone());
-            for ((fxc, clc), vc) in fx
-                .chunks(CHUNK)
-                .zip(classes.chunks(CHUNK))
-                .zip(values.chunks(CHUNK))
-            {
-                let n = fxc.len();
-                for k in 0..n {
-                    let s = clc[k].cost_sign();
-                    let old = vc[k];
-                    let new = old + fxc[k] * fyv;
-                    terms[k] = (s * (new - rho)).max(0.0) - (s * (old - rho)).max(0.0);
-                }
-                for &t in &terms[..n] {
-                    delta += t;
-                }
-            }
-        }
-        delta
+        lane_scored_delta(cls, map, fx, fy, sign, rho, &xs, &ys)
     })
 }
 
-/// Relaxed-exactness variant of [`cost_delta_for_strip`]: same score, same
-/// window, same chunking — but edge factors come from the integer-lattice
-/// [`crate::intensity::LatticeLut`] (one table hit per row/column, no
-/// interpolation) and each chunk's terms are folded through a 4-lane
-/// multi-accumulator instead of one serial chain, so the compiler can keep
-/// four independent FMA chains in flight.
+/// The shared window scan of the two strip scorers: accumulates each
+/// pixel's cost term into four fixed accumulator lanes, reduced through a
+/// fixed tree.
+///
+/// This loop is the refinement engine's hottest path (tens of thousands
+/// of strip scorings per clip), so it is written branch-free: row slices
+/// instead of per-pixel `(ix, iy)` indexing, and `pixel_cost` folded into
+/// its `max(sign * (x - rho), 0)` form ([`PixelClass::cost_sign`]) —
+/// bit-exact transformations (IEEE-754 guarantees `-(x - rho) == rho -
+/// x`, and pixels the branchy form skipped contribute an exact `+0.0`).
+///
+/// Each row chunk's terms are computed elementwise into a stack array (no
+/// serial dependency, so the backend emits straight SIMD), then folded
+/// into `acc[i & 3]` — four independent FMA-friendly chains instead of
+/// one serial dependency the autovectorizer could never break without
+/// `-ffast-math`. Because `CHUNK` is a multiple of 4, the lane a pixel
+/// lands in is `(row index) & 3` regardless of chunk boundaries, and the
+/// final reduction `(acc[0] + acc[1]) + (acc[2] + acc[3])` is a fixed
+/// tree: the result is a pure function of the window contents —
+/// deterministic, thread-count-invariant, and stable under any future
+/// re-tiling of the chunk loop. It is *not* the same f64 the pre-lane
+/// serial fold produced (ULP-level reassociation); the exactness tiers
+/// only pin determinism and cross-mode parity within a build, both of
+/// which hold by construction.
+#[allow(clippy::too_many_arguments)]
+fn lane_scored_delta(
+    cls: &Classification,
+    map: &IntensityMap,
+    fx: &[f64],
+    fy: &[f64],
+    sign: f64,
+    rho: f64,
+    xs: &std::ops::Range<usize>,
+    ys: &std::ops::Range<usize>,
+) -> f64 {
+    // Fixed chunk width for the scoring inner loop. 16 f64 lanes span two
+    // AVX-512 / four AVX2 registers — wide enough to keep the vector
+    // units busy, small enough to live on the stack.
+    const CHUNK: usize = 16;
+    let mut acc = [0.0f64; 4];
+    let mut terms = [0.0f64; CHUNK];
+    for (j, iy) in ys.clone().enumerate() {
+        let fyv = fy[j] * sign;
+        if fyv == 0.0 {
+            continue;
+        }
+        let values = map.row(iy, xs.clone());
+        let classes = cls.class_row(iy, xs.clone());
+        for ((fxc, clc), vc) in fx
+            .chunks(CHUNK)
+            .zip(classes.chunks(CHUNK))
+            .zip(values.chunks(CHUNK))
+        {
+            let n = fxc.len();
+            for k in 0..n {
+                let s = clc[k].cost_sign();
+                let old = vc[k];
+                let new = old + fxc[k] * fyv;
+                terms[k] = (s * (new - rho)).max(0.0) - (s * (old - rho)).max(0.0);
+            }
+            for (k, &t) in terms[..n].iter().enumerate() {
+                acc[k & 3] += t;
+            }
+        }
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Relaxed-exactness variant of [`cost_delta_for_strip`]: the identical
+/// lane-accumulated window scan (`lane_scored_delta`) — but edge
+/// factors come from the integer-lattice
+/// [`crate::intensity::LatticeLut`], one table hit per row/column with no
+/// interpolation.
 ///
 /// # Exactness contract
 ///
 /// The returned delta agrees with [`cost_delta_for_strip`] to within the
 /// erf-approximation error times the window mass (observed `< 1e-5` per
 /// strip on paper-default σ) but is **not** bit-identical: profile values
-/// differ by ULPs and the summation order differs. It must therefore only
+/// differ by ULPs (the accumulation order is now shared). It must only
 /// be selected on tiers where the parity harness does not pin byte
 /// equality — the coarse phase of coarse-to-fine refinement
 /// (`FractureConfig::relaxed_scoring`). Greedy acceptance stays
@@ -316,7 +336,6 @@ pub fn cost_delta_for_strip_relaxed(
     strip: &Rect,
     sign: f64,
 ) -> f64 {
-    const CHUNK: usize = 16;
     let model = map.model();
     let rho = model.rho();
     let frame = cls.frame();
@@ -338,36 +357,7 @@ pub fn cost_delta_for_strip_relaxed(
             ys.clone()
                 .map(|iy| lut.edge_factor(strip.y0(), strip.y1(), origin.y + iy as i64)),
         );
-        // Four independent accumulator lanes; the serial `delta += t` chain
-        // of the exact scorer is the one dependency the autovectorizer
-        // cannot break on its own without `-ffast-math`.
-        let mut acc = [0.0f64; 4];
-        let mut terms = [0.0f64; CHUNK];
-        for (j, iy) in ys.clone().enumerate() {
-            let fyv = fy[j] * sign;
-            if fyv == 0.0 {
-                continue;
-            }
-            let values = map.row(iy, xs.clone());
-            let classes = cls.class_row(iy, xs.clone());
-            for ((fxc, clc), vc) in fx
-                .chunks(CHUNK)
-                .zip(classes.chunks(CHUNK))
-                .zip(values.chunks(CHUNK))
-            {
-                let n = fxc.len();
-                for k in 0..n {
-                    let s = clc[k].cost_sign();
-                    let old = vc[k];
-                    let new = old + fxc[k] * fyv;
-                    terms[k] = (s * (new - rho)).max(0.0) - (s * (old - rho)).max(0.0);
-                }
-                for (k, &t) in terms[..n].iter().enumerate() {
-                    acc[k & 3] += t;
-                }
-            }
-        }
-        (acc[0] + acc[1]) + (acc[2] + acc[3])
+        lane_scored_delta(cls, map, fx, fy, sign, rho, &xs, &ys)
     })
 }
 

@@ -2,8 +2,16 @@
 
 use maskfrac_ebeam::violations::{cost_delta_for_strip, evaluate};
 use maskfrac_ebeam::{Classification, ExposureModel, IntensityMap};
-use maskfrac_geom::{Polygon, Rect};
+use maskfrac_geom::{Frame, Point, Polygon, Rect};
 use proptest::prelude::*;
+
+/// Pinned FFT-vs-separable agreement bound: the map's `3σ`
+/// window-truncation residue (`~1.2e-5` of intensity per covering shot
+/// that the FFT synthesis keeps and the windowed rebuild drops) plus
+/// slack for FFT rounding and the interpolated-LUT tier gap.
+fn fft_tolerance(shots: &[Rect]) -> f64 {
+    2e-5 * shots.len() as f64 + 1e-6
+}
 
 fn shot_strategy() -> impl Strategy<Value = Rect> {
     (-30i64..60, -30i64..60, 10i64..60, 10i64..60)
@@ -100,6 +108,30 @@ proptest! {
     }
 
     #[test]
+    fn fft_synthesis_matches_separable_rebuild(
+        shots in proptest::collection::vec(shot_strategy(), 1..6),
+        w in 33usize..150,
+        h in 33usize..150,
+        sigma_tenths in 20u32..80,
+    ) {
+        // Random frame sizes are almost never powers of two, so this
+        // also exercises the transform padding; random σ re-derives the
+        // kernel support radius per case.
+        let sigma = f64::from(sigma_tenths) / 10.0;
+        let m = ExposureModel::new(sigma, 0.5);
+        let frame = Frame::new(Point::new(-35, -35), w, h);
+        let mut separable = IntensityMap::new(m.clone(), frame);
+        separable.rebuild(shots.iter());
+        let mut fft = IntensityMap::new(m, frame);
+        fft.rebuild_fft(&shots);
+        let diff = fft.max_abs_diff(&separable);
+        prop_assert!(
+            diff < fft_tolerance(&shots),
+            "max diff {diff} on {w}x{h} frame at sigma {sigma}"
+        );
+    }
+
+    #[test]
     fn classification_is_exhaustive_and_consistent(
         w in 20i64..70,
         h in 20i64..70,
@@ -115,4 +147,33 @@ proptest! {
         let tight = Classification::build(&target, 0.5, 25);
         prop_assert!(cls.on_count() <= tight.on_count());
     }
+}
+
+/// Shots flush against (and overhanging) every frame edge must not
+/// alias around to the opposite border: the transform length is padded
+/// past the kernel support, so circular wraparound would show up as an
+/// error on the far side orders of magnitude above the pinned
+/// truncation bound.
+#[test]
+fn fft_synthesis_does_not_wrap_around_the_frame_border() {
+    let m = ExposureModel::paper_default();
+    let frame = Frame::new(Point::new(-10, -10), 97, 61);
+    let shots = [
+        // One shot hugging each edge, overhanging the frame on that side.
+        Rect::new(-40, 0, -8, 30).expect("left"),
+        Rect::new(84, 5, 120, 40).expect("right"),
+        Rect::new(10, -35, 50, -8).expect("bottom"),
+        Rect::new(20, 48, 70, 90).expect("top"),
+        // And one larger than the frame in x.
+        Rect::new(-60, 15, 150, 25).expect("wide"),
+    ];
+    let mut separable = IntensityMap::new(m.clone(), frame);
+    separable.rebuild(shots.iter());
+    let mut fft = IntensityMap::new(m, frame);
+    fft.rebuild_fft(&shots);
+    let diff = fft.max_abs_diff(&separable);
+    assert!(
+        diff < fft_tolerance(&shots),
+        "border shots diverge by {diff}: circular wraparound suspected"
+    );
 }

@@ -4,6 +4,30 @@ use maskfrac_ebeam::ExposureModel;
 use maskfrac_graph::ColoringStrategy;
 use serde::{Deserialize, Serialize};
 
+/// Engine that computes the initial whole-frame intensity seed at the
+/// start of a refinement run (CLI: `--intensity-backend`).
+///
+/// Every backend feeds the same incremental refinement machinery — the
+/// choice only affects how the map is *seeded*, which dominates on
+/// heavily fractured frames where the per-shot-window rebuild is
+/// `O(shots · window)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum IntensityBackend {
+    /// Shot-by-shot separable windowed accumulation — the bit-exact
+    /// default tier the parity harness and CI baselines pin.
+    #[default]
+    Separable,
+    /// Whole-frame FFT synthesis (`maskfrac_ebeam::fft`):
+    /// `O(frame · log frame)` independent of the shot count. Carries the
+    /// relaxed exactness contract — seeded values differ from the
+    /// separable tier by the `3σ` window-truncation residue — and is
+    /// therefore guarded by the same safety net as relaxed scoring: an
+    /// FFT-seeded run that ends infeasible is re-run from the exact
+    /// separable seed and the better solution wins.
+    Fft,
+}
+
 /// All tunable parameters of the model-based fracturer.
 ///
 /// Defaults reproduce the paper's evaluation setup: CD tolerance
@@ -132,6 +156,28 @@ pub struct FractureConfig {
     /// ```
     #[serde(default)]
     pub relaxed_scoring: bool,
+    /// Engine for the initial whole-frame intensity seed (CLI:
+    /// `--intensity-backend {separable,fft}`). See [`IntensityBackend`];
+    /// the default keeps the bit-exact separable path.
+    ///
+    /// ```
+    /// use maskfrac_fracture::{FractureConfig, IntensityBackend};
+    ///
+    /// let cfg = FractureConfig { intensity_backend: IntensityBackend::Fft, ..FractureConfig::default() };
+    /// assert!(cfg.validate().is_ok());
+    /// assert_eq!(FractureConfig::default().intensity_backend, IntensityBackend::Separable);
+    /// ```
+    #[serde(default)]
+    pub intensity_backend: IntensityBackend,
+    /// Worker threads for the row-banded map seeding on the separable
+    /// backend (CLI: `--rebuild-threads`); `1` (the default) seeds
+    /// serially. Banding is bit-identical to the serial rebuild at any
+    /// thread count — each row receives the same additions in the same
+    /// shot order — so this is a pure throughput knob with no exactness
+    /// trade-off, unlike [`intensity_backend`](Self::intensity_backend).
+    /// `0` means auto-detect (`std::thread::available_parallelism`).
+    #[serde(default = "default_rebuild_threads")]
+    pub rebuild_threads: usize,
 }
 
 fn default_max_extent() -> i64 {
@@ -147,6 +193,10 @@ fn default_true() -> bool {
 }
 
 fn default_refine_threads() -> usize {
+    1
+}
+
+fn default_rebuild_threads() -> usize {
     1
 }
 
@@ -175,6 +225,8 @@ impl Default for FractureConfig {
             max_extent: default_max_extent(),
             coarse_factor: 1,
             relaxed_scoring: false,
+            intensity_backend: IntensityBackend::Separable,
+            rebuild_threads: 1,
         }
     }
 }
@@ -296,6 +348,12 @@ mod tests {
         assert_eq!(c.max_extent, default_max_extent());
         assert_eq!(c.coarse_factor, 1, "legacy configs refine at fine pitch only");
         assert!(!c.relaxed_scoring, "legacy configs stay on the exact tier");
+        assert_eq!(
+            c.intensity_backend,
+            IntensityBackend::Separable,
+            "legacy configs seed through the bit-exact separable backend"
+        );
+        assert_eq!(c.rebuild_threads, 1, "legacy configs seed serially");
         assert!(c.validate().is_ok());
     }
 

@@ -53,7 +53,7 @@ pub mod scratch;
 pub mod validate;
 
 pub use approx::{approximate_fracture, approximate_fracture_region, ApproxFracture};
-pub use config::FractureConfig;
+pub use config::{FractureConfig, IntensityBackend};
 pub use corner::{CornerType, ShotCorner};
 pub use dose::{polish_doses, try_polish_doses, DoseOptions, DoseOutcome, DosedShot};
 pub use error::{FractureError, FractureStatus, Stage, TargetDefect};

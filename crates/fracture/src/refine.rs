@@ -71,6 +71,36 @@ pub fn resolve_refine_threads(cfg: &FractureConfig) -> usize {
     requested.clamp(1, MAX_REFINE_THREADS)
 }
 
+/// Resolves [`FractureConfig::rebuild_threads`] with the same `0` =
+/// auto-detect convention and `1..=`[`MAX_REFINE_THREADS`] clamp as
+/// [`resolve_refine_threads`].
+pub fn resolve_rebuild_threads(cfg: &FractureConfig) -> usize {
+    let requested = if cfg.rebuild_threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.rebuild_threads
+    };
+    requested.clamp(1, MAX_REFINE_THREADS)
+}
+
+/// Seeds the intensity map with the initial shot list through the
+/// configured [`FractureConfig::intensity_backend`].
+///
+/// The separable backend goes through
+/// [`IntensityMap::rebuild_rows`] — bit-identical to the serial
+/// add-shot loop at any [`FractureConfig::rebuild_threads`] — while the
+/// FFT backend synthesizes the whole frame in one convolution and
+/// carries the relaxed exactness contract (see
+/// [`crate::IntensityBackend`]).
+fn seed_map(map: &mut IntensityMap, shots: &[Rect], cfg: &FractureConfig) {
+    match cfg.intensity_backend {
+        crate::IntensityBackend::Fft => map.rebuild_fft(shots),
+        crate::IntensityBackend::Separable => {
+            map.rebuild_rows(shots, resolve_rebuild_threads(cfg));
+        }
+    }
+}
+
 /// Per-iteration trace record (used by the figure/ablation harness).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IterationRecord {
@@ -146,6 +176,8 @@ pub fn refine_until_with(
         coarse_to_fine(cls, model, cfg, initial, deadline, scratch)
     } else if cfg.relaxed_scoring {
         relaxed_with_fallback(cls, model, cfg, initial, deadline, scratch)
+    } else if cfg.intensity_backend == crate::IntensityBackend::Fft {
+        fft_with_fallback(cls, model, cfg, initial, deadline, scratch)
     } else {
         refine_core(cls, model, cfg, initial, deadline, scratch)
     }
@@ -187,6 +219,34 @@ fn relaxed_with_fallback(
     maskfrac_obs::counter!("fracture.refine.fallback_runs").incr();
     let exact_cfg = FractureConfig {
         relaxed_scoring: false,
+        intensity_backend: crate::IntensityBackend::Separable,
+        ..cfg.clone()
+    };
+    let fallback = refine_core(cls, model, &exact_cfg, initial, deadline, scratch);
+    merge_fallback(out, fallback)
+}
+
+/// Single-tier refinement seeded through the FFT intensity backend, with
+/// the relaxed tiers' safety net: if the FFT-seeded trajectory ends
+/// infeasible, the seed is re-refined from the exact separable seed and
+/// the better solution is returned. The FFT backend therefore never
+/// ships worse quality than the separable path — it only risks its
+/// speedup on the frames that need the fallback.
+fn fft_with_fallback(
+    cls: &Classification,
+    model: &ExposureModel,
+    cfg: &FractureConfig,
+    initial: Vec<Rect>,
+    deadline: Option<std::time::Instant>,
+    scratch: &mut FractureScratch,
+) -> RefineOutcome {
+    let out = refine_core(cls, model, cfg, initial.clone(), deadline, scratch);
+    if out.summary.fail_count() == 0 || out.deadline_hit {
+        return out;
+    }
+    maskfrac_obs::counter!("fracture.refine.fallback_runs").incr();
+    let exact_cfg = FractureConfig {
+        intensity_backend: crate::IntensityBackend::Separable,
         ..cfg.clone()
     };
     let fallback = refine_core(cls, model, &exact_cfg, initial, deadline, scratch);
@@ -265,7 +325,11 @@ fn coarse_to_fine(
     // its speedup on the frames that need the fallback.
     if out.summary.fail_count() > 0 && !out.deadline_hit {
         maskfrac_obs::counter!("fracture.refine.fallback_runs").incr();
-        let fallback = refine_core(cls, model, &fine_cfg, initial, deadline, scratch);
+        let fallback_cfg = FractureConfig {
+            intensity_backend: crate::IntensityBackend::Separable,
+            ..fine_cfg
+        };
+        let fallback = refine_core(cls, model, &fallback_cfg, initial, deadline, scratch);
         out = merge_fallback(out, fallback);
     }
     out
@@ -290,9 +354,7 @@ fn refine_core(
     if cfg.relaxed_scoring {
         map.enable_lattice_profiles();
     }
-    for s in &shots {
-        map.add_shot(s);
-    }
+    seed_map(&mut map, &shots, cfg);
     // Incremental state: the tracker carries the failure summary forward
     // per strip (no per-iteration frame scan), the engine carries scored
     // candidates forward per shot (no per-pass full re-score).
@@ -1460,6 +1522,69 @@ mod tests {
         let resim = evaluate(&cls, &fresh);
         assert_eq!(resim.fail_count(), out.summary.fail_count());
         assert!((resim.cost - out.summary.cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rebuild_threads_never_changes_the_outcome() {
+        // The banded seeding rebuild is bit-identical to the serial one,
+        // so the whole refinement trajectory — every greedy decision —
+        // must be too, at any thread count.
+        let target = square(45);
+        let (cls, model, cfg) = setup(&target);
+        let seed = vec![Rect::new(2, 2, 40, 40).unwrap()];
+        let baseline = refine(&cls, &model, &cfg, seed.clone());
+        for threads in [0usize, 2, 4] {
+            let banded_cfg = FractureConfig {
+                rebuild_threads: threads,
+                ..cfg.clone()
+            };
+            let out = refine(&cls, &model, &banded_cfg, seed.clone());
+            assert_eq!(out.shots, baseline.shots, "at {threads} rebuild threads");
+            assert_eq!(out.iterations, baseline.iterations);
+            assert_eq!(
+                out.summary.cost.to_bits(),
+                baseline.summary.cost.to_bits(),
+                "cost must be bit-identical at {threads} rebuild threads"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_backend_is_deterministic_and_never_worse() {
+        let target = square(45);
+        let (cls, model, cfg) = setup(&target);
+        let seed = vec![Rect::new(2, 2, 40, 40).unwrap()];
+        let separable = refine(&cls, &model, &cfg, seed.clone());
+        let fft_cfg = FractureConfig {
+            intensity_backend: crate::IntensityBackend::Fft,
+            ..cfg.clone()
+        };
+        let fft = refine(&cls, &model, &fft_cfg, seed.clone());
+        // The fallback contract: FFT-seeded runs never ship worse quality
+        // (fewer-or-equal failing pixels; on ties, fewer-or-equal shots).
+        assert!(fft.summary.fail_count() <= separable.summary.fail_count());
+        if fft.summary.fail_count() == separable.summary.fail_count() {
+            assert!(fft.shots.len() <= separable.shots.len());
+        }
+        // And determinism: the same inputs give the same shot list.
+        let again = refine(&cls, &model, &fft_cfg, seed);
+        assert_eq!(again.shots, fft.shots);
+        assert_eq!(again.summary.cost.to_bits(), fft.summary.cost.to_bits());
+    }
+
+    #[test]
+    fn fft_backend_feasible_run_matches_separable_quality_on_the_square() {
+        // An exact cover is feasible from iteration zero on both
+        // backends; the FFT seed's ~1e-5 residue must not flip that.
+        let target = square(50);
+        let (cls, model, cfg) = setup(&target);
+        let fft_cfg = FractureConfig {
+            intensity_backend: crate::IntensityBackend::Fft,
+            ..cfg
+        };
+        let out = refine(&cls, &model, &fft_cfg, vec![Rect::new(0, 0, 50, 50).unwrap()]);
+        assert!(out.summary.is_feasible());
+        assert_eq!(out.shots.len(), 1);
     }
 
     #[test]

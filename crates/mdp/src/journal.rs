@@ -278,7 +278,9 @@ pub fn run_fingerprint(layout: &Layout, config: &FractureConfig) -> u64 {
 /// is valid for exactly one (canonical geometry, config) pair.
 ///
 /// Hashes the same config byte stream as [`run_fingerprint`], with the
-/// same `refine_threads` / `incremental_refine` exclusions.
+/// same `refine_threads` / `rebuild_threads` / `incremental_refine`
+/// exclusions (all three only repartition work across threads over
+/// bit-identical arithmetic).
 pub fn config_fingerprint(config: &FractureConfig) -> u64 {
     let mut bytes = Vec::new();
     push_config_bytes(&mut bytes, config);
@@ -311,6 +313,15 @@ fn push_config_bytes(bytes: &mut Vec<u8>, config: &FractureConfig) {
         bytes.extend_from_slice(&v.to_le_bytes());
     }
     bytes.extend_from_slice(format!("{:?}", config.coloring).as_bytes());
+    // The FFT intensity backend can steer greedy refinement onto a
+    // different (equally guarded) shot list, so journals and cached
+    // geometry must not replay across a backend change. Tagged only for
+    // the non-default backend, so every fingerprint minted before the
+    // field existed stays valid — the same backward-compatibility scheme
+    // as the placement-transform tag in `run_fingerprint`.
+    if config.intensity_backend != maskfrac_fracture::IntensityBackend::Separable {
+        bytes.extend_from_slice(b"intensity-backend:fft");
+    }
 }
 
 pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {

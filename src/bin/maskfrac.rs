@@ -1,8 +1,10 @@
 //! `maskfrac` — command-line mask fracturing.
 //!
 //! ```text
-//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--refine-threads N] [--coarse-factor K] [--relaxed-scoring] [OBS FLAGS]
+//! maskfrac fracture <shape.json> [--method NAME] [--svg OUT.svg] [--out SHOTS.json] [--deadline-ms MS] [--refine-threads N] [--coarse-factor K] [--relaxed-scoring]
+//!                   [--intensity-backend separable|fft] [--rebuild-threads N] [OBS FLAGS]
 //! maskfrac fracture-layout <layout.txt|.json> [--threads N] [--refine-threads N] [--coarse-factor K] [--relaxed-scoring] [--deadline-ms MS]
+//!                          [--intensity-backend separable|fft] [--rebuild-threads N]
 //!                          [--checkpoint J.mfj] [--resume] [--retries N] [--hung-multiple N] [--watchdog-min-samples N]
 //!                          [--geom-cache DIR] [--fault-seed N] [--fault-rate R] [--fault-crash-rate R] [OBS FLAGS]
 //! maskfrac generate-ilt <out.json> [--seed N] [--radius NM]
@@ -27,9 +29,15 @@
 //! Δp = 1 nm. `K = 1` is the bit-exact legacy path; `K > 1` trades the
 //! byte-parity guarantee for speed. `--relaxed-scoring` swaps the exact
 //! candidate scorer for the integer-lattice tier — also not
-//! byte-identical, same quality guarantee. Both fast tiers fall back to
-//! the exact path when they end infeasible, so they never deliver a
-//! worse solution than the defaults (see `docs/performance.md`).
+//! byte-identical, same quality guarantee. `--intensity-backend fft`
+//! seeds each refinement run by whole-frame FFT synthesis instead of the
+//! shot-by-shot separable rebuild — `O(frame·log frame)` regardless of
+//! the shot count, also not byte-identical, same quality guarantee. All
+//! three fast tiers fall back to the exact path when they end
+//! infeasible, so they never deliver a worse solution than the defaults
+//! (see `docs/performance.md`). `--rebuild-threads N` row-bands the
+//! separable seeding rebuild over `N` threads (`0` = auto, default 1) —
+//! bit-identical at any setting, a pure throughput knob.
 //!
 //! Both fracture subcommands share the observability flags (none of which
 //! changes the shot output — see `docs/observability.md`):
@@ -224,8 +232,8 @@ where
 }
 
 /// Builds the fracture configuration shared by the fracture subcommands,
-/// honouring `--deadline-ms`, `--refine-threads`, `--coarse-factor` and
-/// `--relaxed-scoring`.
+/// honouring `--deadline-ms`, `--refine-threads`, `--coarse-factor`,
+/// `--relaxed-scoring`, `--intensity-backend` and `--rebuild-threads`.
 fn config_from_flags(args: &[String]) -> Result<FractureConfig, Box<dyn std::error::Error>> {
     let mut cfg = FractureConfig::default();
     if let Some(ms) = parsed_flag::<u64>(args, "--deadline-ms")? {
@@ -255,6 +263,27 @@ fn config_from_flags(args: &[String]) -> Result<FractureConfig, Box<dyn std::err
         // byte-identical to the exact tier (see docs/performance.md).
         cfg.relaxed_scoring = true;
     }
+    if let Some(backend) = flag_value(args, "--intensity-backend") {
+        cfg.intensity_backend = match backend {
+            "separable" => maskfrac::fracture::IntensityBackend::Separable,
+            "fft" => maskfrac::fracture::IntensityBackend::Fft,
+            other => {
+                return Err(
+                    format!("--intensity-backend {other:?} must be 'separable' or 'fft'").into(),
+                )
+            }
+        };
+    }
+    if let Some(n) = parsed_flag::<usize>(args, "--rebuild-threads")? {
+        if n > maskfrac::fracture::refine::MAX_REFINE_THREADS {
+            return Err(format!(
+                "--rebuild-threads {n} exceeds the cap of {}",
+                maskfrac::fracture::refine::MAX_REFINE_THREADS
+            )
+            .into());
+        }
+        cfg.rebuild_threads = n; // 0 = auto-detect
+    }
     Ok(cfg)
 }
 
@@ -275,6 +304,8 @@ fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "--refine-threads",
         "--coarse-factor",
         "--relaxed-scoring",
+        "--intensity-backend",
+        "--rebuild-threads",
     ];
     allowed.extend_from_slice(&OBS_FLAGS);
     check_flags(args, &allowed)?;
@@ -407,6 +438,9 @@ fn layout_options_from_flags(
         options.watchdog_min_samples = samples;
     }
     options.geom_cache = flag_value(args, "--geom-cache").map(std::path::PathBuf::from);
+    if let Some(n) = parsed_flag::<usize>(args, "--rebuild-threads")? {
+        options.rebuild_threads = Some(n); // 0 = auto-detect
+    }
     Ok(options)
 }
 
@@ -441,6 +475,8 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
         "--refine-threads",
         "--coarse-factor",
         "--relaxed-scoring",
+        "--intensity-backend",
+        "--rebuild-threads",
         "--deadline-ms",
         "--checkpoint",
         "--resume",
