@@ -1,13 +1,18 @@
 //! Instrumentation overhead benchmark: wall clock of
 //! `maskfrac_mdp::fracture_layout_opts` with structured event capture
-//! off versus on, on a seeded synthetic layout.
+//! off, on, and on with a live telemetry subscriber, on a seeded
+//! synthetic layout.
 //!
 //! Observability must stay near-free when disabled and cheap when
 //! enabled, and it must never change the shot output. This harness
 //! measures both halves of that contract: it times repeated layout runs
 //! in each capture mode, asserts the per-shape reports are identical row
 //! by row across modes (bit neutrality), and reports the events captured
-//! per run so the per-event cost can be derived.
+//! per run so the per-event cost can be derived. The `telemetry-on`
+//! mode additionally binds a [`maskfrac_obs::TelemetryServer`] on
+//! loopback and keeps a real `/events` NDJSON client attached for the
+//! whole measurement, so the bus publish + wire-serialization path is
+//! priced under the same bit-neutrality assertion.
 //!
 //! Run with `cargo run -p maskfrac-bench --release --bin obs_overhead`
 //! (`--full` adds repetitions). Writes `results/obs_overhead_bench.json`
@@ -100,6 +105,55 @@ fn strip(report: &maskfrac_mdp::LayoutFractureReport) -> Vec<(String, usize, usi
         .collect()
 }
 
+/// A live `/events` client for the `telemetry-on` mode: a loopback
+/// telemetry server plus a TCP reader draining the NDJSON stream into a
+/// byte counter on its own thread, so the measured runs pay the real
+/// publish + serialize + write path.
+struct EventsClient {
+    server: maskfrac_obs::TelemetryServer,
+    reader: std::thread::JoinHandle<u64>,
+}
+
+impl EventsClient {
+    fn start() -> EventsClient {
+        use std::io::{Read, Write};
+        let server =
+            maskfrac_obs::TelemetryServer::bind("127.0.0.1:0").expect("can bind loopback");
+        let addr = server.local_addr();
+        let mut stream = std::net::TcpStream::connect(addr).expect("can connect to /events");
+        write!(stream, "GET /events HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+            .expect("can send /events request");
+        let reader = std::thread::spawn(move || {
+            let mut bytes = 0u64;
+            let mut buf = [0u8; 8192];
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => return bytes,
+                    Ok(n) => bytes += n as u64,
+                }
+            }
+        });
+        // Wait for the server to register the subscription so every rep
+        // publishes to a live ring (bounded: the handler registers as
+        // soon as it parses the request line).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !maskfrac_obs::bus::has_subscribers() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "/events subscriber did not register within 5s"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        EventsClient { server, reader }
+    }
+
+    /// Shuts the server down and returns the bytes the client streamed.
+    fn finish(self) -> u64 {
+        drop(self.server); // closes the connection; the reader sees EOF
+        self.reader.join().expect("events reader thread panicked")
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let started = std::time::Instant::now();
@@ -123,8 +177,13 @@ fn main() {
     let mut rows: Vec<OverheadRow> = Vec::new();
     let mut reference: Option<Vec<(String, usize, usize, usize)>> = None;
 
-    for (mode, capture) in [("capture-off", false), ("capture-on", true)] {
+    for (mode, capture) in [
+        ("capture-off", false),
+        ("capture-on", true),
+        ("telemetry-on", true),
+    ] {
         maskfrac_obs::set_capture(capture);
+        let client = (mode == "telemetry-on").then(EventsClient::start);
         let mut walls = Vec::with_capacity(reps);
         let mut events_per_rep = 0usize;
         for _ in 0..reps {
@@ -141,6 +200,20 @@ fn main() {
                     "{mode} changed the shot output — instrumentation must be bit-neutral"
                 ),
             }
+        }
+        if let Some(client) = client {
+            let streamed = client.finish();
+            let published = maskfrac_obs::registry()
+                .snapshot()
+                .counters
+                .get("obs.bus.published")
+                .copied()
+                .unwrap_or(0);
+            assert!(
+                streamed > 0 && published > 0,
+                "telemetry-on streamed nothing ({streamed} bytes, {published} published)"
+            );
+            println!("telemetry-on streamed {streamed} bytes over /events");
         }
         let best = walls.iter().copied().fold(f64::INFINITY, f64::min);
         let mean = walls.iter().sum::<f64>() / walls.len() as f64;
@@ -160,10 +233,23 @@ fn main() {
 
     let off = rows[0].best_wall_s;
     let on = rows[1].best_wall_s;
+    let telemetry = rows[2].best_wall_s;
     println!(
         "capture-on / capture-off = {:.3}x ({:+.1}% on best wall clock)",
         on / off.max(1e-12),
         (on / off.max(1e-12) - 1.0) * 100.0
+    );
+    println!(
+        "telemetry-on / capture-on = {:.3}x ({:+.1}% on best wall clock)",
+        telemetry / on.max(1e-12),
+        (telemetry / on.max(1e-12) - 1.0) * 100.0
+    );
+    // A live subscriber must stay in the same cost class as plain
+    // capture; the bound is loose because this runs on shared CI boxes.
+    assert!(
+        telemetry <= on * 4.0 + 0.5,
+        "telemetry-on best wall clock {telemetry:.3}s blew past the \
+         capture-on noise bound ({on:.3}s * 4 + 0.5s)"
     );
 
     save_rows(&rows);

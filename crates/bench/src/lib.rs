@@ -154,27 +154,47 @@ pub struct ObsFlags {
     /// JSON Lines export of the captured event stream
     /// (`--events-out <path>`).
     pub events_out: Option<PathBuf>,
+    /// The live telemetry endpoint (`--telemetry-listen <addr>`), held
+    /// here so it serves for as long as the flags value is alive —
+    /// i.e. the whole bench run.
+    pub telemetry: Option<std::sync::Arc<maskfrac_obs::TelemetryServer>>,
 }
 
 /// Applies the observability flags shared by every bench binary:
 /// `--trace` switches on the stderr span tree, `--metrics-out <path>`
-/// selects an extra destination for the run report, and
+/// selects an extra destination for the run report,
 /// `--trace-out <path>` / `--events-out <path>` switch on structured
-/// event capture and select where the stream is exported.
+/// event capture and select where the stream is exported, and
+/// `--telemetry-listen <addr>` starts the live HTTP telemetry plane
+/// (`/metrics`, `/healthz`, `/events`) for the duration of the run.
+/// A telemetry bind failure warns and continues — observability must
+/// never take a benchmark down.
 pub fn apply_obs_flags(args: &[String]) -> ObsFlags {
     if args.iter().any(|a| a == "--trace") {
         maskfrac_obs::set_trace(true);
     }
-    let path_flag = |flag: &str| {
+    let arg_flag = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
-            .map(PathBuf::from)
     };
+    let telemetry = arg_flag("--telemetry-listen").and_then(|addr| {
+        match maskfrac_obs::TelemetryServer::bind(addr) {
+            Ok(server) => {
+                println!("telemetry listening on {}", server.local_addr());
+                Some(std::sync::Arc::new(server))
+            }
+            Err(e) => {
+                eprintln!("warning: --telemetry-listen {addr} failed to bind: {e}");
+                None
+            }
+        }
+    });
     let flags = ObsFlags {
-        metrics_out: path_flag("--metrics-out"),
-        trace_out: path_flag("--trace-out"),
-        events_out: path_flag("--events-out"),
+        metrics_out: arg_flag("--metrics-out").map(PathBuf::from),
+        trace_out: arg_flag("--trace-out").map(PathBuf::from),
+        events_out: arg_flag("--events-out").map(PathBuf::from),
+        telemetry,
     };
     if flags.trace_out.is_some() || flags.events_out.is_some() {
         maskfrac_obs::set_capture(true);

@@ -725,15 +725,7 @@ fn drive_layout(
                         maskfrac_obs::counter!("mdp.shapes_fractured").incr();
                         maskfrac_obs::counter!("mdp.instances_covered")
                             .add(stats.instances as u64);
-                        maskfrac_obs::point_with(
-                            "mdp.shape_done",
-                            [
-                                ("shape", name.into()),
-                                ("shots", (stats.shots_per_instance as u64).into()),
-                                ("cache", "resumed".into()),
-                                ("status", stats.status.label().into()),
-                            ],
-                        );
+                        emit_shape_done(&stats);
                         shot_lists
                             .lock()
                             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -830,17 +822,7 @@ fn drive_layout(
                     let stats = cached.into_stats(name, counts[name], runtime_s, cache_label);
                     maskfrac_obs::counter!("mdp.shapes_fractured").incr();
                     maskfrac_obs::counter!("mdp.instances_covered").add(stats.instances as u64);
-                    // Event-stream breadcrumb: one point per shape, so the
-                    // Chrome trace shows worker handoffs and cache reuse.
-                    maskfrac_obs::point_with(
-                        "mdp.shape_done",
-                        [
-                            ("shape", name.into()),
-                            ("shots", (stats.shots_per_instance as u64).into()),
-                            ("cache", cache_label.into()),
-                            ("status", stats.status.label().into()),
-                        ],
-                    );
+                    emit_shape_done(&stats);
                     shot_lists
                         .lock()
                         .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -872,6 +854,23 @@ fn drive_layout(
 /// A [`ShapeFractureStats`] row reconstructed from a journal record:
 /// `resumed` cache label and zero wall time (the work was paid for by
 /// the crashed run, not this one).
+/// Emits the `mdp.shape_done` ledger point for one finished shape:
+/// the per-shape breadcrumb of the captured event stream (Chrome-trace
+/// worker handoffs, cache reuse) and — through the broadcast bus — the
+/// live NDJSON row a `/events` telemetry client sees mid-run.
+fn emit_shape_done(stats: &ShapeFractureStats) {
+    maskfrac_obs::point_with(
+        "mdp.shape_done",
+        [
+            ("shape", stats.shape.as_str().into()),
+            ("shots", (stats.shots_per_instance as u64).into()),
+            ("instances", (stats.instances as u64).into()),
+            ("cache", stats.cache.as_str().into()),
+            ("status", stats.status.label().into()),
+        ],
+    );
+}
+
 fn stats_from_record(record: &JournalRecord, shape: &str, instances: usize) -> ShapeFractureStats {
     ShapeFractureStats {
         shape: shape.to_owned(),

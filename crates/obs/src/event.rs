@@ -24,6 +24,13 @@
 //!   [`chrome_trace_json`] the Chrome trace format (`--trace-out`,
 //!   loadable in Perfetto or `chrome://tracing`).
 //!
+//! Every emitted event is also offered to the live broadcast bus
+//! ([`crate::bus`]): a live subscriber (the `--progress-ms` sampler, a
+//! `/events` telemetry client) activates emission even when file
+//! capture is off, but bus-only events never enter the thread buffers,
+//! so the file artifacts and their [`validate`] invariants are
+//! unchanged by wire consumers coming and going.
+//!
 //! Capture is observational only: enabling it never changes pipeline
 //! results (asserted by the bit-neutrality tests).
 
@@ -194,37 +201,69 @@ fn push(event: Event) {
     });
 }
 
+/// Routes one finished record: always offered to the live bus, and
+/// appended to the calling thread's capture buffer only when the
+/// emission site saw capture enabled (`captured`). Keeping the two
+/// destinations independent is what lets a `/events` subscriber attach
+/// to an uninstrumented run without perturbing file artifacts.
+fn emit(event: Event, captured: bool) {
+    crate::bus::publish(&event);
+    if captured {
+        push(event);
+    }
+}
+
 /// Innermost open span of the calling thread, [`NO_SPAN`] at top level.
 fn current_parent() -> u64 {
     SPAN_STACK.with(|stack| stack.borrow().last().copied().unwrap_or(NO_SPAN))
 }
 
-/// Called by [`span`](crate::span) at guard creation. Returns the new
-/// span's id when capture is on, `None` otherwise — the guard passes it
-/// back to [`end_span`] at drop.
-pub(crate) fn begin_span(name: &'static str) -> Option<u64> {
-    if !capture_enabled() {
+/// What [`begin_span`] hands the span guard: the span id plus whether
+/// the begin record landed in the capture buffers. The end record goes
+/// wherever the begin went, so buffered begin/end pairs stay balanced
+/// even if capture or bus subscribers change mid-span.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanToken {
+    pub(crate) id: u64,
+    captured: bool,
+}
+
+/// Called by [`span`](crate::span) at guard creation. Returns a token
+/// when the record went anywhere (capture buffers and/or the live
+/// bus), `None` when both sinks are off — the guard passes it back to
+/// [`end_span`] at drop.
+pub(crate) fn begin_span(name: &'static str) -> Option<SpanToken> {
+    let captured = capture_enabled();
+    if !captured && !crate::bus::has_subscribers() {
         return None;
     }
     let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let parent_id = current_parent();
-    push(Event {
-        ts_us: now_us(),
-        thread: thread_id(),
-        span_id,
-        parent_id,
-        name: name.to_owned(),
-        kind: EventKind::SpanBegin,
-        fields: BTreeMap::new(),
-    });
+    emit(
+        Event {
+            ts_us: now_us(),
+            thread: thread_id(),
+            span_id,
+            parent_id,
+            name: name.to_owned(),
+            kind: EventKind::SpanBegin,
+            fields: BTreeMap::new(),
+        },
+        captured,
+    );
     SPAN_STACK.with(|stack| stack.borrow_mut().push(span_id));
-    Some(span_id)
+    Some(SpanToken {
+        id: span_id,
+        captured,
+    })
 }
 
-/// Called by the span guard at drop when [`begin_span`] returned an id.
-/// Pops the span off the thread's stack and records the end event (even
-/// if capture was switched off mid-span, so pairs stay balanced).
-pub(crate) fn end_span(name: &'static str, span_id: u64, elapsed_us: u64) {
+/// Called by the span guard at drop when [`begin_span`] returned a
+/// token. Pops the span off the thread's stack and records the end
+/// event into the same sinks the begin reached (even if capture was
+/// switched off mid-span, so buffered pairs stay balanced).
+pub(crate) fn end_span(name: &'static str, token: SpanToken, elapsed_us: u64) {
+    let span_id = token.id;
     let parent_id = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         // Guards drop in LIFO order on a thread, so the top is ours; be
@@ -238,41 +277,49 @@ pub(crate) fn end_span(name: &'static str, span_id: u64, elapsed_us: u64) {
     });
     let mut fields = BTreeMap::new();
     fields.insert("elapsed_us".to_owned(), FieldValue::U64(elapsed_us));
-    push(Event {
-        ts_us: now_us(),
-        thread: thread_id(),
-        span_id,
-        parent_id,
-        name: name.to_owned(),
-        kind: EventKind::SpanEnd,
-        fields,
-    });
+    emit(
+        Event {
+            ts_us: now_us(),
+            thread: thread_id(),
+            span_id,
+            parent_id,
+            name: name.to_owned(),
+            kind: EventKind::SpanEnd,
+            fields,
+        },
+        token.captured,
+    );
 }
 
 /// Records an instantaneous event parented to the innermost open span of
-/// the calling thread. A no-op (one atomic load) when capture is off.
+/// the calling thread. A no-op (two relaxed atomic loads) when capture
+/// is off and no bus subscriber is live.
 pub fn point(name: &str) {
     point_with(name, []);
 }
 
 /// [`point`] with structured fields.
 pub fn point_with<const N: usize>(name: &str, fields: [(&str, FieldValue); N]) {
-    if !capture_enabled() {
+    let captured = capture_enabled();
+    if !captured && !crate::bus::has_subscribers() {
         return;
     }
     let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-    push(Event {
-        ts_us: now_us(),
-        thread: thread_id(),
-        span_id,
-        parent_id: current_parent(),
-        name: name.to_owned(),
-        kind: EventKind::Point,
-        fields: fields
-            .into_iter()
-            .map(|(k, v)| (k.to_owned(), v))
-            .collect(),
-    });
+    emit(
+        Event {
+            ts_us: now_us(),
+            thread: thread_id(),
+            span_id,
+            parent_id: current_parent(),
+            name: name.to_owned(),
+            kind: EventKind::Point,
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        },
+        captured,
+    );
 }
 
 /// Flushes every thread's buffer and returns all captured events, sorted
@@ -353,8 +400,9 @@ pub fn validate(events: &[Event]) -> Result<(), String> {
 
 /// Serializes one event as the JSON object [`read_jsonl`] (serde) parses.
 /// Assembled by hand so the export works offline too, where the
-/// `serde_json` stand-in cannot serialize.
-fn event_json_line(e: &Event) -> String {
+/// `serde_json` stand-in cannot serialize. Public because the telemetry
+/// server's `/events` endpoint streams exactly these lines as NDJSON.
+pub fn event_json_line(e: &Event) -> String {
     let mut out = String::with_capacity(96);
     out.push_str(&format!(
         "{{\"ts_us\":{},\"thread\":{},\"span_id\":{},\"parent_id\":{},\"name\":",

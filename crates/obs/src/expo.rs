@@ -1,0 +1,302 @@
+//! Prometheus text exposition of the metrics registry.
+//!
+//! [`prometheus_text`] renders an [`ExpositionSnapshot`] — a frozen
+//! copy of every counter, value histogram, and span-duration histogram
+//! — as the Prometheus text format (version 0.0.4): `# TYPE` comment
+//! lines, sanitized metric names, and cumulative `_bucket{le=...}`
+//! series ending in the mandatory `+Inf` bucket. The renderer is a
+//! pure function of the snapshot, so the whole wire format is
+//! unit-testable without opening a socket; the telemetry server
+//! ([`crate::serve`]) calls [`ExpositionSnapshot::capture`] +
+//! [`prometheus_text`] per `/metrics` scrape.
+//!
+//! Mapping from the registry's dotted names:
+//!
+//! * counters: `mdp.cache.hits` → `mdp_cache_hits` (`counter`);
+//! * value histograms: `fracture.shots_per_shape` →
+//!   `fracture_shots_per_shape` (`histogram`);
+//! * span durations: the `fracture.shape` span →
+//!   `fracture_shape_seconds` (`histogram`, observed in seconds).
+//!
+//! The registry's histograms track exact `count`/`sum`/`min`/`max`
+//! plus a bounded deterministic sample of the stream (see
+//! [`crate::metrics`]); bucket counts are synthesized from that sample
+//! scaled to the exact total count, so they are exact until the
+//! reservoir decimates and a faithful systematic estimate after.
+//! `_sum` and `_count` are always exact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{registry, HistogramSummary};
+
+/// Default `le` bucket bounds, log-spaced to cover both span durations
+/// in seconds (sub-millisecond to minutes) and shot counts per shape
+/// (units to thousands).
+pub const DEFAULT_BUCKET_BOUNDS: &[f64] = &[
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
+
+/// One histogram series: the exact summary plus the retained sample
+/// reservoir that bucket synthesis runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSeries {
+    /// Exact count/sum/bounds and quantile estimates.
+    pub summary: HistogramSummary,
+    /// Deterministic systematic sample of the observation stream.
+    pub samples: Vec<f32>,
+}
+
+/// Everything one `/metrics` scrape needs, decoupled from both the
+/// live registry and the socket layer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExpositionSnapshot {
+    /// Counter values by dotted registry name.
+    pub counters: BTreeMap<String, u64>,
+    /// Value-distribution histograms by dotted registry name.
+    pub histograms: BTreeMap<String, HistogramSeries>,
+    /// Span-duration histograms by span name; exposed with a
+    /// `_seconds` suffix (durations are recorded in seconds).
+    pub stages: BTreeMap<String, HistogramSeries>,
+}
+
+impl ExpositionSnapshot {
+    /// Copies every metric out of the process-global registry.
+    pub fn capture() -> Self {
+        let reg = registry();
+        let counters = reg.snapshot().counters;
+        let mut histograms = BTreeMap::new();
+        reg.visit_histograms(|name, h| {
+            histograms.insert(
+                name.to_owned(),
+                HistogramSeries {
+                    summary: h.summary(),
+                    samples: h.samples(),
+                },
+            );
+        });
+        let mut stages = BTreeMap::new();
+        reg.visit_spans(|name, h| {
+            stages.insert(
+                name.to_owned(),
+                HistogramSeries {
+                    summary: h.summary(),
+                    samples: h.samples(),
+                },
+            );
+        });
+        ExpositionSnapshot {
+            counters,
+            histograms,
+            stages,
+        }
+    }
+}
+
+/// Maps a dotted registry name onto the Prometheus metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: dots (and every other invalid
+/// character) become underscores, and a leading digit is prefixed with
+/// an underscore. Deterministic, so distinct scrapes agree.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for ch in name.chars() {
+        let valid_anywhere = ch.is_ascii_alphabetic() || ch == '_' || ch == ':';
+        let valid_here = valid_anywhere || (!out.is_empty() && ch.is_ascii_digit());
+        if valid_here {
+            out.push(ch);
+        } else if ch.is_ascii_digit() {
+            // Leading digit: keep it, legalized by an underscore prefix.
+            out.push('_');
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Synthesizes the cumulative `le` bucket counts for one series: for
+/// each bound, the fraction of retained samples at or under it scaled
+/// to the exact total count (rounded, clamped monotone), with the
+/// trailing `+Inf` bucket pinned to the exact count.
+pub fn cumulative_buckets(series: &HistogramSeries, bounds: &[f64]) -> Vec<(f64, u64)> {
+    let count = series.summary.count;
+    let mut out = Vec::with_capacity(bounds.len() + 1);
+    if count == 0 || series.samples.is_empty() {
+        out.extend(bounds.iter().map(|&b| (b, 0)));
+        out.push((f64::INFINITY, count));
+        return out;
+    }
+    let mut sorted = series.samples.clone();
+    sorted.sort_by(f32::total_cmp);
+    let n = sorted.len() as f64;
+    let mut floor = 0u64;
+    for &bound in bounds {
+        let at_or_under = sorted.partition_point(|&s| f64::from(s) <= bound) as f64;
+        let scaled = ((at_or_under / n) * count as f64).round() as u64;
+        // Rounding a monotone sequence stays monotone, but clamp
+        // anyway so the exposition can never emit a decreasing series.
+        floor = scaled.clamp(floor, count);
+        out.push((bound, floor));
+    }
+    out.push((f64::INFINITY, count));
+    out
+}
+
+fn write_le(out: &mut String, bound: f64) {
+    if bound.is_infinite() {
+        out.push_str("+Inf");
+    } else {
+        let _ = write!(out, "{bound}");
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, series: &HistogramSeries, bounds: &[f64]) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (bound, count) in cumulative_buckets(series, bounds) {
+        let _ = write!(out, "{name}_bucket{{le=\"");
+        write_le(out, bound);
+        let _ = writeln!(out, "\"}} {count}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", series.summary.sum);
+    let _ = writeln!(out, "{name}_count {}", series.summary.count);
+}
+
+/// Renders a snapshot as Prometheus text exposition format 0.0.4.
+///
+/// Output is deterministic: counters first, then value histograms,
+/// then span-duration histograms (with `_seconds` appended), each
+/// section in lexicographic name order. If two dotted names sanitize
+/// to the same metric name, the first (in that traversal order) wins
+/// and later collisions are skipped, so the document never repeats a
+/// metric family.
+pub fn prometheus_text(snapshot: &ExpositionSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut seen = std::collections::BTreeSet::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize_metric_name(name);
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, series) in &snapshot.histograms {
+        let name = sanitize_metric_name(name);
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        write_histogram(&mut out, &name, series, DEFAULT_BUCKET_BOUNDS);
+    }
+    for (name, series) in &snapshot.stages {
+        let name = format!("{}_seconds", sanitize_metric_name(name));
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        write_histogram(&mut out, &name, series, DEFAULT_BUCKET_BOUNDS);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> HistogramSeries {
+        let h = crate::metrics::Registry::new();
+        let hist = h.histogram("t.expo.series");
+        for &v in values {
+            hist.record(v);
+        }
+        HistogramSeries {
+            summary: hist.summary(),
+            samples: hist.samples(),
+        }
+    }
+
+    #[test]
+    fn sanitize_handles_dots_digits_and_junk() {
+        assert_eq!(sanitize_metric_name("mdp.cache.hits"), "mdp_cache_hits");
+        assert_eq!(sanitize_metric_name("obs.bus.published"), "obs_bus_published");
+        assert_eq!(sanitize_metric_name("2pass.rate"), "_2pass_rate");
+        assert_eq!(sanitize_metric_name("a-b c/d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name(""), "_");
+        // Interior digits are legal and preserved verbatim.
+        assert_eq!(sanitize_metric_name("fft.radix2"), "fft_radix2");
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_end_at_inf() {
+        let s = series(&[0.004, 0.004, 0.02, 0.2, 3.0]);
+        let buckets = cumulative_buckets(&s, DEFAULT_BUCKET_BOUNDS);
+        let mut prev = 0;
+        for &(_, count) in &buckets {
+            assert!(count >= prev, "bucket counts must be cumulative");
+            prev = count;
+        }
+        let (last_bound, last_count) = buckets[buckets.len() - 1];
+        assert!(last_bound.is_infinite());
+        assert_eq!(last_count, 5, "+Inf bucket equals the exact count");
+        // Spot-check: two observations at 0.004 land at or under 0.005.
+        let le_005 = buckets
+            .iter()
+            .find(|&&(b, _)| (b - 0.005).abs() < 1e-12)
+            .map(|&(_, c)| c)
+            .unwrap_or(u64::MAX);
+        assert_eq!(le_005, 2);
+    }
+
+    #[test]
+    fn empty_histogram_exposes_zero_buckets() {
+        let s = series(&[]);
+        let buckets = cumulative_buckets(&s, DEFAULT_BUCKET_BOUNDS);
+        assert!(buckets.iter().all(|&(_, c)| c == 0));
+    }
+
+    #[test]
+    fn text_is_deterministic_and_typed() {
+        let mut snap = ExpositionSnapshot::default();
+        snap.counters.insert("b.second".into(), 2);
+        snap.counters.insert("a.first".into(), 1);
+        snap.histograms.insert("h.vals".into(), series(&[1.0, 2.0]));
+        snap.stages.insert("stage.one".into(), series(&[0.01]));
+        let text = prometheus_text(&snap);
+        assert_eq!(text, prometheus_text(&snap), "rendering must be pure");
+        let a = text.find("a_first 1").expect("counter a");
+        let b = text.find("b_second 2").expect("counter b");
+        let h = text.find("# TYPE h_vals histogram").expect("histogram");
+        let s = text
+            .find("# TYPE stage_one_seconds histogram")
+            .expect("stage");
+        assert!(a < b && b < h && h < s, "sections in deterministic order");
+        assert!(text.contains("h_vals_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("h_vals_count 2"));
+        assert!(text.contains("h_vals_sum 3"));
+    }
+
+    #[test]
+    fn colliding_sanitized_names_render_once() {
+        let mut snap = ExpositionSnapshot::default();
+        snap.counters.insert("a.b".into(), 1);
+        snap.counters.insert("a_b".into(), 2);
+        let text = prometheus_text(&snap);
+        assert_eq!(
+            text.matches("# TYPE a_b counter").count(),
+            1,
+            "one family despite the name collision"
+        );
+    }
+
+    #[test]
+    fn capture_sees_live_registry_counters() {
+        crate::metrics::counter("t.expo.capture").add(3);
+        let snap = ExpositionSnapshot::capture();
+        assert!(*snap.counters.get("t.expo.capture").expect("captured") >= 3);
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE t_expo_capture counter"));
+    }
+}

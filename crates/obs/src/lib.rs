@@ -26,6 +26,15 @@
 //! * [`progress`] — the `--progress-ms` live progress sampler: a thread
 //!   that periodically reads the registry's atomic counters and prints
 //!   one shapes/shots/cache-hit line to stderr without pausing workers.
+//! * [`bus`] — the live broadcast event bus: bounded per-subscriber
+//!   rings fed by the same span/point/ledger emission sites, with
+//!   drop-not-block delivery (`obs.bus.published` / `obs.bus.dropped`).
+//! * [`expo`] — the Prometheus text exposition of the whole registry
+//!   (sanitized names, `# TYPE` lines, cumulative buckets) as a pure
+//!   function.
+//! * [`serve`] — the dependency-free `--telemetry-listen` HTTP server:
+//!   `GET /metrics` (Prometheus text), `GET /healthz` (JSON liveness),
+//!   `GET /events` (live NDJSON stream off the bus).
 //!
 //! [`fracture_layout`]: https://docs.rs/maskfrac-mdp
 //!
@@ -48,16 +57,21 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod bus;
 pub mod event;
+pub mod expo;
 pub mod ledger;
 pub mod metrics;
 pub mod progress;
 pub mod report;
+pub mod serve;
 pub mod span;
 
+pub use bus::{subscribe, subscribe_with_capacity, BusSubscriber};
 pub use event::{
     capture_enabled, point, point_with, set_capture, Event, EventKind, FieldValue,
 };
+pub use expo::{prometheus_text, sanitize_metric_name, ExpositionSnapshot, HistogramSeries};
 pub use ledger::{Anomalies, OutlierRow};
 pub use metrics::{
     counter, histogram, registry, Counter, Histogram, HistogramSummary, MetricsSnapshot, Registry,
@@ -65,6 +79,7 @@ pub use metrics::{
 };
 pub use progress::{ProgressSampler, ProgressSnapshot};
 pub use report::{RunReport, ShapeRecord, SCHEMA_NAME, SCHEMA_VERSION};
+pub use serve::TelemetryServer;
 pub use span::{set_trace, span, trace_enabled, SpanGuard};
 
 /// Test-only JSON parsing that tolerates the offline `serde_json` stub.

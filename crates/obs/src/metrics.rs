@@ -139,6 +139,15 @@ impl Histogram {
         HistogramSummary::from_state(&self.lock())
     }
 
+    /// Copy of the retained systematic sample, in arrival order.
+    ///
+    /// The Prometheus exposition ([`crate::expo`]) synthesizes
+    /// cumulative buckets from this sample (exact up to the reservoir
+    /// cap, a deterministic stride sample of the stream beyond it).
+    pub fn samples(&self) -> Vec<f32> {
+        self.lock().samples.clone()
+    }
+
     fn reset(&self) {
         *self.lock() = HistState::EMPTY;
     }
@@ -338,6 +347,23 @@ impl Registry {
             counters,
             histograms,
             stages,
+        }
+    }
+
+    /// Visits every value histogram as `(name, handle)`, in name order.
+    /// Used by the Prometheus exposition to read sample reservoirs that
+    /// [`MetricsSnapshot`] (a frozen report schema) does not carry.
+    pub(crate) fn visit_histograms(&self, mut f: impl FnMut(&'static str, &Histogram)) {
+        for (&name, h) in self.read(&self.histograms).iter() {
+            f(name, h);
+        }
+    }
+
+    /// Visits every span-duration histogram as `(name, handle)`, in
+    /// name order (durations are recorded in seconds).
+    pub(crate) fn visit_spans(&self, mut f: impl FnMut(&'static str, &Histogram)) {
+        for (&name, h) in self.read(&self.spans).iter() {
+            f(name, h);
         }
     }
 

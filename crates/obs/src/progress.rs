@@ -13,18 +13,36 @@
 //! stdout results stay machine-parsable. Counter handles are resolved
 //! once up front; the loop itself does no registry-map lookups.
 //!
+//! The `cache-hit` ratio spans *both* dedup tiers: the in-flight
+//! in-memory cache (`mdp.cache.*`) and the persistent `--geom-cache`
+//! disk tier (`mdp.geomcache.*`) — a warm disk cache therefore reports
+//! its true hit rate even though every disk hit is also an in-memory
+//! miss.
+//!
+//! The sampler is also a first-party subscriber of the broadcast bus
+//! ([`crate::bus`]): each tick drains its ring and counts the events
+//! seen ([`ProgressSnapshot::bus_events`]), which keeps the bus's
+//! subscriber path exercised on every `--progress-ms` run.
+//!
 //! Counters are process-global and cumulative, so the sampler records a
 //! baseline at start and reports deltas — a second run in the same
 //! process starts from zero again.
 //!
 //! Stop it explicitly with [`ProgressSampler::stop`] (prints one final
-//! line) or just drop it (silent shutdown). Both signal a condvar, so
-//! shutdown is prompt even with a long interval.
+//! line — even when the whole run finished inside the first interval —
+//! and returns that final snapshot) or just drop it (same final line,
+//! no snapshot back). Both signal a condvar, so shutdown is prompt even
+//! with a long interval.
 
 use crate::metrics::{counter, Counter};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Ring capacity of the sampler's bus subscription: generous, so a
+/// fast-emitting run between two ticks never shows up as
+/// `obs.bus.dropped` (CI asserts zero drops on the smoke layout).
+const BUS_RING_CAPACITY: usize = 16384;
 
 /// Counters the sampler reads, resolved once at start.
 struct Sources {
@@ -33,6 +51,8 @@ struct Sources {
     cache_hits: &'static Counter,
     cache_misses: &'static Counter,
     cache_waits: &'static Counter,
+    geom_hits: &'static Counter,
+    geom_misses: &'static Counter,
 }
 
 impl Sources {
@@ -43,18 +63,42 @@ impl Sources {
             cache_hits: counter("mdp.cache.hits"),
             cache_misses: counter("mdp.cache.misses"),
             cache_waits: counter("mdp.cache.inflight_waits"),
+            geom_hits: counter("mdp.geomcache.hits"),
+            geom_misses: counter("mdp.geomcache.misses"),
         }
     }
 
-    fn snapshot(&self, baseline: &ProgressSnapshot, elapsed: Duration, total: Option<u64>) -> ProgressSnapshot {
+    /// Hits across both tiers. A disk hit is recorded as an in-memory
+    /// miss *and* a `mdp.geomcache.hits`, so the sum never double
+    /// counts.
+    fn hits(&self) -> u64 {
+        self.cache_hits.get() + self.geom_hits.get()
+    }
+
+    /// Distinct cache lookups. When the in-memory tier is on, every
+    /// disk consultation happens inside one of its misses, so
+    /// `max(misses, disk lookups)` counts each geometry once whether
+    /// the disk tier is on, off, or running without the memory tier.
+    fn lookups(&self) -> u64 {
+        let disk = self.geom_hits.get() + self.geom_misses.get();
+        self.cache_hits.get() + self.cache_waits.get() + self.cache_misses.get().max(disk)
+    }
+
+    fn snapshot(
+        &self,
+        baseline: &ProgressSnapshot,
+        elapsed: Duration,
+        total: Option<u64>,
+        bus_events: u64,
+    ) -> ProgressSnapshot {
         ProgressSnapshot {
             elapsed_s: elapsed.as_secs_f64(),
             shapes_done: self.shapes.get().saturating_sub(baseline.shapes_done),
             total_shapes: total,
             shots: self.shots.get().saturating_sub(baseline.shots),
-            cache_hits: self.cache_hits.get().saturating_sub(baseline.cache_hits),
-            cache_lookups: (self.cache_hits.get() + self.cache_misses.get() + self.cache_waits.get())
-                .saturating_sub(baseline.cache_lookups),
+            cache_hits: self.hits().saturating_sub(baseline.cache_hits),
+            cache_lookups: self.lookups().saturating_sub(baseline.cache_lookups),
+            bus_events,
         }
     }
 
@@ -64,8 +108,9 @@ impl Sources {
             shapes_done: self.shapes.get(),
             total_shapes: None,
             shots: self.shots.get(),
-            cache_hits: self.cache_hits.get(),
-            cache_lookups: self.cache_hits.get() + self.cache_misses.get() + self.cache_waits.get(),
+            cache_hits: self.hits(),
+            cache_lookups: self.lookups(),
+            bus_events: 0,
         }
     }
 }
@@ -81,10 +126,16 @@ pub struct ProgressSnapshot {
     pub total_shapes: Option<u64>,
     /// Shots emitted so far (delta from sampler start).
     pub shots: u64,
-    /// Dedup-cache hits so far (delta from sampler start).
+    /// Cache hits so far across both dedup tiers — in-memory
+    /// (`mdp.cache.hits`) plus persistent disk (`mdp.geomcache.hits`)
+    /// — as a delta from sampler start.
     pub cache_hits: u64,
-    /// Dedup-cache lookups (hits + misses + in-flight waits) so far.
+    /// Distinct cache lookups so far across both tiers (delta from
+    /// sampler start); see the module docs for the tier accounting.
     pub cache_lookups: u64,
+    /// Broadcast-bus events the sampler's own subscription has drained
+    /// since it started (0 in snapshots built without a sampler).
+    pub bus_events: u64,
 }
 
 impl ProgressSnapshot {
@@ -113,6 +164,7 @@ impl ProgressSnapshot {
 #[derive(Debug)]
 pub struct ProgressSampler {
     gate: Arc<(Mutex<bool>, Condvar)>,
+    latest: Arc<Mutex<Option<ProgressSnapshot>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -122,10 +174,15 @@ impl ProgressSampler {
     /// `shapes 118/512` instead of `shapes 118`.
     pub fn start(interval: Duration, total_shapes: Option<u64>) -> Self {
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let latest = Arc::new(Mutex::new(None));
         let thread_gate = Arc::clone(&gate);
+        let thread_latest = Arc::clone(&latest);
         let sources = Sources::resolve();
         let baseline = sources.baseline();
         let started = Instant::now();
+        // Subscribe before the thread runs so events from the very
+        // first shape are already flowing into the ring.
+        let subscriber = crate::bus::subscribe_with_capacity(BUS_RING_CAPACITY);
         let handle = std::thread::Builder::new()
             .name("obs-progress".into())
             .spawn(move || {
@@ -134,33 +191,61 @@ impl ProgressSampler {
                     Ok(g) => g,
                     Err(_) => return,
                 };
+                let mut bus_events: u64 = 0;
                 loop {
-                    let (next, timeout) = match cv.wait_timeout(stopped, interval) {
-                        Ok(r) => r,
-                        Err(_) => return,
+                    // Re-check the flag before parking: stop() may have
+                    // signalled between this thread's spawn and its
+                    // first wait, and a condvar notify with no waiter
+                    // is lost — parking after it would sleep out the
+                    // whole interval.
+                    let timed_out = if *stopped {
+                        false
+                    } else {
+                        match cv.wait_timeout(stopped, interval) {
+                            Ok((next, timeout)) => {
+                                stopped = next;
+                                timeout.timed_out()
+                            }
+                            Err(_) => return,
+                        }
                     };
-                    stopped = next;
+                    bus_events += subscriber.try_drain().len() as u64;
+                    let snap = sources.snapshot(&baseline, started.elapsed(), total_shapes, bus_events);
+                    if let Ok(mut slot) = thread_latest.lock() {
+                        *slot = Some(snap.clone());
+                    }
                     if *stopped {
                         // Final line, so runs shorter than the interval
                         // still report their totals.
-                        let snap = sources.snapshot(&baseline, started.elapsed(), total_shapes);
                         eprintln!("{}", snap.line());
                         return;
                     }
-                    if timeout.timed_out() {
-                        let snap = sources.snapshot(&baseline, started.elapsed(), total_shapes);
+                    if timed_out {
                         eprintln!("{}", snap.line());
                     }
                 }
             })
             .ok();
-        ProgressSampler { gate, handle }
+        ProgressSampler {
+            gate,
+            latest,
+            handle,
+        }
     }
 
-    /// Stops the sampler; the thread prints one final progress line, so
-    /// even runs shorter than the interval report their totals.
-    pub fn stop(self) {
-        drop(self);
+    /// Stops the sampler and returns its final snapshot; the thread
+    /// prints one final progress line first, so even runs shorter than
+    /// the interval report their totals. `None` only if the sampler
+    /// thread could not run at all.
+    pub fn stop(mut self) -> Option<ProgressSnapshot> {
+        self.signal_stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.latest
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
     }
 
     fn signal_stop(&self) {
@@ -194,6 +279,7 @@ mod tests {
             shots: 1204,
             cache_hits: 382,
             cache_lookups: 1000,
+            bus_events: 0,
         };
         assert_eq!(
             snap.line(),
@@ -221,10 +307,66 @@ mod tests {
         let baseline = sources.baseline();
         counter("mdp.shapes_fractured").add(7);
         counter("fracture.shots_emitted").add(21);
-        let snap = sources.snapshot(&baseline, Duration::from_millis(1500), Some(9));
+        let snap = sources.snapshot(&baseline, Duration::from_millis(1500), Some(9), 0);
         assert!(snap.shapes_done >= 7);
         assert!(snap.shots >= 21);
         assert_eq!(snap.total_shapes, Some(9));
         assert!((snap.elapsed_s - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_ratio_includes_the_disk_tier() {
+        let sources = Sources::resolve();
+        let baseline = sources.baseline();
+        // A warm --geom-cache run: every lookup misses the in-memory
+        // tier, but three of four geometries come back from disk.
+        counter("mdp.cache.misses").add(4);
+        counter("mdp.geomcache.hits").add(3);
+        counter("mdp.geomcache.misses").add(1);
+        let snap = sources.snapshot(&baseline, Duration::from_secs(1), None, 0);
+        assert!(
+            snap.cache_hits >= 3,
+            "disk hits must count as cache hits, got {}",
+            snap.cache_hits
+        );
+        assert!(
+            snap.cache_lookups >= 4,
+            "disk lookups must not inflate the denominator, got {}",
+            snap.cache_lookups
+        );
+        assert!(
+            snap.cache_hits <= snap.cache_lookups,
+            "ratio must stay <= 100%: {} / {}",
+            snap.cache_hits,
+            snap.cache_lookups
+        );
+    }
+
+    #[test]
+    fn final_snapshot_is_returned_for_sub_interval_runs() {
+        // Hour-long interval: the run "finishes" before the first tick,
+        // yet stop() still produces the final observation.
+        let sampler = ProgressSampler::start(Duration::from_secs(3600), Some(5));
+        counter("mdp.shapes_fractured").add(2);
+        let snap = sampler.stop().expect("final snapshot");
+        assert_eq!(snap.total_shapes, Some(5));
+        assert!(snap.shapes_done >= 2);
+    }
+
+    #[test]
+    fn sampler_subscribes_to_the_bus() {
+        let sampler = ProgressSampler::start(Duration::from_millis(10), None);
+        // The sampler's subscription makes the bus live, so points emit
+        // even with file capture off.
+        for _ in 0..5 {
+            crate::event::point("t.progress.bus_ping");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = sampler.stop().expect("final snapshot");
+        assert!(
+            snap.bus_events >= 1,
+            "sampler should have drained bus events, saw {}",
+            snap.bus_events
+        );
     }
 }

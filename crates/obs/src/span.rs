@@ -27,8 +27,12 @@
 //! carrying its id, parent id and duration — the raw material of the
 //! Chrome-trace export (`--trace-out`).
 //!
-//! Spans are cheap when tracing and capture are off: one `Instant::now`,
-//! two relaxed atomic loads, plus one histogram update at drop.
+//! The same event pair is offered to the live bus ([`crate::bus`])
+//! whenever a subscriber is attached, even with file capture off.
+//!
+//! Spans are cheap when tracing, capture, and bus subscribers are all
+//! off: one `Instant::now`, three relaxed atomic loads, plus one
+//! histogram update at drop.
 
 use crate::event;
 use crate::metrics::registry;
@@ -85,8 +89,9 @@ pub fn span(name: &'static str) -> SpanGuard {
 pub struct SpanGuard {
     name: &'static str,
     started: Instant,
-    /// Structured-event span id, when capture was on at creation.
-    event_span: Option<u64>,
+    /// Structured-event routing token, when capture or a live bus
+    /// subscriber was on at creation.
+    event_span: Option<event::SpanToken>,
 }
 
 impl SpanGuard {
@@ -105,8 +110,8 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let elapsed = self.started.elapsed();
         registry().record_span(self.name, elapsed);
-        if let Some(span_id) = self.event_span {
-            event::end_span(self.name, span_id, elapsed.as_micros() as u64);
+        if let Some(token) = self.event_span {
+            event::end_span(self.name, token, elapsed.as_micros() as u64);
         }
         if trace_enabled() {
             let depth = DEPTH.with(|d| {

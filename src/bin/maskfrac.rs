@@ -49,7 +49,12 @@
 //!   in Chrome trace format (loadable in Perfetto / `chrome://tracing`);
 //! - `--events-out EVENTS.jsonl` writes the same events as raw JSON Lines;
 //! - `--progress-ms N` prints a live progress line to stderr every N ms
-//!   (shapes done, shots so far, cache hit rate).
+//!   (shapes done, shots so far, cache hit rate across both dedup tiers);
+//! - `--telemetry-listen ADDR` serves live telemetry over HTTP while the
+//!   run is going: `GET /metrics` (Prometheus text), `GET /healthz`
+//!   (JSON liveness) and `GET /events` (NDJSON stream of ledger/span
+//!   events off the broadcast bus). Bind `127.0.0.1:0` for an ephemeral
+//!   port; the resolved address is printed as `telemetry listening on …`.
 //!
 //! `fracture-layout` additionally speaks the robustness flags
 //! (`docs/robustness.md`): `--checkpoint <path>` journals every
@@ -115,24 +120,27 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 /// Shared observability flags, accepted by every fracture subcommand.
-const OBS_FLAGS: [&str; 5] = [
+const OBS_FLAGS: [&str; 6] = [
     "--trace",
     "--metrics-out",
     "--trace-out",
     "--events-out",
     "--progress-ms",
+    "--telemetry-listen",
 ];
 
 /// The shared observability flags, parsed and applied:
 /// `--trace` turns on the stderr span tree, `--metrics-out <path>` selects
 /// where the run report goes, `--trace-out <path>` / `--events-out <path>`
-/// enable structured event capture (Chrome trace / JSON Lines), and
-/// `--progress-ms <n>` starts the live progress sampler.
+/// enable structured event capture (Chrome trace / JSON Lines),
+/// `--progress-ms <n>` starts the live progress sampler, and
+/// `--telemetry-listen <addr>` serves the live HTTP telemetry plane.
 struct ObsFlags {
     metrics_out: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
     events_out: Option<std::path::PathBuf>,
     progress: Option<std::time::Duration>,
+    telemetry_listen: Option<String>,
 }
 
 fn obs_from_flags(args: &[String]) -> Result<ObsFlags, Box<dyn std::error::Error>> {
@@ -147,6 +155,7 @@ fn obs_from_flags(args: &[String]) -> Result<ObsFlags, Box<dyn std::error::Error
             Some(0) => return Err("--progress-ms must be positive".into()),
             ms => ms.map(std::time::Duration::from_millis),
         },
+        telemetry_listen: flag_value(args, "--telemetry-listen").map(str::to_owned),
     };
     if flags.trace_out.is_some() || flags.events_out.is_some() {
         maskfrac::obs::set_capture(true);
@@ -160,6 +169,22 @@ impl ObsFlags {
     fn start_progress(&self, total_shapes: Option<u64>) -> Option<maskfrac::obs::ProgressSampler> {
         self.progress
             .map(|interval| maskfrac::obs::ProgressSampler::start(interval, total_shapes))
+    }
+
+    /// Binds the telemetry server when `--telemetry-listen` was given.
+    /// Keep the returned guard alive for the duration of the run; the
+    /// resolved address is printed so `:0` (ephemeral-port) callers can
+    /// discover where to scrape.
+    fn start_telemetry(
+        &self,
+    ) -> Result<Option<maskfrac::obs::TelemetryServer>, Box<dyn std::error::Error>> {
+        let Some(addr) = self.telemetry_listen.as_deref() else {
+            return Ok(None);
+        };
+        let server = maskfrac::obs::TelemetryServer::bind(addr)
+            .map_err(|e| format!("--telemetry-listen {addr}: {e}"))?;
+        println!("telemetry listening on {}", server.local_addr());
+        Ok(Some(server))
     }
 
     /// Flushes captured events to `--trace-out`/`--events-out`, checking
@@ -317,6 +342,7 @@ fn cmd_fracture(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let method = flag_value(args, "--method").unwrap_or("ours");
     let cfg = config_from_flags(args)?;
     let obs = obs_from_flags(args)?;
+    let _telemetry = obs.start_telemetry()?;
     let started = std::time::Instant::now();
 
     let fracturer: Box<dyn MaskFracturer> = match method {
@@ -513,6 +539,10 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
     if checkpoint.is_none() && args.iter().any(|a| a == "--resume") {
         return Err("--resume needs --checkpoint <path>".into());
     }
+    // Bind the telemetry endpoint before the (potentially slow) layout
+    // load so scrapers can attach from the very start of the run.
+    let obs = obs_from_flags(args)?;
+    let _telemetry = obs.start_telemetry()?;
     let layout = maskfrac::mdp::load_layout(path)?;
     println!(
         "layout {:?}: {} shapes, {} instances",
@@ -523,7 +553,6 @@ fn cmd_fracture_layout(args: &[String]) -> Result<(), Box<dyn std::error::Error>
     let cfg = config_from_flags(args)?;
     let mut options = layout_options_from_flags(args)?;
     options.threads = threads;
-    let obs = obs_from_flags(args)?;
     let _faults = fault_scope_from_flags(args)?;
     let started = std::time::Instant::now();
     let progress = obs.start_progress(Some(layout.shape_count() as u64));

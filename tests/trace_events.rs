@@ -11,11 +11,25 @@ use maskfrac::obs::{self, event, Event, EventKind, FieldValue};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
+/// One mutex for every test that touches the process-global capture
+/// flag — including the uninstrumented reference passes, which must not
+/// flip capture off under a concurrently captured run.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn capture_gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Serializes tests that enable global event capture, draining leftovers
 /// first so no test sees another's records. Restores capture-off.
 fn with_capture<T>(f: impl FnOnce() -> T) -> T {
-    static GATE: Mutex<()> = Mutex::new(());
-    let _gate = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _gate = capture_gate();
+    with_capture_locked(f)
+}
+
+/// [`with_capture`] for callers already holding [`capture_gate`]
+/// (the gate mutex is not reentrant).
+fn with_capture_locked<T>(f: impl FnOnce() -> T) -> T {
     let _ = event::drain();
     obs::set_capture(true);
     let out = f();
@@ -179,14 +193,16 @@ fn instrumentation_is_bit_neutral_on_clip_suite() {
     let fracturer = maskfrac::fracture::ModelBasedFracturer::new(cfg.clone());
     let clips: Vec<_> = maskfrac::shapes::ilt_suite().into_iter().take(3).collect();
 
-    // Reference pass: no instrumentation.
+    // Reference pass: no instrumentation. Hold the gate across both
+    // passes so no parallel test flips capture mid-flight.
+    let _gate = capture_gate();
     obs::set_capture(false);
     let plain: Vec<_> = clips
         .iter()
         .map(|c| fracturer.fracture(&c.polygon).shots)
         .collect();
 
-    let instrumented: Vec<_> = with_capture(|| {
+    let instrumented: Vec<_> = with_capture_locked(|| {
         let sampler = obs::ProgressSampler::start(
             std::time::Duration::from_millis(10),
             Some(clips.len() as u64),
@@ -225,9 +241,10 @@ fn layout_ledger_is_bit_neutral_and_consistent() {
     };
     let cfg = FractureConfig::default();
 
+    let _gate = capture_gate();
     obs::set_capture(false);
     let plain = fracture_layout(&build(), &cfg, 2);
-    let traced = with_capture(|| fracture_layout(&build(), &cfg, 2));
+    let traced = with_capture_locked(|| fracture_layout(&build(), &cfg, 2));
 
     assert_eq!(plain.per_shape.len(), traced.per_shape.len());
     for (a, b) in plain.per_shape.iter().zip(&traced.per_shape) {
